@@ -1,0 +1,53 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one of the paper's tables or figures at full
+scale (the paper's own run lengths and three-run averaging), renders it
+with the paper's published numbers side by side, and writes the
+artefact under ``results/``.  ``REPRO_BENCH_SCALE`` (default 1.0) can
+shrink run lengths for smoke-testing the harness itself.
+
+In-process run caching (:mod:`repro.experiments.runner`) means shared
+baselines are executed once per session even though several benches
+need them.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_seeds() -> tuple[int, ...]:
+    """The paper's methodology: three runs, averaged."""
+    return (1, 2, 3)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def seeds() -> tuple[int, ...]:
+    return bench_seeds()
+
+
+def write_artefact(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist one rendered table/figure and echo it to the log."""
+    path = results_dir / name
+    path.write_text(text)
+    print(text)

@@ -1,0 +1,230 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+The paper states several choices without full quantitative backing
+("we have done a pre-evaluation of the proposal (not included in the
+paper)"); these benches supply the missing evidence on the simulated
+testbed:
+
+* moving only the **maximum** uncore limit vs pinning min = max,
+* the AVX512-aware model vs the default model on DGEMM,
+* the 15 % signature-change threshold,
+* min_time_to_solution with the eUFS extension (the paper's future
+  work).
+"""
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.experiments.report import format_table, ghz, pct
+from repro.experiments.runner import compare, run_averaged
+from repro.sim.engine import run_workload
+from repro.workloads.applications import hpcg
+from repro.workloads.generator import synthetic_workload
+from repro.workloads.kernels import bt_mz_c_openmp, dgemm_mkl
+
+from .conftest import write_artefact
+
+
+def test_ablation_imc_limit_strategy(benchmark, results_dir, scale, seeds):
+    """Max-only vs pinned (min = max) uncore limits.
+
+    The paper chose to "just move the maximum uncore frequency" so the
+    hardware keeps room to react to phase changes.  On a steady-state
+    workload both end at the same place; the pinned variant however
+    removes the floor-to-ceiling range.  This bench documents that the
+    steady-state savings are equivalent, i.e. the paper's choice costs
+    nothing while retaining flexibility.
+    """
+
+    def run():
+        wl = bt_mz_c_openmp()
+        return {
+            "max_only": compare(
+                wl, {"x": EarConfig(move_imc_min=False)}, seeds=seeds, scale=scale
+            )["x"],
+            "pinned": compare(
+                wl, {"x": EarConfig(move_imc_min=True)}, seeds=seeds, scale=scale
+            )["x"],
+        }
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        "Ablation: IMC limit strategy on BT-MZ.C (max-only vs min=max)",
+        ["strategy", "time pen", "power save", "energy save", "imc GHz"],
+        [
+            [
+                name,
+                pct(c.time_penalty),
+                pct(c.power_saving),
+                pct(c.energy_saving),
+                ghz(c.result.avg_imc_freq_ghz),
+            ]
+            for name, c in res.items()
+        ],
+    )
+    write_artefact(results_dir, "ablation_imc_limits.txt", rendered)
+    assert res["max_only"].energy_saving == pytest.approx(
+        res["pinned"].energy_saving, abs=0.02
+    )
+
+
+def test_ablation_avx512_model(benchmark, results_dir, scale, seeds):
+    """The paper's new model vs the 2020 default model on DGEMM.
+
+    The licence clamp matters most when a policy considers frequencies
+    *above* the licence point: ``min_time`` with the default model
+    climbs an all-AVX512 kernel toward turbo — predicted speedup the
+    silicon cannot deliver, so it burns power for nothing.  The AVX512
+    model "captures the fact that AVX512 instructions will not take
+    benefit of higher CPU frequencies" (paper section V-A) and stays.
+    """
+
+    def run():
+        # A compute-dense all-AVX512 kernel (low traffic): without the
+        # licence clamp its low-TPI signature looks like a perfect
+        # frequency-scaler to the default model.
+        wl = synthetic_workload(
+            name="avx-dense",
+            node_config=dgemm_mkl().node_config,
+            core_share=0.95,
+            unc_share=0.02,
+            mem_share=0.02,
+            vpi=1.0,
+            n_iterations=300,
+        )
+        out = {}
+        for name, use_avx in (("avx512_model", True), ("default_model", False)):
+            cfg = EarConfig(
+                policy="min_time", use_explicit_ufs=False, use_avx512_model=use_avx
+            )
+            out[name] = compare(wl, {"x": cfg}, seeds=seeds, scale=scale)["x"]
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        "Ablation: AVX512 vs default model, min_time on an AVX512-dense kernel",
+        ["model", "requested cpu GHz", "measured cpu GHz", "time pen"],
+        [
+            [
+                name,
+                ghz(c.runs_requested_cpu),
+                ghz(c.result.avg_cpu_freq_ghz),
+                pct(c.time_penalty),
+            ]
+            for name, c in res.items()
+        ],
+    )
+    write_artefact(results_dir, "ablation_avx512.txt", rendered)
+    # The default model chases a turbo speedup the silicon cannot
+    # deliver; the AVX512 model knows the licence clamp and does not.
+    assert res["default_model"].runs_requested_cpu > 2.45
+    assert res["avx512_model"].runs_requested_cpu <= 2.4 + 1e-9
+    # Measured clocks are identical — the silicon clamps both — which
+    # is exactly why the un-aware model's request was futile.
+    assert res["avx512_model"].result.avg_cpu_freq_ghz == pytest.approx(
+        res["default_model"].result.avg_cpu_freq_ghz, abs=0.02
+    )
+
+
+def test_ablation_min_time_eufs(benchmark, results_dir, scale, seeds):
+    """The paper's future work: min_time_to_solution with eUFS.
+
+    min_time climbs CPU-bound codes to turbo (costing power); adding
+    the guarded uncore descent claws back package power without
+    surrendering the speedup.
+    """
+
+    def run():
+        wl = bt_mz_c_openmp()
+        return {
+            "min_time": compare(
+                wl,
+                {"x": EarConfig(policy="min_time", use_explicit_ufs=False)},
+                seeds=seeds,
+                scale=scale,
+            )["x"],
+            "min_time_eufs": compare(
+                wl,
+                {"x": EarConfig(policy="min_time", use_explicit_ufs=True)},
+                seeds=seeds,
+                scale=scale,
+            )["x"],
+        }
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        "Ablation: min_time_to_solution with and without eUFS (BT-MZ.C)",
+        ["config", "time pen", "power save", "cpu GHz", "imc GHz"],
+        [
+            [
+                name,
+                pct(c.time_penalty),
+                pct(c.power_saving),
+                ghz(c.result.avg_cpu_freq_ghz),
+                ghz(c.result.avg_imc_freq_ghz),
+            ]
+            for name, c in res.items()
+        ],
+    )
+    write_artefact(results_dir, "ablation_min_time.txt", rendered)
+    mt, mte = res["min_time"], res["min_time_eufs"]
+    # min_time speeds the CPU-bound kernel up (negative penalty)...
+    assert mt.time_penalty < 0.005
+    # ...and the eUFS stage recovers power relative to plain min_time
+    assert mte.power_saving > mt.power_saving - 0.005
+    assert mte.result.avg_imc_freq_ghz < mt.result.avg_imc_freq_ghz
+
+
+def test_ablation_signature_change_threshold(benchmark, results_dir, scale, seeds):
+    """Sensitivity of the 15 % phase-change tolerance.
+
+    A very tight tolerance makes EARL re-run the policy continually on
+    measurement noise; the paper's 15 % keeps it stable.  Measured as
+    the number of policy invocations over a fixed run.
+    """
+
+    def run():
+        wl = hpcg()
+        if scale != 1.0:
+            wl = wl.scaled_iterations(scale)
+        counts = {}
+        for th in (0.02, 0.15):
+            r = run_workload(
+                wl, ear_config=EarConfig(signature_change_th=th), seed=seeds[0]
+            )
+            node_policy_rounds = sum(
+                1 for d in r.decisions if d.policy_state is not None
+            )
+            counts[th] = (node_policy_rounds, r.dc_energy_j)
+        return counts
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        "Ablation: signature-change threshold on HPCG",
+        ["threshold", "policy rounds", "energy (kJ)"],
+        [
+            [pct(th), str(rounds), f"{e / 1e3:.1f}"]
+            for th, (rounds, e) in counts.items()
+        ],
+    )
+    write_artefact(results_dir, "ablation_signature_th.txt", rendered)
+    assert counts[0.02][0] >= counts[0.15][0]
+
+
+def test_earl_runtime_overhead(benchmark, scale):
+    """EARL is 'lightweight': the simulated-engine cost of running the
+    full EARL stack per iteration (DynAIS + windows + policy) — a real
+    pytest-benchmark timing target."""
+    wl = synthetic_workload(
+        node_config=bt_mz_c_openmp().node_config,
+        core_share=0.85,
+        unc_share=0.08,
+        mem_share=0.05,
+        n_iterations=200,
+    )
+
+    def run_with_earl():
+        return run_workload(wl, ear_config=EarConfig(), seed=1)
+
+    result = benchmark(run_with_earl)
+    assert result.dc_energy_j > 0

@@ -1,0 +1,48 @@
+"""Figure 1: the motivation study's fixed-uncore sweeps."""
+
+from repro.experiments import figure1
+from repro.experiments.report import format_table, ghz, pct
+
+from .conftest import write_artefact
+
+
+def test_figure1(benchmark, results_dir, scale, seeds):
+    sweeps = benchmark.pedantic(
+        lambda: figure1(seeds=seeds, scale=scale), rounds=1, iterations=1
+    )
+    out = []
+    for name, sweep in sweeps.items():
+        out.append(
+            format_table(
+                f"Figure 1: {name} fixed-uncore sweep "
+                f"(CPU pinned at {ghz(sweep.cpu_ghz)} GHz, HW-UFS reference "
+                f"IMC {ghz(sweep.hw_reference_imc_ghz)} GHz)",
+                ["uncore GHz", "time pen", "power save", "energy save", "GB/s pen"],
+                [
+                    [
+                        ghz(p.uncore_ghz),
+                        pct(p.time_penalty),
+                        pct(p.power_saving),
+                        pct(p.energy_saving),
+                        pct(p.gbs_penalty),
+                    ]
+                    for p in sweep.points
+                ],
+            )
+        )
+    write_artefact(results_dir, "figure1.txt", "\n".join(out))
+
+    bt, lu = sweeps["BT-MZ"], sweeps["LU"]
+    # Power saving grows monotonically as the uncore descends
+    for sweep in (bt, lu):
+        savings = [p.power_saving for p in sweep.points]
+        assert all(b >= a - 1e-3 for a, b in zip(savings, savings[1:]))
+    # BT-MZ: saving dominates penalty across the whole range
+    assert all(p.power_saving >= p.time_penalty - 1e-3 for p in bt.points)
+    # LU: the energy curve peaks and then decays (the paper's
+    # "at lowest uncore frequencies the time penalty outweighs
+    # energy saving")
+    lu_savings = [p.energy_saving for p in lu.points]
+    assert lu_savings[-1] < max(lu_savings)
+    # LU pays much more time than BT at the floor
+    assert lu.points[-1].time_penalty > 2 * bt.points[-1].time_penalty

@@ -1,0 +1,34 @@
+"""Figure 3: BQCD under different unc_policy_th values."""
+
+from repro.experiments import figure3_bqcd
+from repro.experiments.report import format_figure_series
+
+from .conftest import write_artefact
+
+
+def test_figure3(benchmark, results_dir, scale, seeds):
+    series = benchmark.pedantic(
+        lambda: figure3_bqcd(seeds=seeds, scale=scale), rounds=1, iterations=1
+    )
+    write_artefact(
+        results_dir,
+        "figure3.txt",
+        format_figure_series(
+            "Figure 3: BQCD, min_energy (cpu_th 3%) with eUFS at "
+            "unc_th 1/2/3 %", series
+        ),
+    )
+    by_cfg = {s["config"]: s for s in series}
+    # The DVFS stage alone does nothing for BQCD (paper: "the policy
+    # doesn't reduce core frequency, results for ME show no saving")
+    assert abs(by_cfg["me"]["energy_saving"]) < 0.01
+    # Every eUFS variant saves power...
+    for th in (1, 2, 3):
+        assert by_cfg[f"me_eufs_{th}"]["power_saving"] > 0.01
+    # ...and power saving scales better than time penalty (the paper's
+    # note on figure 3)
+    for th in (1, 2, 3):
+        s = by_cfg[f"me_eufs_{th}"]
+        assert s["power_saving"] > s["time_penalty"]
+    # deeper threshold -> deeper descent
+    assert by_cfg["me_eufs_3"]["avg_imc_ghz"] <= by_cfg["me_eufs_1"]["avg_imc_ghz"] + 0.01

@@ -1,0 +1,32 @@
+"""Figure 4: BT-MZ with unc_policy_th swept 0/1/2 % at cpu_th 3 %."""
+
+from repro.experiments import figure4_btmz
+from repro.experiments.report import format_figure_series
+
+from .conftest import write_artefact
+
+
+def test_figure4(benchmark, results_dir, scale, seeds):
+    series = benchmark.pedantic(
+        lambda: figure4_btmz(seeds=seeds, scale=scale), rounds=1, iterations=1
+    )
+    write_artefact(
+        results_dir,
+        "figure4.txt",
+        format_figure_series(
+            "Figure 4: BT-MZ, min_energy (cpu_th 3%) with eUFS at "
+            "unc_th 0/1/2 %", series
+        ),
+    )
+    by_cfg = {s["config"]: s for s in series}
+    # Even unc_th = 0 % saves power without slowing the iteration
+    # (the paper's headline observation for this figure)
+    zero = by_cfg["me_eufs_0"]
+    assert zero["power_saving"] > 0.005
+    assert zero["time_penalty"] < 0.015
+    # monotone: larger threshold -> more power saving, lower uncore
+    assert by_cfg["me_eufs_2"]["power_saving"] >= zero["power_saving"] - 0.003
+    assert by_cfg["me_eufs_2"]["avg_imc_ghz"] <= zero["avg_imc_ghz"] + 0.01
+    # the CPU clock never moves for BT-MZ
+    for s in series:
+        assert s["avg_cpu_ghz"] > 2.3

@@ -1,0 +1,63 @@
+"""Figure 5: GROMACS(I) — HW-guided vs not-guided uncore search."""
+
+from repro.ear.policies import PolicyState
+from repro.experiments import figure5_gromacs1
+from repro.experiments.report import format_figure_series
+
+from .conftest import write_artefact
+
+
+def test_figure5(benchmark, results_dir, scale, seeds):
+    data = benchmark.pedantic(
+        lambda: figure5_gromacs1(seeds=seeds, scale=scale), rounds=1, iterations=1
+    )
+    out = []
+    for key, series in data.items():
+        out.append(
+            format_figure_series(f"Figure 5: GROMACS(I), {key}", series)
+        )
+    write_artefact(results_dir, "figure5.txt", "\n".join(out))
+
+    for key, series in data.items():
+        by_cfg = {s["config"]: s for s in series}
+        # both explicit-UFS variants save at least as much as plain ME
+        for variant in ("me_ngu", "me_eufs"):
+            assert (
+                by_cfg[variant]["energy_saving"]
+                >= by_cfg["me"]["energy_saving"] - 0.01
+            ), (key, variant)
+        # and both settle at a similar final uncore frequency
+        assert abs(
+            by_cfg["me_eufs"]["avg_imc_ghz"] - by_cfg["me_ngu"]["avg_imc_ghz"]
+        ) < 0.3, key
+
+
+def test_figure5_guided_converges_faster(benchmark, results_dir, scale, seeds):
+    """The point of HW guidance: fewer signature windows to READY."""
+    from repro.ear.config import EarConfig
+    from repro.sim.engine import run_workload
+    from repro.workloads.applications import gromacs_ion_channel
+
+    wl = gromacs_ion_channel()
+    if scale != 1.0:
+        wl = wl.scaled_iterations(scale)
+
+    def rounds_until_ready(cfg):
+        result = run_workload(wl, ear_config=cfg, seed=seeds[0])
+        for i, d in enumerate(result.decisions):
+            if d.policy_state is PolicyState.READY:
+                return i + 1
+        return len(result.decisions)
+
+    def run():
+        return (
+            rounds_until_ready(EarConfig(cpu_policy_th=0.05)),
+            rounds_until_ready(EarConfig(cpu_policy_th=0.05, hw_guided_imc=False)),
+        )
+
+    guided, not_guided = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nsignature windows until stable: HW-guided {guided}, "
+        f"not guided {not_guided}"
+    )
+    assert guided <= not_guided

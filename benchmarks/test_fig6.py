@@ -1,0 +1,31 @@
+"""Figure 6: GROMACS(II) — ME vs ME+eU at 5 %/2 %."""
+
+from repro.experiments import figure6_gromacs2
+from repro.experiments.report import format_figure_series
+
+from .conftest import write_artefact
+
+
+def test_figure6(benchmark, results_dir, scale, seeds):
+    series = benchmark.pedantic(
+        lambda: figure6_gromacs2(seeds=seeds, scale=scale), rounds=1, iterations=1
+    )
+    write_artefact(
+        results_dir,
+        "figure6.txt",
+        format_figure_series(
+            "Figure 6: GROMACS(II), min_energy (cpu_th 5%, unc_th 2%)", series
+        ),
+    )
+    by_cfg = {s["config"]: s for s in series}
+    # At 640 ranks the HW itself sinks the uncore once EAR pins the
+    # clock — plain ME already shows the large saving...
+    assert by_cfg["me"]["power_saving"] > 0.05
+    assert by_cfg["me"]["avg_imc_ghz"] < 1.8
+    # ...and eUFS settles at (or slightly below) the HW's selection,
+    # matching the paper's "EAR's selection has been the same as the
+    # hardware's" for this input.
+    assert (
+        by_cfg["me_eufs"]["avg_imc_ghz"] <= by_cfg["me"]["avg_imc_ghz"] + 0.05
+    )
+    assert by_cfg["me_eufs"]["energy_saving"] >= by_cfg["me"]["energy_saving"] - 0.015

@@ -1,0 +1,35 @@
+"""Figure 7: HPCG and POP — ME vs ME+eU at 5 %/2 %."""
+
+from repro.experiments import figure7_hpcg_pop
+from repro.experiments.report import format_figure_series
+
+from .conftest import write_artefact
+
+
+def test_figure7(benchmark, results_dir, scale, seeds):
+    data = benchmark.pedantic(
+        lambda: figure7_hpcg_pop(seeds=seeds, scale=scale), rounds=1, iterations=1
+    )
+    out = [
+        format_figure_series(f"Figure 7: {name} (cpu_th 5%, unc_th 2%)", series)
+        for name, series in data.items()
+    ]
+    write_artefact(results_dir, "figure7.txt", "\n".join(out))
+
+    for name, series in data.items():
+        by_cfg = {s["config"]: s for s in series}
+        # memory-bound: ME itself finds real savings via DVFS
+        assert by_cfg["me"]["energy_saving"] > 0.01, name
+        # eUFS adds on top without breaching the combined budget
+        assert (
+            by_cfg["me_eufs"]["energy_saving"]
+            >= by_cfg["me"]["energy_saving"] - 0.005
+        ), name
+        assert by_cfg["me_eufs"]["time_penalty"] < 0.08, name
+
+    hpcg = {s["config"]: s for s in data["HPCG"]}
+    # HPCG: the guard keeps the uncore within ~0.1-0.2 GHz of max
+    assert hpcg["me_eufs"]["avg_imc_ghz"] > 2.2
+    pop = {s["config"]: s for s in data["POP"]}
+    # POP: a deeper descent is tolerated (paper: 2.35 -> 2.06)
+    assert pop["me_eufs"]["avg_imc_ghz"] < hpcg["me_eufs"]["avg_imc_ghz"] + 0.05

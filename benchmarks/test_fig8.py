@@ -1,0 +1,33 @@
+"""Figure 8: DUMSES and AFiD — the two thresholds as a user dial."""
+
+from repro.experiments import figure8_dumses_afid
+from repro.experiments.report import format_figure_series
+
+from .conftest import write_artefact
+
+
+def test_figure8(benchmark, results_dir, scale, seeds):
+    data = benchmark.pedantic(
+        lambda: figure8_dumses_afid(seeds=seeds, scale=scale), rounds=1, iterations=1
+    )
+    out = [
+        format_figure_series(f"Figure 8: {name} (cpu_th 3%/5%, unc_th 2%)", series)
+        for name, series in data.items()
+    ]
+    write_artefact(results_dir, "figure8.txt", "\n".join(out))
+
+    for name, series in data.items():
+        by_cfg = {s["config"]: s for s in series}
+        # the looser DVFS threshold buys more saving at more penalty
+        assert (
+            by_cfg["me_5"]["energy_saving"] >= by_cfg["me_3"]["energy_saving"] - 0.005
+        ), name
+        assert (
+            by_cfg["me_5"]["avg_cpu_ghz"] <= by_cfg["me_3"]["avg_cpu_ghz"] + 0.01
+        ), name
+        # at both thresholds, adding eUFS helps
+        for th in (3, 5):
+            assert (
+                by_cfg[f"me_eufs_{th}"]["energy_saving"]
+                >= by_cfg[f"me_{th}"]["energy_saving"] - 0.005
+            ), (name, th)

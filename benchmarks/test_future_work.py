@@ -1,0 +1,124 @@
+"""Benches for the paper's future-work directions (section VIII).
+
+The paper closes with three open items: integrating eUFS into
+min_time_to_solution, strategies that *increase* the uncore frequency,
+and the impact on communication-intensive applications.  All three are
+implemented in this reproduction; these benches quantify them.
+"""
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.experiments.report import format_table, ghz, pct
+from repro.experiments.runner import compare
+from repro.hw.node import SD530
+from repro.sim.engine import run_workload
+from repro.workloads.generator import communication_workload, synthetic_workload
+
+from .conftest import write_artefact
+
+
+def test_communication_intensity_sweep(benchmark, results_dir, scale, seeds):
+    """eUFS benefit as a function of MPI time share.
+
+    "We are also evaluating the potential impact on high communication
+    intensive applications" — the sweep shows the impact is *positive*
+    and growing: MPI spin time neither needs the uncore nor shows up in
+    the CPI/GB/s guards, so the descent reaches deeper while the
+    penalty stays bounded by the compute share.
+    """
+
+    def run():
+        rows = []
+        for cf in (0.0, 0.15, 0.3, 0.45, 0.6, 0.75):
+            wl = communication_workload(
+                comm_fraction=cf, node_config=SD530, n_nodes=2, n_iterations=300
+            )
+            if scale != 1.0:
+                wl = wl.scaled_iterations(scale)
+            cmp_ = compare(wl, {"me_eufs": EarConfig()}, seeds=seeds, scale=1.0)
+            c = cmp_["me_eufs"]
+            rows.append(
+                {
+                    "comm": cf,
+                    "time_penalty": c.time_penalty,
+                    "power_saving": c.power_saving,
+                    "energy_saving": c.energy_saving,
+                    "imc": c.result.avg_imc_freq_ghz,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        "Future work: ME+eU benefit vs communication intensity",
+        ["MPI share", "time pen", "power save", "energy save", "imc GHz"],
+        [
+            [
+                pct(r["comm"]),
+                pct(r["time_penalty"]),
+                pct(r["power_saving"]),
+                pct(r["energy_saving"]),
+                ghz(r["imc"]),
+            ]
+            for r in rows
+        ],
+    )
+    write_artefact(results_dir, "future_comm_sweep.txt", rendered)
+
+    # benefit grows with communication intensity...
+    assert rows[-1]["energy_saving"] > rows[0]["energy_saving"] + 0.01
+    # ...the uncore descends further...
+    assert rows[-1]["imc"] < rows[0]["imc"] - 0.1
+    # ...and the time penalty never exceeds the guard budget
+    for r in rows:
+        assert r["time_penalty"] < 0.05
+
+
+def test_uncore_increase_strategy(benchmark, results_dir, scale, seeds):
+    """min_time's upward uncore search under a conservative site cap.
+
+    A memory-bound job on a cluster whose ear.conf caps the default
+    uncore at 1.8 GHz: min_energy lives with the cap, min_time walks
+    the ceiling back up and recovers most of the lost time.
+    """
+
+    def run():
+        wl = synthetic_workload(
+            name="capped-membound",
+            node_config=SD530,
+            core_share=0.12,
+            unc_share=0.2,
+            mem_share=0.6,
+            n_iterations=300,
+        )
+        if scale != 1.0:
+            wl = wl.scaled_iterations(scale)
+        out = {}
+        for name, cfg in (
+            ("uncapped", EarConfig(policy="min_time")),
+            ("capped min_energy", EarConfig(policy="min_energy", default_imc_max_ghz=1.8)),
+            ("capped min_time", EarConfig(policy="min_time", default_imc_max_ghz=1.8)),
+        ):
+            runs = [run_workload(wl, ear_config=cfg, seed=s) for s in seeds]
+            out[name] = (
+                sum(r.time_s for r in runs) / len(runs),
+                sum(r.avg_imc_freq_ghz for r in runs) / len(runs),
+            )
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    rendered = format_table(
+        "Future work: uncore-increase strategy under a 1.8 GHz site cap",
+        ["config", "time (s)", "avg imc GHz"],
+        [[name, f"{t:.1f}", ghz(imc)] for name, (t, imc) in res.items()],
+    )
+    write_artefact(results_dir, "future_uncore_increase.txt", rendered)
+
+    t_uncapped, _ = res["uncapped"]
+    t_me, imc_me = res["capped min_energy"]
+    t_mt, imc_mt = res["capped min_time"]
+    # min_time recovers a large part of the cap's slowdown
+    assert t_mt < t_me
+    assert (t_me - t_mt) / (t_me - t_uncapped) > 0.5
+    assert imc_mt > imc_me + 0.2

@@ -1,0 +1,40 @@
+"""Table II: single-node kernel characteristics at nominal frequency."""
+
+import pytest
+
+from repro.experiments import paper_data, table2_kernel_characteristics
+from repro.experiments.report import format_table
+
+from .conftest import write_artefact
+
+
+def test_table2(benchmark, results_dir, scale, seeds):
+    rows = benchmark.pedantic(
+        lambda: table2_kernel_characteristics(seeds=seeds, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    rendered = format_table(
+        "Table II: single-node kernels (paper values in parentheses)",
+        ["kernel", "time (s)", "CPI", "GB/s", "DC power (W)"],
+        [
+            [
+                r["kernel"],
+                f"{r['time_s']:.0f} ({paper_data.TABLE2[r['kernel']]['time_s']})",
+                f"{r['cpi']:.2f} ({paper_data.TABLE2[r['kernel']]['cpi']:.2f})",
+                f"{r['gbs']:.2f} ({paper_data.TABLE2[r['kernel']]['gbs']})",
+                f"{r['dc_power_w']:.0f} ({paper_data.TABLE2[r['kernel']]['dc_power_w']})",
+            ]
+            for r in rows
+        ],
+    )
+    write_artefact(results_dir, "table2.txt", rendered)
+
+    for r in rows:
+        expected = paper_data.TABLE2[r["kernel"]]
+        assert r["cpi"] == pytest.approx(expected["cpi"], rel=0.1), r["kernel"]
+        assert r["dc_power_w"] == pytest.approx(
+            expected["dc_power_w"], rel=0.1
+        ), r["kernel"]
+        if scale == 1.0:
+            assert r["time_s"] == pytest.approx(expected["time_s"], rel=0.1)

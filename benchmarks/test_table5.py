@@ -1,0 +1,39 @@
+"""Table V: MPI application characteristics at nominal frequency."""
+
+import pytest
+
+from repro.experiments import paper_data, table5_application_characteristics
+from repro.experiments.report import format_table
+
+from .conftest import write_artefact
+
+
+def test_table5(benchmark, results_dir, scale, seeds):
+    rows = benchmark.pedantic(
+        lambda: table5_application_characteristics(seeds=seeds, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    rendered = format_table(
+        "Table V: MPI applications (paper values in parentheses)",
+        ["application", "time (s)", "CPI", "GB/s", "DC power (W)"],
+        [
+            [
+                r["application"],
+                f"{r['time_s']:.0f} ({paper_data.TABLE5[r['application']]['time_s']:.0f})",
+                f"{r['cpi']:.2f} ({paper_data.TABLE5[r['application']]['cpi']:.2f})",
+                f"{r['gbs']:.1f} ({paper_data.TABLE5[r['application']]['gbs']:.1f})",
+                f"{r['dc_power_w']:.0f} ({paper_data.TABLE5[r['application']]['dc_power_w']:.0f})",
+            ]
+            for r in rows
+        ],
+    )
+    write_artefact(results_dir, "table5.txt", rendered)
+
+    for r in rows:
+        expected = paper_data.TABLE5[r["application"]]
+        assert r["cpi"] == pytest.approx(expected["cpi"], rel=0.1)
+        assert r["gbs"] == pytest.approx(expected["gbs"], rel=0.15)
+        assert r["dc_power_w"] == pytest.approx(expected["dc_power_w"], rel=0.1)
+        if scale == 1.0:
+            assert r["time_s"] == pytest.approx(expected["time_s"], rel=0.1)

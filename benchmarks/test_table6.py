@@ -1,0 +1,52 @@
+"""Table VI: application average CPU and IMC frequencies."""
+
+from repro.experiments import paper_data, table6_application_frequencies
+from repro.experiments.report import format_table, ghz
+
+from .conftest import write_artefact
+
+
+def test_table6(benchmark, results_dir, scale, seeds):
+    rows = benchmark.pedantic(
+        lambda: table6_application_frequencies(seeds=seeds, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+
+    def cell(r, cfg, dom):
+        paper = paper_data.TABLE6[r["application"]][cfg][dom]
+        return f"{ghz(r[cfg][dom])} ({paper:.2f})"
+
+    rendered = format_table(
+        "Table VI: application avg CPU and IMC frequencies "
+        "(paper values in parentheses)",
+        ["application", "none cpu", "none imc", "ME cpu", "ME imc", "eU cpu", "eU imc"],
+        [
+            [
+                r["application"],
+                cell(r, "none", "cpu"),
+                cell(r, "none", "imc"),
+                cell(r, "me", "cpu"),
+                cell(r, "me", "imc"),
+                cell(r, "me_eufs", "cpu"),
+                cell(r, "me_eufs", "imc"),
+            ]
+            for r in rows
+        ],
+    )
+    write_artefact(results_dir, "table6.txt", rendered)
+
+    by_name = {r["application"]: r for r in rows}
+    # CPU-bound class: DVFS leaves the clock at nominal
+    for app in ("BQCD", "BT-MZ"):
+        assert by_name[app]["me"]["cpu"] > 2.3, app
+    # memory-bound class: DVFS cuts the clock
+    for app in ("HPCG", "POP", "DUMSES", "AFiD"):
+        assert by_name[app]["me"]["cpu"] < 2.3, app
+    # eUFS lowers the uncore below the no-policy reference everywhere
+    for r in rows:
+        assert r["me_eufs"]["imc"] < r["none"]["imc"] - 0.03, r["application"]
+    # HPCG's guard keeps its uncore nearly at max (2.29 in the paper)
+    assert by_name["HPCG"]["me_eufs"]["imc"] > 2.2
+    # GROMACS(II): the hardware itself sinks the uncore once pinned
+    assert by_name["GROMACS(II)"]["me"]["imc"] < 1.7

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""A full cluster campaign: accounting and the energy-control service.
+
+Runs the paper's application list under ME+eU, records every job in the
+accounting database (EAR's ``eacct`` service) and feeds the consumption
+into EARGM, the global energy manager, against a cluster energy budget
+— exercising all three EAR services (optimisation, accounting, control)
+in one script.
+
+Run:  python examples/cluster_campaign.py
+"""
+
+from repro import AccountingDB, EarConfig, Eargm, EargmConfig, run_workload
+from repro.ear.accounting import JobRecord, NodeJobRecord
+from repro.experiments.tables import app_thresholds
+from repro.workloads import mpi_applications
+
+
+def main() -> None:
+    db = AccountingDB()
+    # a deliberately tight budget so the campaign crosses warning levels
+    eargm = Eargm(EargmConfig(budget_j=1.35e7, horizon_s=4500.0))
+
+    print(f"{'job':>4} {'application':<12} {'nodes':>5} {'time':>8} {'energy':>10} "
+          f"{'avg power':>10} {'budget':>9}")
+    for workload in mpi_applications():
+        cfg = EarConfig(cpu_policy_th=app_thresholds(workload.name))
+        result = run_workload(workload, ear_config=cfg, seed=1)
+
+        job_id = db.new_job_id()
+        db.insert(
+            JobRecord(
+                job_id=job_id,
+                workload=workload.name,
+                policy=cfg.policy,
+                cpu_policy_th=cfg.cpu_policy_th,
+                unc_policy_th=cfg.unc_policy_th,
+                nodes=tuple(
+                    NodeJobRecord(
+                        node_id=n.node_id,
+                        seconds=result.time_s,
+                        dc_energy_j=n.dc_energy_j,
+                        avg_cpu_freq_ghz=n.avg_cpu_freq_ghz,
+                        avg_imc_freq_ghz=n.avg_imc_freq_ghz,
+                    )
+                    for n in result.nodes
+                ),
+            )
+        )
+        level = eargm.report(result.dc_energy_j, result.time_s)
+        print(
+            f"{job_id:>4} {workload.name:<12} {workload.n_nodes:>5} "
+            f"{result.time_s:7.1f}s {result.dc_energy_j / 1e6:8.2f}MJ "
+            f"{result.avg_dc_power_w:9.1f}W {level.name:>9}"
+        )
+
+    print("\n--- eacct summary -------------------------------------------")
+    total_wh = sum(r.dc_energy_wh for r in db.jobs())
+    print(f"jobs: {len(db.jobs())}   campaign energy: {total_wh:.0f} Wh")
+    heaviest = max(db.jobs(), key=lambda r: r.dc_energy_j)
+    print(
+        f"heaviest job: {heaviest.workload} "
+        f"({heaviest.dc_energy_j / 1e6:.1f} MJ over {len(heaviest.nodes)} nodes)"
+    )
+    print(
+        f"EARGM: consumed {eargm.consumed_j / 1e6:.1f} MJ of "
+        f"{eargm.config.budget_j / 1e6:.0f} MJ budget -> {eargm.level().name}; "
+        f"recommended default-frequency cap: "
+        f"{eargm.recommended_max_pstate_offset()} P-state(s) below nominal"
+    )
+
+
+if __name__ == "__main__":
+    main()

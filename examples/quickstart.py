@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: run one kernel under EAR's three standard configurations.
+
+Reproduces the paper's core comparison on the BT-MZ class C kernel:
+
+* ``none``    — nominal frequency, hardware UFS (the baseline),
+* ``me``      — min_energy_to_solution, hardware UFS ("ME"),
+* ``me_eufs`` — min_energy_to_solution + explicit UFS ("ME+eU",
+  the paper's contribution).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import EarConfig, run_workload
+from repro.workloads import bt_mz_c_openmp
+
+
+def main() -> None:
+    workload = bt_mz_c_openmp()
+    print(f"Workload: {workload.name} — {workload.description}")
+    print(f"Nodes: {workload.n_nodes}, reference time ~{workload.total_ref_time_s:.0f} s\n")
+
+    configs = {
+        "none (nominal + HW UFS)": None,
+        "ME   (min_energy, HW UFS)": EarConfig(use_explicit_ufs=False),
+        "ME+eU (min_energy + explicit UFS)": EarConfig(),
+    }
+
+    results = {
+        name: run_workload(workload, ear_config=cfg, seed=1)
+        for name, cfg in configs.items()
+    }
+    baseline = results["none (nominal + HW UFS)"]
+
+    print(f"{'configuration':<36} {'time':>8} {'power':>8} {'energy':>9} {'CPU':>5} {'IMC':>5}")
+    for name, r in results.items():
+        print(
+            f"{name:<36} {r.time_s:7.1f}s {r.avg_dc_power_w:7.1f}W "
+            f"{r.dc_energy_j / 1e3:8.1f}kJ {r.avg_cpu_freq_ghz:5.2f} {r.avg_imc_freq_ghz:5.2f}"
+        )
+
+    eufs = results["ME+eU (min_energy + explicit UFS)"]
+    print(
+        f"\nME+eU vs baseline: "
+        f"{100 * (1 - eufs.dc_energy_j / baseline.dc_energy_j):+.1f}% energy, "
+        f"{100 * (eufs.time_s / baseline.time_s - 1):+.1f}% time, "
+        f"uncore {baseline.avg_imc_freq_ghz:.2f} -> {eufs.avg_imc_freq_ghz:.2f} GHz"
+    )
+
+    print("\nPolicy decisions on node 0 (the figure-2 state machine at work):")
+    for d in eufs.decisions[:10]:
+        state = d.policy_state.name if d.policy_state else "validate"
+        freqs = (
+            f"cpu {d.freqs.cpu_ghz:.1f}  imc_max {d.freqs.imc_max_ghz:.1f}"
+            if d.freqs
+            else ""
+        )
+        print(f"  t={d.at_s:6.1f}s  {state:<9} {freqs}")
+
+
+if __name__ == "__main__":
+    main()

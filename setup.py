@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment is offline and has no `wheel` package, so PEP 660
+editable installs (which build a wheel) cannot run; this shim lets
+`pip install -e . --no-build-isolation` fall back to the legacy
+`setup.py develop` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,418 @@
+"""Command-line interface: ``repro-ear``.
+
+Subcommands::
+
+    repro-ear list                      # workloads and policies
+    repro-ear run -w BT-MZ.C -p me_eufs # one workload, one config
+    repro-ear table 3                   # regenerate a paper table
+    repro-ear figure 4                  # regenerate a paper figure
+    repro-ear sweep -w BT-MZ.C.mpi      # fixed-uncore motivation sweep
+
+Everything prints the same ASCII artefacts the benchmark harness
+produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .ear.config import EarConfig
+from .experiments import (
+    figure1,
+    figure3_bqcd,
+    figure4_btmz,
+    figure5_gromacs1,
+    figure6_gromacs2,
+    figure7_hpcg_pop,
+    figure8_dumses_afid,
+    format_figure_series,
+    format_table,
+    ghz,
+    pct,
+    table1_kernel_metrics,
+    table2_kernel_characteristics,
+    table3_kernel_savings,
+    table4_kernel_frequencies,
+    table5_application_characteristics,
+    table6_application_frequencies,
+    table7_dc_vs_pck,
+    uncore_sweep,
+)
+from .experiments.runner import compare, standard_configs
+from .workloads.applications import mpi_applications
+from .workloads.kernels import bt_mz_c_mpi, lu_d_mpi, single_node_kernels
+
+__all__ = ["main"]
+
+
+def _all_workloads():
+    return list(single_node_kernels()) + [bt_mz_c_mpi(), lu_d_mpi()] + list(
+        mpi_applications()
+    )
+
+
+def _find_workload(name: str):
+    for wl in _all_workloads():
+        if wl.name.lower() == name.lower():
+            return wl
+    names = ", ".join(w.name for w in _all_workloads())
+    raise SystemExit(f"unknown workload {name!r}; available: {names}")
+
+
+def _cmd_list(_args) -> int:
+    from .ear.policies import available_policies
+
+    print("Workloads:")
+    for wl in _all_workloads():
+        print(
+            f"  {wl.name:<14} {wl.n_nodes:>2} node(s)  {wl.n_processes:>4} proc  "
+            f"~{wl.total_ref_time_s:.0f}s  - {wl.description}"
+        )
+    print("\nPolicies:", ", ".join(available_policies()))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    wl = _find_workload(args.workload)
+    configs = standard_configs(
+        cpu_policy_th=args.cpu_th, unc_policy_th=args.unc_th
+    )
+    if args.policy != "all":
+        if args.policy not in configs:
+            raise SystemExit(f"unknown config {args.policy!r}; use {sorted(configs)}")
+        configs = {"none": None, args.policy: configs[args.policy]}
+    cmp_ = compare(wl, configs, scale=args.scale)
+    rows = [
+        [
+            name,
+            pct(c.time_penalty),
+            pct(c.power_saving),
+            pct(c.energy_saving),
+            ghz(c.result.avg_cpu_freq_ghz),
+            ghz(c.result.avg_imc_freq_ghz),
+        ]
+        for name, c in cmp_.items()
+    ]
+    print(
+        format_table(
+            f"{wl.name}: policies vs nominal execution",
+            ["config", "time penalty", "power saving", "energy saving", "cpu", "imc"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_table(args) -> int:
+    scale = args.scale
+    n = args.number
+    if n == 1:
+        rows = table1_kernel_metrics(scale=scale)
+        print(
+            format_table(
+                "Table I: kernels under min_energy with HW IMC selection",
+                ["kernel", "CPI", "GB/s", "CPU GHz", "IMC GHz"],
+                [
+                    [r["kernel"], f"{r['cpi']:.2f}", f"{r['gbs']:.1f}", ghz(r["cpu_ghz"]), ghz(r["imc_ghz"])]
+                    for r in rows
+                ],
+            )
+        )
+    elif n == 2:
+        rows = table2_kernel_characteristics(scale=scale)
+        print(
+            format_table(
+                "Table II: single-node kernels",
+                ["kernel", "time (s)", "CPI", "GB/s", "DC power (W)"],
+                [
+                    [r["kernel"], f"{r['time_s']:.0f}", f"{r['cpi']:.2f}", f"{r['gbs']:.1f}", f"{r['dc_power_w']:.0f}"]
+                    for r in rows
+                ],
+            )
+        )
+    elif n == 3:
+        rows = table3_kernel_savings(scale=scale)
+        print(
+            format_table(
+                "Table III: kernel savings (ME / ME+eU)",
+                ["kernel", "pen ME", "pen eU", "pow ME", "pow eU", "en ME", "en eU"],
+                [
+                    [
+                        r["kernel"],
+                        pct(r["me"]["time_penalty"]),
+                        pct(r["me_eufs"]["time_penalty"]),
+                        pct(r["me"]["power_saving"]),
+                        pct(r["me_eufs"]["power_saving"]),
+                        pct(r["me"]["energy_saving"]),
+                        pct(r["me_eufs"]["energy_saving"]),
+                    ]
+                    for r in rows
+                ],
+            )
+        )
+    elif n == 4:
+        rows = table4_kernel_frequencies(scale=scale)
+        print(
+            format_table(
+                "Table IV: kernel avg CPU/IMC frequencies",
+                ["kernel", "none cpu/imc", "ME cpu/imc", "ME+eU cpu/imc"],
+                [
+                    [
+                        r["kernel"],
+                        f"{ghz(r['none']['cpu'])}/{ghz(r['none']['imc'])}",
+                        f"{ghz(r['me']['cpu'])}/{ghz(r['me']['imc'])}",
+                        f"{ghz(r['me_eufs']['cpu'])}/{ghz(r['me_eufs']['imc'])}",
+                    ]
+                    for r in rows
+                ],
+            )
+        )
+    elif n == 5:
+        rows = table5_application_characteristics(scale=scale)
+        print(
+            format_table(
+                "Table V: MPI applications",
+                ["application", "time (s)", "CPI", "GB/s", "DC power (W)"],
+                [
+                    [r["application"], f"{r['time_s']:.0f}", f"{r['cpi']:.2f}", f"{r['gbs']:.1f}", f"{r['dc_power_w']:.0f}"]
+                    for r in rows
+                ],
+            )
+        )
+    elif n == 6:
+        rows = table6_application_frequencies(scale=scale)
+        print(
+            format_table(
+                "Table VI: application avg CPU/IMC frequencies",
+                ["application", "none cpu/imc", "ME cpu/imc", "ME+eU cpu/imc"],
+                [
+                    [
+                        r["application"],
+                        f"{ghz(r['none']['cpu'])}/{ghz(r['none']['imc'])}",
+                        f"{ghz(r['me']['cpu'])}/{ghz(r['me']['imc'])}",
+                        f"{ghz(r['me_eufs']['cpu'])}/{ghz(r['me_eufs']['imc'])}",
+                    ]
+                    for r in rows
+                ],
+            )
+        )
+    elif n == 7:
+        rows = table7_dc_vs_pck(scale=scale)
+        print(
+            format_table(
+                "Table VII: DC node vs RAPL PCK power savings (ME+eU)",
+                ["application", "DC saving", "PCK saving"],
+                [
+                    [r["application"], pct(r["dc_saving"]), pct(r["pck_saving"])]
+                    for r in rows
+                ],
+            )
+        )
+    else:
+        raise SystemExit("tables 1-7 exist")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    scale = args.scale
+    n = args.number
+    if n == 1:
+        sweeps = figure1(scale=scale)
+        for name, sweep in sweeps.items():
+            rows = [
+                [
+                    ghz(p.uncore_ghz),
+                    pct(p.time_penalty),
+                    pct(p.power_saving),
+                    pct(p.energy_saving),
+                    pct(p.gbs_penalty),
+                ]
+                for p in sweep.points
+            ]
+            print(
+                format_table(
+                    f"Figure 1: {name} fixed-uncore sweep (CPU {ghz(sweep.cpu_ghz)} GHz, "
+                    f"HW ref IMC {ghz(sweep.hw_reference_imc_ghz)} GHz)",
+                    ["uncore GHz", "time pen", "power save", "energy save", "GB/s pen"],
+                    rows,
+                )
+            )
+    elif n == 3:
+        print(format_figure_series("Figure 3: BQCD", figure3_bqcd(scale=scale)))
+    elif n == 4:
+        print(format_figure_series("Figure 4: BT-MZ", figure4_btmz(scale=scale)))
+    elif n == 5:
+        for key, series in figure5_gromacs1(scale=scale).items():
+            print(format_figure_series(f"Figure 5: GROMACS(I) {key}", series))
+    elif n == 6:
+        print(format_figure_series("Figure 6: GROMACS(II)", figure6_gromacs2(scale=scale)))
+    elif n == 7:
+        for key, series in figure7_hpcg_pop(scale=scale).items():
+            print(format_figure_series(f"Figure 7: {key}", series))
+    elif n == 8:
+        for key, series in figure8_dumses_afid(scale=scale).items():
+            print(format_figure_series(f"Figure 8: {key}", series))
+    else:
+        raise SystemExit("figures 1 and 3-8 exist")
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    from .ear.config import EarConfig
+    from .experiments.trace import render_timeline, settled_imc_max_ghz
+    from .sim.engine import run_workload
+
+    wl = _find_workload(args.workload)
+    if args.scale != 1.0:
+        wl = wl.scaled_iterations(args.scale)
+    cfg = EarConfig(
+        policy=args.policy, cpu_policy_th=args.cpu_th, unc_policy_th=args.unc_th
+    )
+    result = run_workload(wl, ear_config=cfg, seed=1, record_trace=True)
+    print(render_timeline(result))
+    settled = settled_imc_max_ghz(result)
+    if settled is not None:
+        print(f"  settled uncore ceiling: {settled:.1f} GHz")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from .ear.eargm import Eargm, EargmConfig
+    from .ear.manager import ClusterManager
+    from .experiments.tables import app_thresholds
+
+    eargm = Eargm(
+        EargmConfig(budget_j=args.budget_mj * 1e6, horizon_s=args.horizon_s)
+    )
+    manager = ClusterManager(eargm)
+    print(
+        f"{'job':>4} {'application':<12} {'cap':>4} {'time':>9} {'energy':>9} {'budget':>9}"
+    )
+    for wl in mpi_applications():
+        if args.scale != 1.0:
+            wl = wl.scaled_iterations(args.scale)
+        job = manager.submit(wl, cpu_policy_th=app_thresholds(wl.name))
+        print(
+            f"{job.job_id:>4} {wl.name:<12} {job.pstate_offset_applied:>4} "
+            f"{job.result.time_s:8.1f}s {job.result.dc_energy_j / 1e6:7.2f}MJ "
+            f"{job.level_before.name:>9}"
+        )
+    print(
+        f"\ncampaign: {manager.total_energy_j / 1e6:.1f} MJ consumed, "
+        f"final level {eargm.level().name}"
+    )
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .experiments.export import rows_to_csv
+
+    builders = {
+        1: table1_kernel_metrics,
+        2: table2_kernel_characteristics,
+        3: table3_kernel_savings,
+        4: table4_kernel_frequencies,
+        5: table5_application_characteristics,
+        6: table6_application_frequencies,
+        7: table7_dc_vs_pck,
+    }
+    try:
+        builder = builders[args.number]
+    except KeyError:
+        raise SystemExit("tables 1-7 exist")
+    text = rows_to_csv(builder(scale=args.scale))
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    wl = _find_workload(args.workload)
+    sweep = uncore_sweep(wl, cpu_ghz=args.cpu_ghz, scale=args.scale)
+    rows = [
+        [
+            ghz(p.uncore_ghz),
+            pct(p.time_penalty),
+            pct(p.power_saving),
+            pct(p.energy_saving),
+            pct(p.gbs_penalty),
+        ]
+        for p in sweep.points
+    ]
+    print(
+        format_table(
+            f"{wl.name} fixed-uncore sweep at CPU {ghz(args.cpu_ghz)} GHz",
+            ["uncore GHz", "time pen", "power save", "energy save", "GB/s pen"],
+            rows,
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-ear",
+        description="EAR explicit-UFS reproduction (CLUSTER 2021) on a simulated Skylake cluster",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and policies").set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one workload under policies")
+    p_run.add_argument("-w", "--workload", required=True)
+    p_run.add_argument("-p", "--policy", default="all", help="none|me|me_eufs|all")
+    p_run.add_argument("--cpu-th", type=float, default=0.05, dest="cpu_th")
+    p_run.add_argument("--unc-th", type=float, default=0.02, dest="unc_th")
+    p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_table = sub.add_parser("table", help="regenerate a paper table (1-7)")
+    p_table.add_argument("number", type=int)
+    p_table.add_argument("--scale", type=float, default=1.0)
+    p_table.set_defaults(fn=_cmd_table)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure (1, 3-8)")
+    p_fig.add_argument("number", type=int)
+    p_fig.add_argument("--scale", type=float, default=1.0)
+    p_fig.set_defaults(fn=_cmd_figure)
+
+    p_sweep = sub.add_parser("sweep", help="fixed-uncore sweep for a workload")
+    p_sweep.add_argument("-w", "--workload", required=True)
+    p_sweep.add_argument("--cpu-ghz", type=float, default=2.4, dest="cpu_ghz")
+    p_sweep.add_argument("--scale", type=float, default=1.0)
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_tl = sub.add_parser("timeline", help="ASCII frequency timeline of one run")
+    p_tl.add_argument("-w", "--workload", required=True)
+    p_tl.add_argument("-p", "--policy", default="min_energy")
+    p_tl.add_argument("--cpu-th", type=float, default=0.05, dest="cpu_th")
+    p_tl.add_argument("--unc-th", type=float, default=0.02, dest="unc_th")
+    p_tl.add_argument("--scale", type=float, default=1.0)
+    p_tl.set_defaults(fn=_cmd_timeline)
+
+    p_cmp = sub.add_parser(
+        "campaign", help="run the application list under EARGM budget control"
+    )
+    p_cmp.add_argument("--budget-mj", type=float, default=14.0, dest="budget_mj")
+    p_cmp.add_argument("--horizon-s", type=float, default=4500.0, dest="horizon_s")
+    p_cmp.add_argument("--scale", type=float, default=1.0)
+    p_cmp.set_defaults(fn=_cmd_campaign)
+
+    p_exp = sub.add_parser("export", help="export a paper table as CSV")
+    p_exp.add_argument("number", type=int, help="table number 1-7")
+    p_exp.add_argument("-o", "--output", default=None, help="file (default stdout)")
+    p_exp.add_argument("--scale", type=float, default=1.0)
+    p_exp.set_defaults(fn=_cmd_export)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

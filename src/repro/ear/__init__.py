@@ -1,0 +1,85 @@
+"""The EAR energy-management framework (the paper's system).
+
+Services:
+
+* **optimisation** — :class:`Earl` + the policy plugins
+  (``min_energy`` with explicit UFS is the paper's contribution);
+* **monitoring/accounting** — :class:`AccountingDB`;
+* **control** — :class:`Eargm`;
+* node control — :class:`Eard` (the only privileged component).
+"""
+
+from .accounting import AccountingDB, JobRecord, NodeJobRecord
+from .config import EarConfig
+from .dynais import Dynais, DynaisEvent
+from .eard import Eard, EnergyReading
+from .eargm import Eargm, EargmConfig, WarningLevel
+from .earl import Earl, EarlState, PolicyDecision
+from .manager import ClusterManager, SubmittedJob
+from .models import (
+    Avx512Model,
+    CoefficientTable,
+    DefaultModel,
+    EnergyModel,
+    PairCoefficients,
+    Projection,
+    make_model,
+    steady_state_signature,
+    train_coefficients,
+)
+from .policies import (
+    MinEnergyPolicy,
+    MinTimePolicy,
+    MonitoringPolicy,
+    NodeFreqs,
+    PolicyContext,
+    PolicyPlugin,
+    PolicyState,
+    Stage,
+    available_policies,
+    create_policy,
+    register_policy,
+)
+from .signature import Signature, relative_change, signature_changed
+
+__all__ = [
+    "EarConfig",
+    "Earl",
+    "EarlState",
+    "PolicyDecision",
+    "Eard",
+    "EnergyReading",
+    "Eargm",
+    "EargmConfig",
+    "WarningLevel",
+    "ClusterManager",
+    "SubmittedJob",
+    "AccountingDB",
+    "JobRecord",
+    "NodeJobRecord",
+    "Dynais",
+    "DynaisEvent",
+    "Signature",
+    "relative_change",
+    "signature_changed",
+    "Avx512Model",
+    "DefaultModel",
+    "EnergyModel",
+    "CoefficientTable",
+    "PairCoefficients",
+    "Projection",
+    "make_model",
+    "train_coefficients",
+    "steady_state_signature",
+    "MinEnergyPolicy",
+    "MinTimePolicy",
+    "MonitoringPolicy",
+    "NodeFreqs",
+    "PolicyContext",
+    "PolicyPlugin",
+    "PolicyState",
+    "Stage",
+    "available_policies",
+    "create_policy",
+    "register_policy",
+]

@@ -1,0 +1,120 @@
+"""Energy accounting: the ``eacct`` service.
+
+EAR's accounting service records per-job, per-node energy and
+performance data in a database; administrators query it with ``eacct``.
+The reproduction keeps an in-memory store with JSON export — enough to
+support the experiment harness and the accounting-oriented tests, and
+shaped like the real records (job id, node, time, DC energy, average
+power, average frequencies, policy settings).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Iterable
+
+from ..errors import ExperimentError
+from ..hw.units import joules_to_wh
+
+__all__ = ["NodeJobRecord", "JobRecord", "AccountingDB"]
+
+
+@dataclass(frozen=True)
+class NodeJobRecord:
+    """One node's share of one job."""
+
+    node_id: int
+    seconds: float
+    dc_energy_j: float
+    avg_cpu_freq_ghz: float
+    avg_imc_freq_ghz: float
+
+    @property
+    def avg_dc_power_w(self) -> float:
+        return self.dc_energy_j / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job: workload + policy settings + per-node records."""
+
+    job_id: int
+    workload: str
+    policy: str
+    cpu_policy_th: float
+    unc_policy_th: float
+    nodes: tuple[NodeJobRecord, ...] = field(default_factory=tuple)
+
+    @property
+    def seconds(self) -> float:
+        return max((n.seconds for n in self.nodes), default=0.0)
+
+    @property
+    def dc_energy_j(self) -> float:
+        return sum(n.dc_energy_j for n in self.nodes)
+
+    @property
+    def dc_energy_wh(self) -> float:
+        return joules_to_wh(self.dc_energy_j)
+
+    @property
+    def avg_node_power_w(self) -> float:
+        if not self.nodes or self.seconds <= 0:
+            return 0.0
+        return self.dc_energy_j / self.seconds / len(self.nodes)
+
+
+class AccountingDB:
+    """In-memory job accounting with eacct-style queries."""
+
+    def __init__(self) -> None:
+        self._jobs: dict[int, JobRecord] = {}
+        self._next_id = 1
+
+    def insert(self, record: JobRecord) -> None:
+        if record.job_id in self._jobs:
+            raise ExperimentError(f"duplicate job id {record.job_id}")
+        self._jobs[record.job_id] = record
+
+    def new_job_id(self) -> int:
+        jid = self._next_id
+        self._next_id += 1
+        return jid
+
+    def job(self, job_id: int) -> JobRecord:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise ExperimentError(f"unknown job {job_id}") from None
+
+    def jobs(self, *, workload: str | None = None, policy: str | None = None) -> list[JobRecord]:
+        """eacct-style filtered listing, insertion-ordered."""
+        out = []
+        for rec in self._jobs.values():
+            if workload is not None and rec.workload != workload:
+                continue
+            if policy is not None and rec.policy != policy:
+                continue
+            out.append(rec)
+        return out
+
+    def total_energy_j(self, records: Iterable[JobRecord] | None = None) -> float:
+        records = self._jobs.values() if records is None else records
+        return sum(r.dc_energy_j for r in records)
+
+    def to_json(self) -> str:
+        """Serialise the whole store (for report artefacts)."""
+        return json.dumps(
+            [asdict(rec) for rec in self._jobs.values()], indent=2, sort_keys=True
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "AccountingDB":
+        db = cls()
+        for item in json.loads(payload):
+            nodes = tuple(NodeJobRecord(**n) for n in item.pop("nodes"))
+            rec = JobRecord(nodes=nodes, **item)
+            db.insert(rec)
+            db._next_id = max(db._next_id, rec.job_id + 1)
+        return db

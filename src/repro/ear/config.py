@@ -1,0 +1,107 @@
+"""EAR configuration (the ``ear.conf`` equivalent).
+
+Every tunable the paper mentions lives here with its paper-default
+value: the two policy thresholds (``cpu_policy_th`` 5 %,
+``unc_policy_th`` 2 %), the uncore step (0.1 GHz), the HW-guided start
+of the IMC search, the 15 % signature-change tolerance and the >= 10 s
+signature period dictated by the Node Manager's energy counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+
+__all__ = ["EarConfig"]
+
+
+@dataclass(frozen=True)
+class EarConfig:
+    """Runtime settings for EARL and its policies.
+
+    Attributes
+    ----------
+    policy:
+        Registered policy plugin name.
+    cpu_policy_th:
+        Maximum predicted time penalty allowed when lowering the CPU
+        frequency (the DVFS stage).  The paper uses 0.03 and 0.05.
+    unc_policy_th:
+        Extra penalty budget for the uncore stage, expressed as the
+        tolerated relative CPI increase / GB/s decrease.  Paper: 0.02.
+    use_explicit_ufs:
+        Enable the paper's contribution.  Off = plain
+        min_energy_to_solution with hardware UFS ("ME" in the tables).
+    hw_guided_imc:
+        Start the IMC search from the hardware-selected uncore
+        frequency instead of the maximum ("ME+eU" vs "ME+NG-U").
+    imc_step_ghz:
+        Uncore descent step; the paper settles on 0.1 GHz and moves the
+        *maximum* limit only.
+    move_imc_min:
+        If True, pin the uncore (min = max) at each step instead of
+        moving only the maximum limit — the alternative the paper
+        rejected, kept for the ablation bench.
+    signature_min_time_s:
+        Minimum measurement window; bounded below by the 1 Hz energy
+        counter (paper: >= 10 s).
+    signature_change_th:
+        Relative CPI / GB/s change that counts as a new application
+        phase and re-triggers the policy (paper: 15 %).
+    guard_epsilon:
+        Measurement-significance floor for the uncore guard: CPI/GB/s
+        movements below this are within counter/timing resolution and
+        cannot be attributed to the last uncore step.  This is what
+        lets the paper's ``unc_policy_th = 0 %`` configuration still
+        descend a few steps (figure 4) — a *strictly* zero tolerance
+        would revert on the first sub-resolution fluctuation.
+    min_cpu_freq_ghz:
+        Floor for the DVFS search (sysadmin-set in ear.conf).
+    use_avx512_model:
+        Use the paper's AVX512-aware projection model; off = the
+        default model from the 2020 EAR paper (for the ablation).
+    """
+
+    policy: str = "min_energy"
+    cpu_policy_th: float = 0.05
+    unc_policy_th: float = 0.02
+    use_explicit_ufs: bool = True
+    hw_guided_imc: bool = True
+    imc_step_ghz: float = 0.1
+    move_imc_min: bool = False
+    signature_min_time_s: float = 10.0
+    signature_change_th: float = 0.15
+    guard_epsilon: float = 0.005
+    min_cpu_freq_ghz: float = 1.0
+    use_avx512_model: bool = True
+    #: sysadmin default ceiling for the uncore (ear.conf-style); None =
+    #: the silicon maximum.  A conservative site cap is the scenario in
+    #: which min_time's upward uncore search (the paper's future-work
+    #: "increasing the uncore frequency" strategy) pays off.
+    default_imc_max_ghz: float | None = None
+    #: P-states below nominal that the *default* frequency is capped to;
+    #: this is EARGM's actuation knob — under energy-budget pressure the
+    #: global manager lowers the default (and with it the policy's
+    #: whole search range), cluster-wide.
+    default_pstate_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cpu_policy_th <= 0.5:
+            raise ConfigError(f"cpu_policy_th {self.cpu_policy_th} outside [0, 0.5]")
+        if not 0.0 <= self.unc_policy_th <= 0.5:
+            raise ConfigError(f"unc_policy_th {self.unc_policy_th} outside [0, 0.5]")
+        if self.imc_step_ghz <= 0:
+            raise ConfigError("imc_step_ghz must be positive")
+        if self.signature_min_time_s <= 0:
+            raise ConfigError("signature_min_time_s must be positive")
+        if not 0.0 < self.signature_change_th < 1.0:
+            raise ConfigError("signature_change_th must be in (0, 1)")
+        if not 0.0 <= self.guard_epsilon <= 0.05:
+            raise ConfigError("guard_epsilon must be in [0, 0.05]")
+        if not 0 <= self.default_pstate_offset <= 8:
+            raise ConfigError("default_pstate_offset must be in [0, 8]")
+
+    def with_overrides(self, **kwargs) -> "EarConfig":
+        """Copy with some settings replaced (job-level overrides)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,107 @@
+"""EARD: the per-node EAR daemon.
+
+On a real cluster EARD is the privileged component: EARL (running
+unprivileged inside the application) sends it frequency requests and
+metric queries over a local socket, and EARD performs the MSR writes
+and IPMI reads.  The simulation keeps the same split — only EARD ever
+passes ``privileged=True`` to the MSR layer, so a policy bug can never
+write hardware state directly (the :class:`~repro.errors.MsrPermissionError`
+tests pin this down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.msr import UncoreRatioLimit
+from ..hw.node import Node
+from ..hw.units import ghz_to_ratio
+from .policies.api import NodeFreqs
+
+__all__ = ["EnergyReading", "Eard"]
+
+
+@dataclass(frozen=True)
+class EnergyReading:
+    """One Node Manager energy query: accumulated joules + timestamp.
+
+    The timestamp is the *latch* time (whole seconds); dividing energy
+    deltas by latch-time deltas is what makes power estimates unbiased
+    despite the 1 Hz counter.
+    """
+
+    joules: float
+    timestamp_s: float
+
+
+class Eard:
+    """Privileged node-control daemon."""
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        #: silicon uncore range, read from the MSR at daemon start-up
+        #: (the paper: "the available uncore frequency range ... can be
+        #: read from this MSR register after the boot").
+        limits = node.sockets[0].msr.read_uncore_limits()
+        self.imc_max_ghz = limits.max_ghz
+        self.imc_min_ghz = limits.min_ghz
+
+    # -- frequency control -----------------------------------------------
+
+    def apply_freqs(self, freqs: NodeFreqs) -> None:
+        """Apply a policy decision to the hardware (privileged writes)."""
+        self.node.set_core_freq(freqs.cpu_ghz, privileged=True)
+        self.node.set_uncore_limits(
+            UncoreRatioLimit(
+                min_ratio=ghz_to_ratio(freqs.imc_min_ghz),
+                max_ratio=ghz_to_ratio(freqs.imc_max_ghz),
+            ),
+            privileged=True,
+        )
+
+    def restore_defaults(self, freqs: NodeFreqs) -> None:
+        """Apply the policy's safe defaults (same mechanism)."""
+        self.apply_freqs(freqs)
+
+    def set_pkg_power_limit(self, watts: float | None) -> None:
+        """Arm (or disable) the RAPL package power cap — EAR's node
+        powercap service acts through this."""
+        self.node.set_pkg_power_limit(watts, privileged=True)
+
+    def set_epb(self, epb: int) -> None:
+        """Set the Energy/Performance Bias hint on every socket.
+
+        The paper's section IV notes EPB as one of the inputs biasing
+        the hardware UFS heuristic; sites set it through EARD.
+        """
+        for s in self.node.sockets:
+            s.msr.write_epb(epb, privileged=True)
+
+    # -- sensors ---------------------------------------------------------------
+
+    def read_dc_energy(self) -> EnergyReading:
+        """Query the Node Manager DC energy counter."""
+        return EnergyReading(
+            joules=self.node.dc_meter.read_joules(),
+            timestamp_s=self.node.dc_meter.read_timestamp_s(),
+        )
+
+    def read_rapl_pck_joules(self) -> float:
+        """Sum of package RAPL counters (wrap-prone raw view)."""
+        return self.node.rapl.pck_joules_total()
+
+    def current_cpu_target_ghz(self) -> float:
+        return self.node.core_target_ghz
+
+    def current_effective_cpu_ghz(self) -> float:
+        """Clock the busy cores actually sustain (aperf/mperf view).
+
+        Differs from the programmed target under AVX-512 licence
+        throttling; the energy models must project *from* this state.
+        """
+        ghz = self.node.sockets[0].last_effective_ghz
+        return ghz if ghz > 0 else self.node.core_target_ghz
+
+    def current_imc_freq_ghz(self) -> float:
+        """The uncore frequency the HW control loop is running right now."""
+        return self.node.uncore_freq_ghz

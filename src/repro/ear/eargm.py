@@ -1,0 +1,98 @@
+"""EARGM: the EAR Global Manager (energy control service).
+
+EAR's third service after accounting and optimisation is *control*: a
+cluster-wide energy budget monitor that warns and, past a threshold,
+acts — in production by telling EARDs to cap the default policy
+frequency.  The paper focuses on the optimisation service, so this is
+the supporting implementation that completes the framework: budget
+tracking over a time horizon, graded warning levels, and a P-state cap
+pushed to the managed EARLs' configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from ..errors import ConfigError
+
+__all__ = ["WarningLevel", "EargmConfig", "Eargm"]
+
+
+class WarningLevel(Enum):
+    """Budget status, graded like EAR's eargm warnings."""
+
+    OK = auto()
+    WARNING1 = auto()  # >= 85 % of budget consumed (pro-rated)
+    WARNING2 = auto()  # >= 95 %
+    PANIC = auto()  # budget exceeded
+
+
+@dataclass(frozen=True)
+class EargmConfig:
+    """Energy budget over a horizon, e.g. 100 kWh per day."""
+
+    budget_j: float
+    horizon_s: float
+    warning1: float = 0.85
+    warning2: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.budget_j <= 0 or self.horizon_s <= 0:
+            raise ConfigError("budget and horizon must be positive")
+        if not 0 < self.warning1 < self.warning2 <= 1.0:
+            raise ConfigError("warning thresholds must satisfy 0 < w1 < w2 <= 1")
+
+
+class Eargm:
+    """Cluster energy-budget controller."""
+
+    def __init__(self, config: EargmConfig) -> None:
+        self.config = config
+        self._consumed_j = 0.0
+        self._elapsed_s = 0.0
+
+    def report(self, energy_j: float, seconds: float) -> WarningLevel:
+        """Feed one accounting interval; get the current warning level."""
+        if energy_j < 0 or seconds < 0:
+            raise ConfigError("cannot report negative energy/time")
+        self._consumed_j += energy_j
+        self._elapsed_s += seconds
+        return self.level()
+
+    def level(self) -> WarningLevel:
+        """Pro-rated budget check: consumption vs. the elapsed share."""
+        elapsed_share = min(self._elapsed_s / self.config.horizon_s, 1.0)
+        if elapsed_share <= 0:
+            return WarningLevel.OK
+        allowed = self.config.budget_j * max(elapsed_share, 1e-9)
+        ratio = self._consumed_j / allowed
+        if self._consumed_j > self.config.budget_j or ratio >= 1.0:
+            return WarningLevel.PANIC
+        if ratio >= self.config.warning2:
+            return WarningLevel.WARNING2
+        if ratio >= self.config.warning1:
+            return WarningLevel.WARNING1
+        return WarningLevel.OK
+
+    def recommended_max_pstate_offset(self) -> int:
+        """How many P-states below nominal the defaults should be capped.
+
+        EAR's graded reaction: nothing while OK, one state at the first
+        warning, two at the second, three in panic.
+        """
+        level = self.level()
+        return {
+            WarningLevel.OK: 0,
+            WarningLevel.WARNING1: 1,
+            WarningLevel.WARNING2: 2,
+            WarningLevel.PANIC: 3,
+        }[level]
+
+    @property
+    def consumed_j(self) -> float:
+        return self._consumed_j
+
+    @property
+    def elapsed_s(self) -> float:
+        return self._elapsed_s

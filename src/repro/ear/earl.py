@@ -1,0 +1,187 @@
+"""EARL: the EAR runtime library.
+
+EARL lives inside the application (LD_PRELOAD on real systems; driven
+by the simulation engine here), detects the iterative structure with
+DynAIS, accumulates measurement windows of at least
+``signature_min_time_s`` (bounded below by the 1 Hz Node Manager
+energy counter), computes signatures and runs the policy state machine
+— the paper's Code 1:
+
+* ``NODE_POLICY``: hand the fresh signature to the policy; apply the
+  frequencies it returns; move to ``VALIDATE_POLICY`` when the policy
+  says ``READY``, stay when it says ``CONTINUE`` (iterative policies
+  such as the explicit-UFS descent).
+* ``VALIDATE_POLICY``: ask the policy whether the selection still fits;
+  on failure restore the defaults and fall back to ``NODE_POLICY``.
+
+Once stable, EARL keeps the same frequencies "until a significant
+change is detected in the signature" (15 % by default), which the
+validate step checks on every subsequent window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from ..hw.counters import CounterBank, CounterSnapshot
+from ..workloads.phase import IterationCounters
+from .config import EarConfig
+from .dynais import Dynais, DynaisEvent
+from .eard import Eard, EnergyReading
+from .models import make_model
+from .models.default_model import EnergyModel
+from .policies.api import NodeFreqs, PolicyPlugin, PolicyState
+from .policies.registry import PolicyContext, create_policy
+from .signature import Signature
+
+__all__ = ["EarlState", "PolicyDecision", "Earl"]
+
+
+class EarlState(Enum):
+    """EARL's top-level state (the paper's ``ear_state``)."""
+
+    NODE_POLICY = auto()
+    VALIDATE_POLICY = auto()
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """Trace record of one policy invocation."""
+
+    at_s: float
+    earl_state: EarlState
+    policy_state: PolicyState | None
+    freqs: NodeFreqs | None
+    signature: Signature
+
+
+class Earl:
+    """One EARL instance manages one node of one job."""
+
+    def __init__(
+        self,
+        eard: Eard,
+        config: EarConfig,
+        *,
+        model: EnergyModel | None = None,
+        policy: PolicyPlugin | None = None,
+    ) -> None:
+        self.eard = eard
+        self.config = config
+        node_config = eard.node.config
+        self.model = model if model is not None else make_model(node_config, config)
+        ctx = PolicyContext(
+            config=config,
+            pstates=node_config.pstates,
+            model=self.model,
+            imc_max_ghz=eard.imc_max_ghz,
+            imc_min_ghz=eard.imc_min_ghz,
+        )
+        self.policy = policy if policy is not None else create_policy(config.policy, ctx)
+        self.dynais = Dynais()
+        self.bank = CounterBank()
+        self.state = EarlState.NODE_POLICY
+        self.signatures: list[Signature] = []
+        self.decisions: list[PolicyDecision] = []
+        self._window_start: CounterSnapshot = self.bank.snapshot()
+        self._energy_start: EnergyReading = eard.read_dc_energy()
+        self._loop_detected = False
+        self.policy.on_app_start()
+        # EAR pins the policy's default frequency at job start (the
+        # ear.conf DEFAULT_FREQUENCY), so every signature — including
+        # the very first — is measured with software in control of the
+        # clock and the hardware UFS in its pinned regime.
+        if self.policy.applies_frequencies:
+            self.eard.apply_freqs(self.policy.default_freqs())
+
+    # -- engine interface -----------------------------------------------------
+
+    def on_iteration(
+        self,
+        counters: IterationCounters,
+        mpi_events: tuple[int, ...],
+        wall_seconds: float,
+    ) -> None:
+        """Process one completed application iteration.
+
+        For MPI codes DynAIS must lock onto the loop before windows
+        start; non-MPI codes run time-guided (the paper's fallback) and
+        every iteration counts.
+        """
+        self.bank.add_iteration(counters, wall_seconds=wall_seconds)
+        if mpi_events:
+            for event in mpi_events:
+                ev = self.dynais.observe(event)
+                if ev is DynaisEvent.NEW_LOOP:
+                    self._loop_detected = True
+                    self._reset_window()
+                    self.policy.on_new_loop()
+                elif ev is DynaisEvent.END_LOOP:
+                    self._loop_detected = False
+                    self.policy.on_end_loop()
+            if not self._loop_detected:
+                return
+        # Window long enough for a trustworthy power average?
+        window = self.bank.snapshot().delta(self._window_start)
+        if window.seconds < self.config.signature_min_time_s:
+            return
+        energy = self.eard.read_dc_energy()
+        d_energy = energy.joules - self._energy_start.joules
+        d_time = energy.timestamp_s - self._energy_start.timestamp_s
+        if d_time <= 0 or d_energy <= 0:
+            return  # the 1 Hz counter has not published yet
+        sig = Signature.from_window(
+            window,
+            dc_energy_j=d_energy,
+            dc_seconds=d_time,
+            avg_cpu_freq_ghz=self.eard.current_effective_cpu_ghz(),
+            avg_imc_freq_ghz=self.eard.current_imc_freq_ghz(),
+        )
+        self._state_new_signature(sig)
+        self._reset_window()
+
+    def on_app_end(self) -> None:
+        self.policy.on_app_end()
+
+    # -- the Code-1 state machine ------------------------------------------------
+
+    def _state_new_signature(self, sig: Signature) -> None:
+        self.signatures.append(sig)
+        now = self.eard.node.elapsed_s
+        if self.state is EarlState.NODE_POLICY:
+            policy_state, freqs = self.policy.node_policy(sig)
+            if self.policy.applies_frequencies:
+                self.eard.apply_freqs(freqs)
+            if policy_state is PolicyState.READY:
+                self.state = EarlState.VALIDATE_POLICY
+            self.decisions.append(
+                PolicyDecision(
+                    at_s=now,
+                    earl_state=EarlState.NODE_POLICY,
+                    policy_state=policy_state,
+                    freqs=freqs,
+                    signature=sig,
+                )
+            )
+            return
+        ok = self.policy.validate(sig)
+        if not ok:
+            self.state = EarlState.NODE_POLICY
+            defaults = self.policy.default_freqs()
+            self.policy.reset()
+            if self.policy.applies_frequencies:
+                self.eard.restore_defaults(defaults)
+        self.decisions.append(
+            PolicyDecision(
+                at_s=now,
+                earl_state=EarlState.VALIDATE_POLICY,
+                policy_state=None,
+                freqs=None,
+                signature=sig,
+            )
+        )
+
+    def _reset_window(self) -> None:
+        self._window_start = self.bank.snapshot()
+        self._energy_start = self.eard.read_dc_energy()

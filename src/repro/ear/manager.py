@@ -1,0 +1,109 @@
+"""Cluster job manager: the EARGM actuation loop.
+
+EAR's energy-control service does more than warn: past the warning
+thresholds EARGM instructs the node daemons to lower the *default*
+frequency, which drags every policy's search range down with it.  This
+module closes that loop for the reproduction: a :class:`ClusterManager`
+accepts jobs, runs each with the EARGM-recommended default-P-state cap
+folded into its configuration, records the outcome in the accounting
+database, and feeds consumption back to EARGM.
+
+This completes the three-service picture the paper opens with
+("energy accounting, energy control and energy optimisation") in one
+executable component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.engine import run_workload
+from ..sim.result import RunResult
+from ..workloads.app import Workload
+from .accounting import AccountingDB, JobRecord, NodeJobRecord
+from .config import EarConfig
+from .eargm import Eargm, WarningLevel
+
+__all__ = ["SubmittedJob", "ClusterManager"]
+
+
+@dataclass(frozen=True)
+class SubmittedJob:
+    """Outcome of one managed job."""
+
+    job_id: int
+    workload: str
+    level_before: WarningLevel
+    pstate_offset_applied: int
+    result: RunResult
+
+
+class ClusterManager:
+    """Runs jobs under EARGM supervision.
+
+    Parameters
+    ----------
+    eargm:
+        The global energy manager holding the cluster budget.
+    base_config:
+        Site-default EAR configuration; per-job overrides (thresholds)
+        can be passed to :meth:`submit`.
+    accounting:
+        Shared accounting database (``eacct``); a fresh one is created
+        if not supplied.
+    """
+
+    def __init__(
+        self,
+        eargm: Eargm,
+        base_config: EarConfig | None = None,
+        accounting: AccountingDB | None = None,
+    ) -> None:
+        self.eargm = eargm
+        self.base_config = base_config if base_config is not None else EarConfig()
+        self.accounting = accounting if accounting is not None else AccountingDB()
+        self.history: list[SubmittedJob] = []
+
+    def submit(self, workload: Workload, *, seed: int = 1, **config_overrides) -> SubmittedJob:
+        """Run one job with the current budget-derived frequency cap."""
+        level = self.eargm.level()
+        offset = self.eargm.recommended_max_pstate_offset()
+        cfg = self.base_config.with_overrides(
+            default_pstate_offset=offset, **config_overrides
+        )
+        result = run_workload(workload, ear_config=cfg, seed=seed)
+
+        job_id = self.accounting.new_job_id()
+        self.accounting.insert(
+            JobRecord(
+                job_id=job_id,
+                workload=workload.name,
+                policy=cfg.policy,
+                cpu_policy_th=cfg.cpu_policy_th,
+                unc_policy_th=cfg.unc_policy_th,
+                nodes=tuple(
+                    NodeJobRecord(
+                        node_id=n.node_id,
+                        seconds=result.time_s,
+                        dc_energy_j=n.dc_energy_j,
+                        avg_cpu_freq_ghz=n.avg_cpu_freq_ghz,
+                        avg_imc_freq_ghz=n.avg_imc_freq_ghz,
+                    )
+                    for n in result.nodes
+                ),
+            )
+        )
+        self.eargm.report(result.dc_energy_j, result.time_s)
+        job = SubmittedJob(
+            job_id=job_id,
+            workload=workload.name,
+            level_before=level,
+            pstate_offset_applied=offset,
+            result=result,
+        )
+        self.history.append(job)
+        return job
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.accounting.total_energy_j()

@@ -1,0 +1,44 @@
+"""EAR energy/performance projection models.
+
+``train_coefficients`` runs the per-node-type learning phase;
+``DefaultModel`` is the 2020 EAR projection; ``Avx512Model`` is the
+paper's new VPI-weighted model; ``make_model`` picks one from an
+:class:`repro.ear.config.EarConfig`.
+"""
+
+from ...hw.node import NodeConfig
+from ..config import EarConfig
+from .avx512 import Avx512Model
+from .coefficients import (
+    CoefficientTable,
+    PairCoefficients,
+    clear_cache,
+    train_coefficients,
+)
+from .default_model import DefaultModel, EnergyModel, Projection
+from .store import FORMAT_VERSION, load_coefficients, save_coefficients
+from .training import steady_state_signature
+
+__all__ = [
+    "FORMAT_VERSION",
+    "load_coefficients",
+    "save_coefficients",
+    "Avx512Model",
+    "CoefficientTable",
+    "PairCoefficients",
+    "DefaultModel",
+    "EnergyModel",
+    "Projection",
+    "train_coefficients",
+    "clear_cache",
+    "steady_state_signature",
+    "make_model",
+]
+
+
+def make_model(node_config: NodeConfig, config: EarConfig) -> EnergyModel:
+    """Build the configured projection model for a node type."""
+    table = train_coefficients(node_config)
+    if config.use_avx512_model:
+        return Avx512Model(table, node_config.pstates)
+    return DefaultModel(table, node_config.pstates)

@@ -1,0 +1,62 @@
+"""The paper's AVX512-aware energy model (section V-A).
+
+AVX-512 instructions cannot benefit from core clocks above the licence
+frequency — requesting 2.4 GHz for an all-AVX512 kernel on the Xeon
+6148 still executes at 2.2 GHz (P-state 3).  The new model therefore
+produces **two** projections for every request:
+
+* the *default* projection at the requested target P-state, and
+* the *avx512* projection at the target clamped to the licence state,
+
+and blends them weighted by VPI, the AVX-512 instruction fraction of
+the signature.  A scalar code (VPI 0) reduces to the default model; a
+pure AVX-512 kernel (VPI 1) is projected entirely at the clamped state,
+so the model never promises speedups the silicon cannot deliver —
+which is exactly what makes `min_energy_to_solution` pick the licence
+frequency for DGEMM instead of wasting power requesting nominal.
+"""
+
+from __future__ import annotations
+
+from ...hw.pstates import PStateTable
+from ..signature import Signature
+from .coefficients import CoefficientTable
+from .default_model import DefaultModel, EnergyModel, Projection
+
+__all__ = ["Avx512Model"]
+
+
+class Avx512Model(EnergyModel):
+    """VPI-weighted blend of the default and licence-clamped projections."""
+
+    name = "avx512"
+
+    def __init__(self, table: CoefficientTable, pstates: PStateTable) -> None:
+        self.pstates = pstates
+        self._default = DefaultModel(table, pstates)
+
+    def project(self, sig: Signature, from_ps: int, to_ps: int) -> Projection:
+        to_ps = self.pstates.clamp_pstate(to_ps)
+        default_pred = self._default.project(sig, from_ps, to_ps)
+        if sig.vpi <= 0.0:
+            return default_pred
+        clamped_ps = self.pstates.avx512_clamp(to_ps)
+        clamped_from = self.pstates.avx512_clamp(from_ps)
+        power_pred = self._default.project(sig, from_ps, clamped_ps)
+        # The AVX time component scales purely with the (licence-clamped)
+        # clock: a kernel dense enough in 512-bit work to hit the licence
+        # limit is execution-throughput bound by construction — its wide
+        # loads stream plenty of memory traffic *without* stalling, so the
+        # TPI-based stall estimate of the scalar regression must not be
+        # trusted for it.  This is what keeps min_energy at the licence
+        # frequency for DGEMM (Table IV) instead of chasing the apparent
+        # memory-boundness of its 98 GB/s signature.
+        f_from = self.pstates.freq_of(clamped_from)
+        f_to = self.pstates.freq_of(clamped_ps)
+        avx_time = sig.iteration_time_s * (f_from / f_to)
+        w = sig.vpi
+        return Projection(
+            pstate=to_ps,
+            time_s=(1.0 - w) * default_pred.time_s + w * avx_time,
+            power_w=(1.0 - w) * default_pred.power_w + w * power_pred.power_w,
+        )

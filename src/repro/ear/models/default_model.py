@@ -1,0 +1,61 @@
+"""The default EAR projection model (pre-AVX512).
+
+This is the model the 2020 EAR paper ships: project CPI and power
+through the trained per-pair coefficients, derive time from the
+CPI/frequency identity.  The paper's new AVX512 model wraps this one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ModelError
+from ...hw.pstates import PStateTable
+from ..signature import Signature
+from .coefficients import CoefficientTable
+
+__all__ = ["Projection", "EnergyModel", "DefaultModel"]
+
+
+@dataclass(frozen=True)
+class Projection:
+    """Predicted behaviour at a target P-state."""
+
+    pstate: int
+    time_s: float
+    power_w: float
+
+    @property
+    def energy_j(self) -> float:
+        """Predicted node energy per application iteration."""
+        return self.time_s * self.power_w
+
+
+class EnergyModel:
+    """Interface both models implement."""
+
+    name: str = "abstract"
+
+    def project(self, sig: Signature, from_ps: int, to_ps: int) -> Projection:
+        raise NotImplementedError
+
+
+class DefaultModel(EnergyModel):
+    """CPI/TPI linear projection over trained per-pair coefficients."""
+
+    name = "default"
+
+    def __init__(self, table: CoefficientTable, pstates: PStateTable) -> None:
+        if len(table.pstate_freqs_ghz) != len(pstates):
+            raise ModelError(
+                "coefficient table and P-state table disagree on the number "
+                f"of states ({len(table.pstate_freqs_ghz)} vs {len(pstates)})"
+            )
+        self.table = table
+        self.pstates = pstates
+
+    def project(self, sig: Signature, from_ps: int, to_ps: int) -> Projection:
+        from_ps = self.pstates.clamp_pstate(from_ps)
+        to_ps = self.pstates.clamp_pstate(to_ps)
+        time_s, power_w = self.table.project(sig, from_ps, to_ps)
+        return Projection(pstate=to_ps, time_s=time_s, power_w=power_w)

@@ -1,0 +1,83 @@
+"""Coefficient persistence.
+
+Production EAR runs its learning phase once per node class and stores
+the fitted coefficients (per P-state pair) in files/DB that every EARD
+loads at boot.  This module provides the same lifecycle for the
+reproduction: JSON save/load of :class:`CoefficientTable`, with a
+format version and integrity checks, so expensive retraining can be
+skipped across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from ...errors import ModelError
+from .coefficients import CoefficientTable, PairCoefficients
+
+__all__ = ["save_coefficients", "load_coefficients", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def save_coefficients(table: CoefficientTable, path: str | pathlib.Path) -> None:
+    """Serialise a trained table to JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "node_name": table.node_name,
+        "pstate_freqs_ghz": list(table.pstate_freqs_ghz),
+        "pairs": [
+            {
+                "from": f,
+                "to": t,
+                "a": c.a,
+                "b": c.b,
+                "c": c.c,
+                "d": c.d,
+                "e": c.e,
+                "f": c.f,
+            }
+            for (f, t), c in sorted(table._pairs.items())
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_coefficients(path: str | pathlib.Path) -> CoefficientTable:
+    """Load a table saved by :func:`save_coefficients`.
+
+    Validates the format version and that the pair set is complete for
+    the stored P-state count — a truncated or hand-edited file fails
+    loudly rather than mispredicting silently.
+    """
+    try:
+        payload = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ModelError(f"cannot load coefficients from {path}: {exc}") from exc
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise ModelError(
+            f"{path}: unsupported coefficient format "
+            f"{payload.get('format_version')!r} (expected {FORMAT_VERSION})"
+        )
+    freqs = tuple(payload["pstate_freqs_ghz"])
+    table = CoefficientTable(payload["node_name"], freqs)
+    for item in payload["pairs"]:
+        table.set(
+            int(item["from"]),
+            int(item["to"]),
+            PairCoefficients(
+                a=float(item["a"]),
+                b=float(item["b"]),
+                c=float(item["c"]),
+                d=float(item["d"]),
+                e=float(item["e"]),
+                f=float(item["f"]),
+            ),
+        )
+    expected = len(freqs) * (len(freqs) - 1)
+    if len(table) != expected:
+        raise ModelError(
+            f"{path}: incomplete table ({len(table)} pairs, expected {expected})"
+        )
+    return table

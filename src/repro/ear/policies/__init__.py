@@ -1,0 +1,31 @@
+"""EAR energy policy plugins.
+
+Importing this package registers the built-in policies:
+``min_energy`` (the paper's extended min_energy_to_solution with
+explicit UFS), ``min_time`` (with the future-work eUFS extension) and
+``monitoring`` (no-op reference).
+"""
+
+from .api import NodeFreqs, PolicyPlugin, PolicyState
+from .min_energy import MinEnergyPolicy, Stage
+from .min_time import MinTimePolicy, MonitoringPolicy
+from .registry import (
+    PolicyContext,
+    available_policies,
+    create_policy,
+    register_policy,
+)
+
+__all__ = [
+    "NodeFreqs",
+    "PolicyPlugin",
+    "PolicyState",
+    "MinEnergyPolicy",
+    "MinTimePolicy",
+    "MonitoringPolicy",
+    "Stage",
+    "PolicyContext",
+    "available_policies",
+    "create_policy",
+    "register_policy",
+]

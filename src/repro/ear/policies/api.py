@@ -1,0 +1,116 @@
+"""The EAR policy plugin API, extended for explicit UFS.
+
+The paper's framework contribution is precisely this interface: "The
+EAR API for energy policies has been extended to select frequencies for
+the CPU and Integrated Memory Controller (IMC) scopes."  A policy is a
+plugin exposing
+
+* ``node_policy(signature)`` — decide the next frequencies; return
+  :attr:`PolicyState.READY` when converged or
+  :attr:`PolicyState.CONTINUE` to be re-invoked on the next signature
+  (this is what makes iterative policies like the eUFS descent
+  possible),
+* ``validate(signature)`` — called while the policy is stable, to
+  confirm the selection still matches the running application,
+* ``default_freqs()`` — the safe point EARL restores on validation
+  failure.
+
+Frequency decisions travel in :class:`NodeFreqs`, which spans both
+scopes: the CPU clock plus the IMC limit range (max and min — the
+paper's policy moves only the maximum, leaving the hardware room to
+react to phase changes, but the type supports both so the rejected
+alternative can be benchmarked).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, replace
+from enum import Enum, auto
+
+from ...errors import PolicyError
+from ..signature import Signature
+
+__all__ = ["PolicyState", "NodeFreqs", "PolicyPlugin"]
+
+
+class PolicyState(Enum):
+    """What the policy tells EARL after a ``node_policy`` call."""
+
+    #: selection finished; EARL applies it and moves to validation.
+    READY = auto()
+    #: iterative selection in progress; re-invoke on the next signature.
+    CONTINUE = auto()
+
+
+@dataclass(frozen=True)
+class NodeFreqs:
+    """A frequency selection spanning the CPU and IMC scopes."""
+
+    cpu_ghz: float
+    imc_max_ghz: float
+    imc_min_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_ghz <= 0:
+            raise PolicyError(f"cpu frequency must be positive, got {self.cpu_ghz}")
+        if self.imc_min_ghz > self.imc_max_ghz + 1e-9:
+            raise PolicyError(
+                f"IMC min {self.imc_min_ghz} above max {self.imc_max_ghz}"
+            )
+
+    def with_imc_max(self, imc_max_ghz: float) -> "NodeFreqs":
+        return replace(
+            self,
+            imc_max_ghz=imc_max_ghz,
+            imc_min_ghz=min(self.imc_min_ghz, imc_max_ghz),
+        )
+
+
+class PolicyPlugin(abc.ABC):
+    """Base class every energy policy implements.
+
+    Concrete policies are registered in
+    :mod:`repro.ear.policies.registry` and loaded by name, mirroring
+    EAR's dlopen-based plugin mechanism.
+    """
+
+    #: registry name; subclasses must override.
+    name: str = ""
+
+    #: whether EARL should program the hardware with this policy's
+    #: decisions; monitoring-style policies observe without touching
+    #: frequency (pinning the clock would itself change HW UFS behaviour).
+    applies_frequencies: bool = True
+
+    @abc.abstractmethod
+    def node_policy(self, sig: Signature) -> tuple[PolicyState, NodeFreqs]:
+        """Decide the next frequencies from a fresh signature."""
+
+    @abc.abstractmethod
+    def validate(self, sig: Signature) -> bool:
+        """Check the stable selection still fits the application."""
+
+    @abc.abstractmethod
+    def default_freqs(self) -> NodeFreqs:
+        """The safe selection EARL restores when validation fails."""
+
+    def reset(self) -> None:
+        """Forget internal state (application phase change)."""
+
+    # -- optional hooks mirroring EAR's application lifetime events --------
+    # (the paper: "several application lifetime events are captured to
+    # invoke policy functions ... start/end of the application, loop,
+    # mpi call and the signature computation")
+
+    def on_app_start(self) -> None:  # pragma: no cover - default no-op
+        """Called once when the application starts."""
+
+    def on_app_end(self) -> None:  # pragma: no cover - default no-op
+        """Called once when the application ends."""
+
+    def on_new_loop(self) -> None:  # pragma: no cover - default no-op
+        """Called when DynAIS detects a new iterative region."""
+
+    def on_end_loop(self) -> None:  # pragma: no cover - default no-op
+        """Called when the detected iterative region ends."""

@@ -1,0 +1,275 @@
+"""``min_energy_to_solution`` with explicit uncore frequency selection.
+
+This is the paper's core contribution (section V-B).  The policy is a
+two-stage state machine (the paper's figure 2):
+
+``CPU_FREQ_SEL``
+    The classic linear search: project time and power at every P-state
+    with the energy model, keep the states whose predicted time penalty
+    against the *default* (nominal) frequency stays below
+    ``cpu_policy_th``, pick the one with minimum predicted energy.
+
+``COMP_REF``
+    Only entered when the CPU stage lowered the frequency: one
+    signature window at the new clock provides the reference CPI and
+    GB/s for the uncore guard.  When the CPU stage keeps the default
+    frequency, the current signature already *is* the reference and the
+    policy jumps straight to ``IMC_FREQ_SEL``.
+
+``IMC_FREQ_SEL``
+    The iterative descent.  Starting from the hardware-selected uncore
+    frequency (HW-guided; the paper's default) or from the silicon
+    maximum (the "not guided" alternative of figure 5), each signature
+    window lowers the **maximum** uncore limit by 0.1 GHz and returns
+    ``CONTINUE``.  The guard: if CPI rose above
+    ``ref_cpi * (1 + unc_policy_th)`` or GB/s fell below
+    ``ref_gbs * (1 - unc_policy_th)``, the last step is reverted and
+    the policy returns ``READY``.  Only the max limit moves — the
+    minimum stays at the hardware floor so the hardware can still react
+    if the application changes underneath (the paper's extension 3).
+
+A phase change during the descent (CPI moving beyond the 15 % signature
+threshold — far past anything a 0.1 GHz uncore step can cause) resets
+the machine to ``CPU_FREQ_SEL`` (the paper's final extension).
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+from ...errors import PolicyError
+from ...hw.units import snap_ghz
+from ..signature import Signature, relative_change
+from .api import NodeFreqs, PolicyPlugin, PolicyState
+from .registry import PolicyContext, register_policy
+
+__all__ = ["MinEnergyPolicy", "Stage"]
+
+#: below this traffic level the GB/s guard is meaningless noise
+#: (busy-wait hosts move ~0.1 GB/s).
+_GBS_GUARD_FLOOR = 1.0
+
+
+class Stage(Enum):
+    """Internal stages of the figure-2 state machine."""
+
+    CPU_FREQ_SEL = auto()
+    COMP_REF = auto()
+    IMC_FREQ_SEL = auto()
+    STABLE = auto()
+
+
+@register_policy("min_energy")
+class MinEnergyPolicy(PolicyPlugin):
+    """min_energy_to_solution + explicit UFS."""
+
+    name = "min_energy"
+
+    def __init__(self, ctx: PolicyContext) -> None:
+        self.ctx = ctx
+        self.cfg = ctx.config
+        self.pstates = ctx.pstates
+        self.model = ctx.model
+        self._stage = Stage.CPU_FREQ_SEL
+        self._current_ps = self.default_pstate
+        self._selected_cpu_ghz = self.pstates.freq_of(self.default_pstate)
+        self._imc_max_ghz = self.default_freqs().imc_max_ghz
+        self._ref_cpi: float | None = None
+        self._ref_gbs: float | None = None
+        self._decision_sig: Signature | None = None
+
+    # -- public API -------------------------------------------------------
+
+    @property
+    def stage(self) -> Stage:
+        return self._stage
+
+    @property
+    def default_pstate(self) -> int:
+        """The policy's reference P-state: nominal, possibly capped by
+        EARGM's ``default_pstate_offset`` under budget pressure."""
+        return self.pstates.clamp_pstate(
+            self.pstates.nominal_pstate + self.cfg.default_pstate_offset
+        )
+
+    def default_freqs(self) -> NodeFreqs:
+        imc_max = self.ctx.imc_max_ghz
+        if self.cfg.default_imc_max_ghz is not None:
+            imc_max = min(imc_max, self.cfg.default_imc_max_ghz)
+        return NodeFreqs(
+            cpu_ghz=self.pstates.freq_of(self.default_pstate),
+            imc_max_ghz=imc_max,
+            imc_min_ghz=min(self.ctx.imc_min_ghz, imc_max),
+        )
+
+    def reset(self) -> None:
+        self._stage = Stage.CPU_FREQ_SEL
+        self._current_ps = self.default_pstate
+        self._selected_cpu_ghz = self.pstates.freq_of(self.default_pstate)
+        self._imc_max_ghz = self.default_freqs().imc_max_ghz
+        self._ref_cpi = None
+        self._ref_gbs = None
+        self._decision_sig = None
+
+    def node_policy(self, sig: Signature) -> tuple[PolicyState, NodeFreqs]:
+        if self._stage is Stage.CPU_FREQ_SEL:
+            return self._cpu_freq_sel(sig)
+        if self._stage is Stage.COMP_REF:
+            return self._comp_ref(sig)
+        if self._stage is Stage.IMC_FREQ_SEL:
+            return self._imc_freq_sel(sig)
+        # STABLE: EARL should be validating, but re-running the policy
+        # from scratch is the safe interpretation.
+        self.reset()
+        return self._cpu_freq_sel(sig)
+
+    def validate(self, sig: Signature) -> bool:
+        """Stable-state check: has the application changed phase?"""
+        if self._decision_sig is None:
+            return True
+        from ..signature import signature_changed
+
+        return not signature_changed(
+            self._decision_sig, sig, self.cfg.signature_change_th
+        )
+
+    # -- stage: CPU frequency selection --------------------------------------
+
+    def _cpu_freq_sel(self, sig: Signature) -> tuple[PolicyState, NodeFreqs]:
+        best_ps = self._select_cpu_pstate(sig)
+        self._selected_cpu_ghz = self.pstates.freq_of(best_ps)
+        default_ps = self.default_pstate
+        defaults = self.default_freqs()
+        freqs = NodeFreqs(
+            cpu_ghz=self._selected_cpu_ghz,
+            imc_max_ghz=defaults.imc_max_ghz,
+            imc_min_ghz=defaults.imc_min_ghz,
+        )
+        was_at = self._current_ps
+        self._current_ps = best_ps
+
+        if not self.cfg.use_explicit_ufs:
+            # Classic min_energy_to_solution ("ME" in the evaluation).
+            self._decision_sig = sig
+            self._stage = Stage.STABLE
+            return PolicyState.READY, freqs
+
+        if best_ps == default_ps and was_at == default_ps:
+            # The signature was measured at the selected frequency:
+            # it already is the uncore reference (figure 2's short-cut
+            # straight into IMC_FREQ_SEL).
+            self._ref_cpi, self._ref_gbs = sig.cpi, sig.gbs
+            self._decision_sig = sig
+            self._stage = Stage.IMC_FREQ_SEL
+            self._imc_max_ghz = self._imc_search_start(sig)
+            return self._imc_step_down(freqs)
+
+        self._stage = Stage.COMP_REF
+        return PolicyState.CONTINUE, freqs
+
+    def _select_cpu_pstate(self, sig: Signature) -> int:
+        """The basic min_energy linear search over P-states.
+
+        Projections run *from* the P-state matching the signature's
+        measured average frequency — under AVX-512 licence throttling
+        that is the licence state, not the programmed target, and
+        anchoring there is what keeps the search honest for
+        vector-dense kernels (the paper's section V-A point).
+        """
+        ps = self.pstates
+        default_ps = self.default_pstate
+        from_ps = ps.closest_pstate(sig.avg_cpu_freq_ghz)
+        ref = self.model.project(sig, from_ps, default_ps)
+        limit = ref.time_s * (1.0 + self.cfg.cpu_policy_th)
+        best_ps, best_energy = default_ps, ref.energy_j
+        min_ps = ps.closest_pstate(self.cfg.min_cpu_freq_ghz)
+        for p in range(default_ps + 1, min_ps + 1):
+            proj = self.model.project(sig, from_ps, p)
+            if proj.time_s <= limit and proj.energy_j < best_energy:
+                best_ps, best_energy = p, proj.energy_j
+        return best_ps
+
+    # -- stage: reference computation --------------------------------------------
+
+    def _comp_ref(self, sig: Signature) -> tuple[PolicyState, NodeFreqs]:
+        self._ref_cpi, self._ref_gbs = sig.cpi, sig.gbs
+        self._decision_sig = sig
+        self._stage = Stage.IMC_FREQ_SEL
+        self._imc_max_ghz = self._imc_search_start(sig)
+        freqs = NodeFreqs(
+            cpu_ghz=self._selected_cpu_ghz,
+            imc_max_ghz=self._imc_max_ghz,
+            imc_min_ghz=self.ctx.imc_min_ghz,
+        )
+        return self._imc_step_down(freqs)
+
+    def _imc_search_start(self, sig: Signature) -> float:
+        """Where the descent begins: HW selection or the configured max.
+
+        Both variants stay under the site default ceiling
+        (``default_imc_max_ghz``) — starting a "not guided" search at
+        the silicon maximum would transiently override the site cap.
+        """
+        ceiling = self.default_freqs().imc_max_ghz
+        if self.cfg.hw_guided_imc:
+            return snap_ghz(
+                min(max(sig.avg_imc_freq_ghz, self.ctx.imc_min_ghz), ceiling)
+            )
+        return ceiling
+
+    # -- stage: IMC frequency selection ---------------------------------------------
+
+    def _imc_freq_sel(self, sig: Signature) -> tuple[PolicyState, NodeFreqs]:
+        if self._ref_cpi is None or self._ref_gbs is None:
+            raise PolicyError("IMC_FREQ_SEL entered without a reference")
+
+        # Phase change during the descent: far beyond what one uncore
+        # step can cause -> start over from the CPU stage.  The signature
+        # was measured at the currently applied P-state, so that state is
+        # preserved across the reset for correct projections.
+        if relative_change(self._ref_cpi, sig.cpi) > self.cfg.signature_change_th:
+            applied_ps = self._current_ps
+            self.reset()
+            self._current_ps = applied_ps
+            return self._cpu_freq_sel(sig)
+
+        freqs = NodeFreqs(
+            cpu_ghz=self._selected_cpu_ghz,
+            imc_max_ghz=self._imc_max_ghz,
+            imc_min_ghz=self.ctx.imc_min_ghz,
+        )
+        # Movements below the measurement-significance floor cannot be
+        # attributed to the uncore step (see EarConfig.guard_epsilon).
+        th = max(self.cfg.unc_policy_th, self.cfg.guard_epsilon)
+        cpi_bad = sig.cpi > self._ref_cpi * (1.0 + th)
+        gbs_bad = (
+            self._ref_gbs > _GBS_GUARD_FLOOR
+            and sig.gbs < self._ref_gbs * (1.0 - th)
+        )
+        if cpi_bad or gbs_bad:
+            # Revert the last reduction and settle.
+            self._imc_max_ghz = snap_ghz(
+                min(self._imc_max_ghz + self.cfg.imc_step_ghz, self.ctx.imc_max_ghz)
+            )
+            self._stage = Stage.STABLE
+            return PolicyState.READY, freqs.with_imc_max(self._imc_max_ghz)
+        return self._imc_step_down(freqs)
+
+    def _imc_step_down(self, freqs: NodeFreqs) -> tuple[PolicyState, NodeFreqs]:
+        """Lower the max uncore limit one step, or settle at the floor."""
+        next_max = snap_ghz(self._imc_max_ghz - self.cfg.imc_step_ghz)
+        if next_max < self.ctx.imc_min_ghz - 1e-9:
+            self._stage = Stage.STABLE
+            return PolicyState.READY, self._freqs_with_limits(freqs)
+        self._imc_max_ghz = next_max
+        return PolicyState.CONTINUE, self._freqs_with_limits(freqs)
+
+    def _freqs_with_limits(self, freqs: NodeFreqs) -> NodeFreqs:
+        imc_min = (
+            self._imc_max_ghz if self.cfg.move_imc_min else self.ctx.imc_min_ghz
+        )
+        return NodeFreqs(
+            cpu_ghz=freqs.cpu_ghz,
+            imc_max_ghz=self._imc_max_ghz,
+            imc_min_ghz=imc_min,
+        )

@@ -1,0 +1,174 @@
+"""``min_time_to_solution`` (+ the paper's future-work eUFS extension).
+
+EAR's second default policy minimises execution time: starting from the
+default frequency it moves *up* in frequency while the predicted
+performance gain justifies the frequency increase — the efficiency
+condition
+
+    (T(f_i) - T(f_j)) / T(f_i)  >=  min_eff_gain * (f_j - f_i) / f_i
+
+i.e. a CPU-bound code climbs to turbo, a memory-bound one stays put
+because extra clock buys no speedup.
+
+The paper leaves "integrating the same [explicit UFS] strategy in
+min_time_to_solution" as future work and explicitly mentions
+"additional strategies such as increasing the uncore frequency".  Both
+are implemented here:
+
+* for CPU-bound signatures the inherited guarded *descent* trims uncore
+  power the application cannot use (bounded by ``unc_policy_th``);
+* for memory-bound signatures running under a **constrained** uncore
+  ceiling (a sysadmin default, an EPB powersave bias, a leftover limit
+  from a previous job), the IMC stage searches *upward* instead: raise
+  the max limit 0.1 GHz per signature window while the measured
+  iteration time keeps improving, revert the last step when it stops.
+"""
+
+from __future__ import annotations
+
+from ...hw.units import snap_ghz
+from ..signature import Signature, signature_changed
+from .api import NodeFreqs, PolicyPlugin, PolicyState
+from .min_energy import MinEnergyPolicy, Stage
+from .registry import PolicyContext, register_policy
+
+__all__ = ["MinTimePolicy"]
+
+#: TPI/CPI ratio above which a signature counts as memory-bound enough
+#: that *more* uncore could buy time (roughly: >40 % stall share on the
+#: trained corpus family).
+_MEMORY_BOUND_TPI_PER_CPI = 0.013
+
+#: default efficiency threshold: EAR ships 0.7 (70 % of the frequency
+#: increase must show up as speedup to keep climbing).
+MIN_EFF_GAIN_DEFAULT = 0.7
+
+
+@register_policy("min_time")
+class MinTimePolicy(MinEnergyPolicy):
+    """min_time_to_solution, reusing the eUFS descent machinery."""
+
+    name = "min_time"
+
+    def __init__(self, ctx: PolicyContext, *, min_eff_gain: float = MIN_EFF_GAIN_DEFAULT) -> None:
+        super().__init__(ctx)
+        if not 0.0 < min_eff_gain <= 1.0:
+            raise ValueError(f"min_eff_gain must be in (0, 1], got {min_eff_gain}")
+        self.min_eff_gain = min_eff_gain
+        self._search_up = False
+        self._last_time_s: float | None = None
+
+    def _select_cpu_pstate(self, sig: Signature) -> int:
+        """Climb from the default frequency while the gain justifies it.
+
+        Overrides the min_energy linear search; everything else (state
+        machine, COMP_REF, the guarded IMC descent) is inherited.
+        """
+        ps = self.pstates
+        current = ps.nominal_pstate
+        proj_cur = self.model.project(sig, self._current_ps, current)
+        # P-state indices decrease toward turbo (index 0).
+        for candidate in range(current - 1, -1, -1):
+            proj_next = self.model.project(sig, self._current_ps, candidate)
+            f_cur = ps.freq_of(current)
+            f_next = ps.freq_of(candidate)
+            gain = (proj_cur.time_s - proj_next.time_s) / proj_cur.time_s
+            required = self.min_eff_gain * (f_next - f_cur) / f_cur
+            if gain < required:
+                break
+            current, proj_cur = candidate, proj_next
+        return current
+
+    # -- the future-work upward uncore search -------------------------------
+
+    def reset(self) -> None:
+        super().reset()
+        self._search_up = False
+        self._last_time_s = None
+
+    def _imc_search_start(self, sig: Signature) -> float:
+        """Decide the search direction before delegating.
+
+        A memory-bound signature whose uncore sits visibly below the
+        silicon maximum has time to gain from *raising* the ceiling.
+        """
+        memory_bound = sig.tpi / sig.cpi >= _MEMORY_BOUND_TPI_PER_CPI
+        constrained = sig.avg_imc_freq_ghz < self.ctx.imc_max_ghz - 1.5 * self.cfg.imc_step_ghz
+        self._search_up = memory_bound and constrained
+        self._last_time_s = sig.iteration_time_s
+        return super()._imc_search_start(sig)
+
+    def _imc_freq_sel(self, sig: Signature):
+        if not self._search_up:
+            return super()._imc_freq_sel(sig)
+        freqs = NodeFreqs(
+            cpu_ghz=self._selected_cpu_ghz,
+            imc_max_ghz=self._imc_max_ghz,
+            imc_min_ghz=self.ctx.imc_min_ghz,
+        )
+        improving = (
+            self._last_time_s is None
+            or sig.iteration_time_s
+            < self._last_time_s * (1.0 - self.cfg.guard_epsilon)
+        )
+        at_ceiling = self._imc_max_ghz >= self.ctx.imc_max_ghz - 1e-9
+        self._last_time_s = sig.iteration_time_s
+        if not improving and not at_ceiling:
+            # the last raise bought nothing: revert it and settle
+            self._imc_max_ghz = snap_ghz(
+                max(self._imc_max_ghz - self.cfg.imc_step_ghz, self.ctx.imc_min_ghz)
+            )
+            self._stage = Stage.STABLE
+            return PolicyState.READY, freqs.with_imc_max(self._imc_max_ghz)
+        if at_ceiling:
+            self._stage = Stage.STABLE
+            return PolicyState.READY, freqs.with_imc_max(self._imc_max_ghz)
+        self._imc_max_ghz = snap_ghz(
+            min(self._imc_max_ghz + self.cfg.imc_step_ghz, self.ctx.imc_max_ghz)
+        )
+        return PolicyState.CONTINUE, freqs.with_imc_max(self._imc_max_ghz)
+
+    def _imc_step_down(self, freqs: NodeFreqs):
+        """First step after the reference window: up or down by mode."""
+        if not self._search_up:
+            return super()._imc_step_down(freqs)
+        if self._imc_max_ghz >= self.ctx.imc_max_ghz - 1e-9:
+            self._stage = Stage.STABLE
+            return PolicyState.READY, freqs.with_imc_max(self._imc_max_ghz)
+        self._imc_max_ghz = snap_ghz(self._imc_max_ghz + self.cfg.imc_step_ghz)
+        return PolicyState.CONTINUE, freqs.with_imc_max(self._imc_max_ghz)
+
+
+@register_policy("monitoring")
+class MonitoringPolicy(PolicyPlugin):
+    """The no-op policy: monitoring only, hardware keeps all control.
+
+    This is the paper's "No policy" reference configuration — nominal
+    CPU frequency, hardware UFS — expressed as a plugin so the whole
+    evaluation runs through one code path.
+    """
+
+    name = "monitoring"
+    applies_frequencies = False
+
+    def __init__(self, ctx: PolicyContext) -> None:
+        self.ctx = ctx
+        self._last: Signature | None = None
+
+    def node_policy(self, sig: Signature) -> tuple[PolicyState, NodeFreqs]:
+        self._last = sig
+        return PolicyState.READY, self.default_freqs()
+
+    def validate(self, sig: Signature) -> bool:
+        if self._last is None:
+            return True
+        return not signature_changed(
+            self._last, sig, self.ctx.config.signature_change_th
+        )
+
+    def default_freqs(self) -> NodeFreqs:
+        return NodeFreqs(
+            cpu_ghz=self.ctx.pstates.nominal_ghz,
+            imc_max_ghz=self.ctx.imc_max_ghz,
+            imc_min_ghz=self.ctx.imc_min_ghz,
+        )

@@ -1,0 +1,66 @@
+"""Policy plugin registry.
+
+EAR loads policies as shared-object plugins resolved by name from
+``ear.conf``; the Python equivalent is a registry of factories.  A
+factory receives the :class:`~repro.ear.policies.context.PolicyContext`
+(node capabilities + configuration + trained model) and returns a fresh
+plugin instance — one per EARL, since policies carry per-job state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ...errors import PolicyError
+from ...hw.pstates import PStateTable
+from ..config import EarConfig
+from ..models.default_model import EnergyModel
+from .api import PolicyPlugin
+
+__all__ = ["PolicyContext", "register_policy", "create_policy", "available_policies"]
+
+
+@dataclass(frozen=True)
+class PolicyContext:
+    """Everything a policy factory needs to instantiate a plugin."""
+
+    config: EarConfig
+    pstates: PStateTable
+    model: EnergyModel
+    #: silicon uncore range, GHz (read from UNCORE_RATIO_LIMIT at boot).
+    imc_max_ghz: float
+    imc_min_ghz: float
+
+
+_FACTORIES: Dict[str, Callable[[PolicyContext], PolicyPlugin]] = {}
+
+
+def register_policy(name: str):
+    """Class decorator registering a policy factory under ``name``."""
+
+    def deco(factory: Callable[[PolicyContext], PolicyPlugin]):
+        if name in _FACTORIES:
+            raise PolicyError(f"policy {name!r} registered twice")
+        _FACTORIES[name] = factory
+        return factory
+
+    return deco
+
+
+def create_policy(name: str, context: PolicyContext) -> PolicyPlugin:
+    """Instantiate a registered policy plugin."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise PolicyError(
+            f"unknown policy {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    plugin = factory(context)
+    if not isinstance(plugin, PolicyPlugin):
+        raise PolicyError(f"factory for {name!r} returned {type(plugin).__name__}")
+    return plugin
+
+
+def available_policies() -> tuple[str, ...]:
+    return tuple(sorted(_FACTORIES))

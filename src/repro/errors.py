@@ -1,0 +1,80 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError`, so a
+caller can catch everything from this package with one ``except`` clause.
+The subclasses mirror the architectural layers:
+
+* hardware simulation problems (:class:`HardwareError` and friends),
+* EAR runtime / policy problems (:class:`EarError` and friends),
+* experiment harness problems (:class:`ExperimentError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "HardwareError",
+    "MsrError",
+    "MsrPermissionError",
+    "UnknownMsrError",
+    "FrequencyError",
+    "EarError",
+    "PolicyError",
+    "ModelError",
+    "SignatureError",
+    "ConfigError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class HardwareError(ReproError):
+    """A problem in the simulated hardware layer."""
+
+
+class MsrError(HardwareError):
+    """A problem accessing the simulated MSR register file."""
+
+
+class MsrPermissionError(MsrError):
+    """An MSR write was attempted without privileged access.
+
+    On a real system only root (or the EAR daemon) may write MSRs such as
+    ``UNCORE_RATIO_LIMIT``; the simulation enforces the same rule so that
+    the EARL/EARD privilege split stays honest.
+    """
+
+
+class UnknownMsrError(MsrError):
+    """The MSR address is not implemented by this simulated CPU."""
+
+
+class FrequencyError(HardwareError):
+    """A frequency request outside the supported P-state/ratio range."""
+
+
+class EarError(ReproError):
+    """A problem inside the EAR framework (EARL, EARD, models, policies)."""
+
+
+class PolicyError(EarError):
+    """An energy policy plugin misbehaved or was misconfigured."""
+
+
+class ModelError(EarError):
+    """The energy/performance projection model cannot produce a prediction."""
+
+
+class SignatureError(EarError):
+    """A signature could not be computed (e.g. empty measurement window)."""
+
+
+class ConfigError(EarError):
+    """Invalid EAR configuration values."""
+
+
+class ExperimentError(ReproError):
+    """The experiment harness was asked to do something impossible."""

@@ -1,0 +1,72 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from .motivation import SweepPoint, UncoreSweep, figure1, uncore_sweep
+from .runner import (
+    AveragedResult,
+    Comparison,
+    clear_run_cache,
+    compare,
+    run_averaged,
+    standard_configs,
+)
+from .tables import (
+    app_thresholds,
+    table1_kernel_metrics,
+    table2_kernel_characteristics,
+    table3_kernel_savings,
+    table4_kernel_frequencies,
+    table5_application_characteristics,
+    table6_application_frequencies,
+    table7_dc_vs_pck,
+)
+from .figures import (
+    figure3_bqcd,
+    figure4_btmz,
+    figure5_gromacs1,
+    figure6_gromacs2,
+    figure7_hpcg_pop,
+    figure8_dumses_afid,
+)
+from . import paper_data
+from .report import format_figure_series, format_table, ghz, pct, side_by_side
+from .export import rows_to_csv, series_to_csv, write_csv
+from .trace import descent_summary, render_timeline, settled_imc_max_ghz
+
+__all__ = [
+    "AveragedResult",
+    "Comparison",
+    "compare",
+    "run_averaged",
+    "standard_configs",
+    "clear_run_cache",
+    "app_thresholds",
+    "SweepPoint",
+    "UncoreSweep",
+    "figure1",
+    "uncore_sweep",
+    "table1_kernel_metrics",
+    "table2_kernel_characteristics",
+    "table3_kernel_savings",
+    "table4_kernel_frequencies",
+    "table5_application_characteristics",
+    "table6_application_frequencies",
+    "table7_dc_vs_pck",
+    "figure3_bqcd",
+    "figure4_btmz",
+    "figure5_gromacs1",
+    "figure6_gromacs2",
+    "figure7_hpcg_pop",
+    "figure8_dumses_afid",
+    "paper_data",
+    "format_table",
+    "format_figure_series",
+    "pct",
+    "ghz",
+    "side_by_side",
+    "render_timeline",
+    "descent_summary",
+    "settled_imc_max_ghz",
+    "rows_to_csv",
+    "series_to_csv",
+    "write_csv",
+]

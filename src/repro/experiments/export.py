@@ -1,0 +1,64 @@
+"""CSV export of tables and figure series.
+
+The ASCII renderers in :mod:`repro.experiments.report` are for humans;
+this module writes the same artefacts as CSV so external plotting
+pipelines (matplotlib, gnuplot, spreadsheets) can regenerate the
+paper's figures graphically without re-running the simulations.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Mapping, Sequence
+
+__all__ = ["series_to_csv", "rows_to_csv", "write_csv"]
+
+
+def _flatten(row: Mapping, prefix: str = "") -> dict:
+    """Flatten one-level-nested dict rows (``{"me": {"x": 1}}`` ->
+    ``{"me.x": 1}``) so table builders' output maps onto columns."""
+    out: dict = {}
+    for key, value in row.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            out.update(_flatten(value, prefix=f"{name}."))
+        else:
+            out[name] = value
+    return out
+
+
+def rows_to_csv(rows: Sequence[Mapping]) -> str:
+    """Render a list of (possibly nested) row dicts as CSV text."""
+    if not rows:
+        return ""
+    flat = [_flatten(r) for r in rows]
+    fieldnames: list[str] = []
+    for row in flat:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in flat:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def series_to_csv(series_by_name: Mapping[str, Sequence[Mapping]]) -> str:
+    """Render a figure's named series ({"HPCG": [...], "POP": [...]})
+    as one CSV with a leading ``series`` column."""
+    rows = []
+    for name, series in series_by_name.items():
+        for row in series:
+            rows.append({"series": name, **row})
+    return rows_to_csv(rows)
+
+
+def write_csv(path: str | pathlib.Path, rows: Sequence[Mapping]) -> pathlib.Path:
+    """Write row dicts to a CSV file; returns the path."""
+    p = pathlib.Path(path)
+    p.write_text(rows_to_csv(rows))
+    return p

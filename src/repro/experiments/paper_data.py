@@ -1,0 +1,153 @@
+"""The paper's published numbers, transcribed for side-by-side reports.
+
+Every table of the CLUSTER 2021 paper that the harness regenerates is
+recorded here so reports (and EXPERIMENTS.md) can show paper-vs-measured
+in one place.  Percentages are fractions (0.08 = 8 %); frequencies GHz.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "TABLE4",
+    "TABLE5",
+    "TABLE6",
+    "TABLE7",
+]
+
+#: Table I — kernels under min_energy with hardware IMC selection.
+TABLE1 = {
+    "BT-MZ.C.mpi": {"cpi": 0.38, "gbs": 10.19, "cpu_ghz": 2.38, "imc_ghz": 2.39},
+    "LU.D.mpi": {"cpi": 1.04, "gbs": 75.93, "cpu_ghz": 2.31, "imc_ghz": 2.39},
+}
+
+#: Table II — single-node kernel characteristics at nominal frequency.
+TABLE2 = {
+    "BT-MZ.C": {"time_s": 145, "cpi": 0.39, "gbs": 28, "dc_power_w": 332},
+    "SP-MZ.C": {"time_s": 264, "cpi": 0.53, "gbs": 78, "dc_power_w": 358},
+    "BT.CUDA.D": {"time_s": 465, "cpi": 0.49, "gbs": 0.09, "dc_power_w": 305},
+    "LU.CUDA.D": {"time_s": 256, "cpi": 0.54, "gbs": 0.19, "dc_power_w": 290},
+    "DGEMM": {"time_s": 160, "cpi": 0.45, "gbs": 98, "dc_power_w": 369},
+}
+
+#: Table III — kernels: ME and ME+eU vs nominal (fractions).
+TABLE3 = {
+    "BT-MZ.C": {
+        "me": {"time_penalty": 0.00, "power_saving": 0.00, "energy_saving": 0.00},
+        "me_eufs": {"time_penalty": 0.01, "power_saving": 0.08, "energy_saving": 0.07},
+    },
+    "SP-MZ.C": {
+        "me": {"time_penalty": 0.01, "power_saving": 0.00, "energy_saving": -0.01},
+        "me_eufs": {"time_penalty": 0.00, "power_saving": 0.08, "energy_saving": 0.08},
+    },
+    "BT.CUDA.D": {
+        "me": {"time_penalty": 0.00, "power_saving": 0.10, "energy_saving": 0.10},
+        "me_eufs": {"time_penalty": 0.00, "power_saving": 0.11, "energy_saving": 0.11},
+    },
+    "LU.CUDA.D": {
+        "me": {"time_penalty": 0.00, "power_saving": 0.00, "energy_saving": 0.00},
+        "me_eufs": {"time_penalty": 0.00, "power_saving": 0.05, "energy_saving": 0.05},
+    },
+    "DGEMM": {
+        "me": {"time_penalty": 0.00, "power_saving": 0.00, "energy_saving": 0.00},
+        "me_eufs": {"time_penalty": 0.00, "power_saving": 0.02, "energy_saving": 0.01},
+    },
+}
+
+#: Table IV — kernels: average CPU / IMC frequency per configuration.
+TABLE4 = {
+    "BT-MZ.C": {
+        "none": {"cpu": 2.38, "imc": 2.39},
+        "me": {"cpu": 2.38, "imc": 2.39},
+        "me_eufs": {"cpu": 2.38, "imc": 1.98},
+    },
+    "SP-MZ.C": {
+        "none": {"cpu": 2.38, "imc": 2.39},
+        "me": {"cpu": 2.38, "imc": 2.39},
+        "me_eufs": {"cpu": 2.38, "imc": 2.08},
+    },
+    "BT.CUDA.D": {
+        "none": {"cpu": 2.44, "imc": 2.39},
+        "me": {"cpu": 2.28, "imc": 1.51},
+        "me_eufs": {"cpu": 2.13, "imc": 1.30},
+    },
+    "LU.CUDA.D": {
+        "none": {"cpu": 2.02, "imc": 2.39},
+        "me": {"cpu": 2.01, "imc": 2.39},
+        "me_eufs": {"cpu": 2.05, "imc": 1.60},
+    },
+    "DGEMM": {
+        "none": {"cpu": 2.18, "imc": 1.98},
+        "me": {"cpu": 2.19, "imc": 1.95},
+        "me_eufs": {"cpu": 2.19, "imc": 1.87},
+    },
+}
+
+#: Table V — MPI application characteristics at nominal frequency.
+TABLE5 = {
+    "BQCD": {"time_s": 130.54, "cpi": 0.68, "gbs": 10.98, "dc_power_w": 302.15},
+    "BT-MZ": {"time_s": 465.01, "cpi": 0.38, "gbs": 6.60, "dc_power_w": 320.74},
+    "GROMACS(I)": {"time_s": 313.92, "cpi": 0.48, "gbs": 10.39, "dc_power_w": 319.35},
+    "GROMACS(II)": {"time_s": 390.60, "cpi": 0.63, "gbs": 13.34, "dc_power_w": 315.48},
+    "HPCG": {"time_s": 169.61, "cpi": 3.13, "gbs": 177.45, "dc_power_w": 339.88},
+    "POP": {"time_s": 1533.03, "cpi": 0.72, "gbs": 100.66, "dc_power_w": 347.18},
+    "DUMSES": {"time_s": 813.21, "cpi": 1.08, "gbs": 119.07, "dc_power_w": 333.69},
+    "AFiD": {"time_s": 268.22, "cpi": 0.77, "gbs": 115.20, "dc_power_w": 333.65},
+}
+
+#: Table VI — applications: average CPU / IMC frequency per configuration.
+TABLE6 = {
+    "BQCD": {
+        "none": {"cpu": 2.38, "imc": 2.39},
+        "me": {"cpu": 2.37, "imc": 2.39},
+        "me_eufs": {"cpu": 2.38, "imc": 2.19},
+    },
+    "BT-MZ": {
+        "none": {"cpu": 2.38, "imc": 2.39},
+        "me": {"cpu": 2.38, "imc": 2.39},
+        "me_eufs": {"cpu": 2.38, "imc": 1.79},
+    },
+    "GROMACS(I)": {
+        "none": {"cpu": 2.28, "imc": 2.39},
+        "me": {"cpu": 2.27, "imc": 2.04},
+        "me_eufs": {"cpu": 2.27, "imc": 1.91},
+    },
+    "GROMACS(II)": {
+        "none": {"cpu": 2.29, "imc": 2.39},
+        "me": {"cpu": 2.27, "imc": 1.45},
+        "me_eufs": {"cpu": 2.27, "imc": 1.41},
+    },
+    "HPCG": {
+        "none": {"cpu": 2.38, "imc": 2.39},
+        "me": {"cpu": 1.75, "imc": 2.39},
+        "me_eufs": {"cpu": 1.73, "imc": 2.29},
+    },
+    "POP": {
+        "none": {"cpu": 2.38, "imc": 2.39},
+        "me": {"cpu": 2.23, "imc": 2.35},
+        "me_eufs": {"cpu": 2.23, "imc": 2.06},
+    },
+    "DUMSES": {
+        "none": {"cpu": 2.38, "imc": 2.39},
+        "me": {"cpu": 2.12, "imc": 2.39},
+        "me_eufs": {"cpu": 2.12, "imc": 2.13},
+    },
+    "AFiD": {
+        "none": {"cpu": 2.38, "imc": 2.35},
+        "me": {"cpu": 2.20, "imc": 2.35},
+        "me_eufs": {"cpu": 2.22, "imc": 2.17},
+    },
+}
+
+#: Table VII — ME+eU (5 %/2 %): DC node vs RAPL PCK power savings.
+TABLE7 = {
+    "BQCD": {"dc_saving": 0.0469, "pck_saving": 0.1056},
+    "BT-MZ": {"dc_saving": 0.1015, "pck_saving": 0.1503},
+    "GROMACS(II)": {"dc_saving": 0.1406, "pck_saving": 0.1565},
+    "HPCG": {"dc_saving": 0.1449, "pck_saving": 0.1688},
+    "POP": {"dc_saving": 0.1025, "pck_saving": 0.1337},
+    "DUMSES": {"dc_saving": 0.1313, "pck_saving": 0.1543},
+    "AFiD": {"dc_saving": 0.1202, "pck_saving": 0.1337},
+}

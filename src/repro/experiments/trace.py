@@ -1,0 +1,86 @@
+"""Run-trace analysis: frequency timelines and descent summaries.
+
+Turns a :class:`~repro.sim.result.RunResult` recorded with
+``record_trace=True`` into human-readable artefacts: an ASCII timeline
+of the CPU/uncore frequencies (the shape of the figure-2 state machine
+in action) and a per-decision summary that pairs each policy step with
+the signature that triggered it.
+"""
+
+from __future__ import annotations
+
+from ..ear.policies.api import PolicyState
+from ..sim.result import RunResult
+
+__all__ = ["render_timeline", "descent_summary"]
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: list[float], lo: float, hi: float) -> str:
+    if hi <= lo:
+        return "█" * len(values)
+    out = []
+    for v in values:
+        idx = int(round((v - lo) / (hi - lo) * (len(_BARS) - 1)))
+        out.append(_BARS[max(0, min(idx, len(_BARS) - 1))])
+    return "".join(out)
+
+
+def render_timeline(result: RunResult, *, width: int = 72) -> str:
+    """ASCII timeline of node-0 CPU target and uncore frequency.
+
+    Requires the run to have been executed with ``record_trace=True``;
+    raises :class:`ValueError` otherwise (an empty chart would silently
+    mislead).
+    """
+    if not result.freq_trace:
+        raise ValueError(
+            "run has no frequency trace; pass record_trace=True to the engine"
+        )
+    samples = list(result.freq_trace)
+    # resample to the requested width by picking evenly spaced samples
+    if len(samples) > width:
+        step = len(samples) / width
+        samples = [samples[int(i * step)] for i in range(width)]
+    cpu = [s.cpu_target_ghz for s in samples]
+    imc = [s.imc_freq_ghz for s in samples]
+    lo, hi = 1.0, 2.6
+    lines = [
+        f"{result.workload}: frequency timeline over {result.time_s:.0f} s "
+        f"(policy: {result.policy})",
+        f"  cpu [{min(cpu):.1f}-{max(cpu):.1f} GHz] {_sparkline(cpu, lo, hi)}",
+        f"  imc [{min(imc):.1f}-{max(imc):.1f} GHz] {_sparkline(imc, lo, hi)}",
+    ]
+    return "\n".join(lines)
+
+
+def descent_summary(result: RunResult) -> list[dict]:
+    """One row per policy decision on node 0.
+
+    Pairs each step of the state machine with the observable that drove
+    it — the raw material of the paper's figure-2 narrative.
+    """
+    rows = []
+    for d in result.decisions:
+        rows.append(
+            {
+                "at_s": d.at_s,
+                "earl_state": d.earl_state.name,
+                "policy_state": d.policy_state.name if d.policy_state else "",
+                "cpu_ghz": d.freqs.cpu_ghz if d.freqs else None,
+                "imc_max_ghz": d.freqs.imc_max_ghz if d.freqs else None,
+                "cpi": d.signature.cpi,
+                "gbs": d.signature.gbs,
+                "dc_power_w": d.signature.dc_power_w,
+            }
+        )
+    return rows
+
+
+def settled_imc_max_ghz(result: RunResult) -> float | None:
+    """The uncore ceiling after the last READY decision, if any."""
+    for d in reversed(result.decisions):
+        if d.policy_state is PolicyState.READY and d.freqs is not None:
+            return d.freqs.imc_max_ghz
+    return None

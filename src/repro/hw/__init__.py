@@ -1,0 +1,90 @@
+"""Simulated Intel Skylake-SP hardware substrate.
+
+This subpackage replaces the paper's physical testbed (Lenovo SD530
+nodes with Xeon Gold 6148 processors) with a calibrated analytic model
+exposing the *same interfaces* the EAR framework uses on real silicon:
+MSRs for frequency control, RAPL and IPMI/Node Manager counters for
+energy, and the hardware UFS control loop the paper's explicit UFS
+competes with.
+"""
+
+from .cpu import Socket
+from .dram import DDR4_2400_12DIMM, DramConfig
+from .gpu import TESLA_V100, GpuModel
+from .ipmi import NodeManagerEnergyCounter
+from .msr import (
+    MSR_IA32_ENERGY_PERF_BIAS,
+    MSR_IA32_PERF_CTL,
+    MSR_PKG_ENERGY_STATUS,
+    MSR_UNCORE_RATIO_LIMIT,
+    MsrFile,
+    UncoreRatioLimit,
+)
+from .node import (
+    BROADWELL_NODE,
+    GPU_NODE,
+    SD530,
+    Cluster,
+    Node,
+    NodeConfig,
+    NodePower,
+    OperatingPoint,
+)
+from .power import PowerModelParams, SocketPowerBreakdown, VoltageCurve, socket_power
+from .pstates import (
+    TURBO_PSTATE,
+    XEON_6142M,
+    XEON_6148,
+    XEON_E5_2620V4,
+    PState,
+    PStateTable,
+)
+from .rapl import RaplCounter, RaplDomain, SKL_ENERGY_UNIT_J
+from .ufs import UfsController, UfsInputs
+from .uncore import UNCORE_MAX_RATIO_DEFAULT, UNCORE_MIN_RATIO_DEFAULT, UncoreDomain
+from .units import BCLK_GHZ, ghz_to_ratio, ratio_to_ghz, snap_ghz
+
+__all__ = [
+    "Socket",
+    "DramConfig",
+    "DDR4_2400_12DIMM",
+    "GpuModel",
+    "TESLA_V100",
+    "NodeManagerEnergyCounter",
+    "MsrFile",
+    "UncoreRatioLimit",
+    "MSR_UNCORE_RATIO_LIMIT",
+    "MSR_IA32_PERF_CTL",
+    "MSR_IA32_ENERGY_PERF_BIAS",
+    "MSR_PKG_ENERGY_STATUS",
+    "Node",
+    "NodeConfig",
+    "NodePower",
+    "OperatingPoint",
+    "Cluster",
+    "SD530",
+    "GPU_NODE",
+    "BROADWELL_NODE",
+    "XEON_E5_2620V4",
+    "PowerModelParams",
+    "SocketPowerBreakdown",
+    "VoltageCurve",
+    "socket_power",
+    "PState",
+    "PStateTable",
+    "XEON_6148",
+    "XEON_6142M",
+    "TURBO_PSTATE",
+    "RaplCounter",
+    "RaplDomain",
+    "SKL_ENERGY_UNIT_J",
+    "UfsController",
+    "UfsInputs",
+    "UncoreDomain",
+    "UNCORE_MAX_RATIO_DEFAULT",
+    "UNCORE_MIN_RATIO_DEFAULT",
+    "BCLK_GHZ",
+    "ghz_to_ratio",
+    "ratio_to_ghz",
+    "snap_ghz",
+]

@@ -1,0 +1,123 @@
+"""Per-node hardware-counter bank.
+
+EARL reads performance counters (instructions, cycles, memory
+transactions, AVX-512 retirements) through PAPI/perf on real systems;
+the simulation accumulates the same quantities from the workload
+model's ground truth.  Consumers take :class:`CounterSnapshot` s and
+difference them — the same read-and-subtract pattern real counter code
+uses — so a window's metrics never depend on when other windows were
+taken.
+
+The bank is duck-typed over its input: anything with ``seconds``,
+``instructions``, ``cycles``, ``bytes_transferred`` and
+``avx512_instructions`` attributes (the workload layer's
+``IterationCounters``) can be accumulated, keeping this module free of
+upward dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SignatureError
+from .units import CACHE_LINE_BYTES
+
+__all__ = ["CounterSnapshot", "CounterBank"]
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Immutable point-in-time view of a node's counters."""
+
+    seconds: float
+    iterations: int
+    instructions: float
+    cycles: float
+    bytes_transferred: float
+    avx512_instructions: float
+
+    def delta(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
+        """Counter increments since an earlier snapshot."""
+        if earlier.seconds > self.seconds + 1e-12:
+            raise SignatureError("snapshots differenced in the wrong order")
+        return CounterSnapshot(
+            seconds=self.seconds - earlier.seconds,
+            iterations=self.iterations - earlier.iterations,
+            instructions=self.instructions - earlier.instructions,
+            cycles=self.cycles - earlier.cycles,
+            bytes_transferred=self.bytes_transferred - earlier.bytes_transferred,
+            avx512_instructions=self.avx512_instructions - earlier.avx512_instructions,
+        )
+
+    # -- derived metrics over a delta window --------------------------------
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction over the window."""
+        if self.instructions <= 0:
+            raise SignatureError("empty window: no instructions retired")
+        return self.cycles / self.instructions
+
+    @property
+    def tpi(self) -> float:
+        """Memory transactions (cache lines) per instruction."""
+        if self.instructions <= 0:
+            raise SignatureError("empty window: no instructions retired")
+        return (self.bytes_transferred / CACHE_LINE_BYTES) / self.instructions
+
+    @property
+    def gbs(self) -> float:
+        """Memory bandwidth over the window, GB/s."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.bytes_transferred / self.seconds / 1e9
+
+    @property
+    def vpi(self) -> float:
+        """AVX-512 fraction of retired instructions."""
+        if self.instructions <= 0:
+            raise SignatureError("empty window: no instructions retired")
+        return self.avx512_instructions / self.instructions
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        if self.iterations <= 0:
+            raise SignatureError("empty window: no iterations")
+        return self.seconds / self.iterations
+
+
+class CounterBank:
+    """Mutable accumulator fed by the engine after every iteration."""
+
+    def __init__(self) -> None:
+        self._seconds = 0.0
+        self._iterations = 0
+        self._instructions = 0.0
+        self._cycles = 0.0
+        self._bytes = 0.0
+        self._avx512 = 0.0
+
+    def add_iteration(self, counters, *, wall_seconds: float) -> None:
+        """Record one application iteration.
+
+        ``wall_seconds`` may exceed the iteration's own compute time
+        when the node waited at the global barrier.
+        """
+        if wall_seconds < counters.seconds - 1e-9:
+            raise SignatureError("wall time below compute time")
+        self._seconds += wall_seconds
+        self._iterations += 1
+        self._instructions += counters.instructions
+        self._cycles += counters.cycles
+        self._bytes += counters.bytes_transferred
+        self._avx512 += counters.avx512_instructions
+
+    def snapshot(self) -> CounterSnapshot:
+        return CounterSnapshot(
+            seconds=self._seconds,
+            iterations=self._iterations,
+            instructions=self._instructions,
+            cycles=self._cycles,
+            bytes_transferred=self._bytes,
+            avx512_instructions=self._avx512,
+        )

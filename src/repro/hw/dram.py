@@ -1,0 +1,92 @@
+"""DDR4 main-memory model: achievable bandwidth vs. uncore frequency.
+
+The paper's whole premise is that the Integrated Memory Controller and
+LLC live in the *uncore* clock domain, so lowering the uncore frequency
+lowers the achievable memory bandwidth and raises LLC/memory latency.
+Measurements on Skylake-SP (Hackenberg et al., Schöne et al. — the
+paper's refs [4], [7]) show achievable bandwidth grows with uncore
+frequency and saturates near the DRAM channel limit at the top of the
+range.  We model that with a saturating curve
+
+    ``BW(f) = BW_peak * g(f)``,  ``g(f) = (f / (f + f_half)) / norm``
+
+normalised so ``g(f_max) == 1``.  ``f_half`` controls how starved the
+memory system gets at low uncore frequency: with the default 1.0 GHz, a
+2.4 → 1.2 GHz uncore drop costs about 26 % of peak bandwidth, in line
+with the published Skylake measurements.
+
+Latency is modelled in the uncore domain directly by the workload model
+(cycles spent in LLC/IMC queues scale with ``1/f_uncore``), so this
+module only deals with throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareError
+
+__all__ = ["DramConfig", "DDR4_2400_12DIMM"]
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Main memory configuration of one node.
+
+    Attributes
+    ----------
+    peak_node_gbs:
+        Achievable node memory bandwidth (GB/s) with the uncore at its
+        maximum frequency (e.g. STREAM-like limit, not the theoretical
+        pin bandwidth).
+    f_half_ghz:
+        Half-saturation constant of the bandwidth/uncore curve.
+    f_max_ghz:
+        Uncore frequency at which ``peak_node_gbs`` is reached; the
+        curve is normalised at this point.
+    static_power_w:
+        DIMM background power for the whole node (refresh, PLLs).
+    power_w_per_gbs:
+        Incremental DRAM power per GB/s of traffic.
+    """
+
+    peak_node_gbs: float
+    f_half_ghz: float = 1.0
+    f_max_ghz: float = 2.4
+    static_power_w: float = 18.0
+    power_w_per_gbs: float = 0.16
+
+    def __post_init__(self) -> None:
+        if self.peak_node_gbs <= 0:
+            raise HardwareError("peak_node_gbs must be positive")
+        if self.f_half_ghz <= 0 or self.f_max_ghz <= 0:
+            raise HardwareError("bandwidth curve constants must be positive")
+
+    def bandwidth_scale(self, f_uncore_ghz: float) -> float:
+        """Fraction of peak bandwidth available at a given uncore clock.
+
+        Monotonically increasing in ``f_uncore_ghz`` and equal to 1.0 at
+        ``f_max_ghz``.  Values above ``f_max_ghz`` extrapolate smoothly
+        (slightly above 1), matching the mild overclock headroom real
+        parts exhibit.
+        """
+        if f_uncore_ghz <= 0:
+            raise HardwareError(f"uncore frequency must be positive, got {f_uncore_ghz}")
+        norm = self.f_max_ghz / (self.f_max_ghz + self.f_half_ghz)
+        return (f_uncore_ghz / (f_uncore_ghz + self.f_half_ghz)) / norm
+
+    def bandwidth_gbs(self, f_uncore_ghz: float) -> float:
+        """Achievable node bandwidth (GB/s) at a given uncore clock."""
+        return self.peak_node_gbs * self.bandwidth_scale(f_uncore_ghz)
+
+    def power_w(self, traffic_gbs: float) -> float:
+        """DRAM power for the node at a given traffic level."""
+        if traffic_gbs < 0:
+            raise HardwareError("traffic cannot be negative")
+        return self.static_power_w + self.power_w_per_gbs * traffic_gbs
+
+
+#: 12 x 8 GB dual-rank DDR4-2400 DIMMs per node (the paper's SD530 nodes).
+#: ~200 GB/s STREAM-class achievable bandwidth across both sockets; the
+#: paper's HPCG run reports 177 GB/s sustained.
+DDR4_2400_12DIMM = DramConfig(peak_node_gbs=205.0)

@@ -1,0 +1,72 @@
+"""GPU device model for the CUDA kernel experiments.
+
+The paper's CUDA runs use nodes with two NVIDIA Tesla V100 where the
+kernel occupies *one* GPU and one host core busy-waits; the second GPU's
+power "is automatically reduced by the NVIDIA driver".  The policies
+never touch the GPU — it only matters as (a) a node power contribution
+insensitive to CPU/uncore frequency and (b) the reason the host-side
+signature shows near-zero memory traffic.
+
+The model is therefore deliberately simple: an active GPU burns its
+``active_power_w`` while a kernel is resident; an idle GPU ramps down to
+``idle_power_w`` after the driver's persistence timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareError
+
+__all__ = ["GpuModel", "TESLA_V100"]
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """Power behaviour of one GPU board.
+
+    Attributes
+    ----------
+    name:
+        Device name, for reports.
+    active_power_w:
+        Board power while executing kernels (well below TDP for the
+        NAS-GPU kernels, which do not saturate the device).
+    idle_power_w:
+        Board power after the driver ramps an unused device down.
+    sm_clock_ghz:
+        Nominal SM clock; GPU execution time in the workload profiles is
+        defined at this clock and does not depend on host frequencies.
+    """
+
+    name: str
+    active_power_w: float
+    idle_power_w: float
+    sm_clock_ghz: float = 1.38
+
+    def __post_init__(self) -> None:
+        if self.active_power_w < self.idle_power_w:
+            raise HardwareError(
+                f"{self.name}: active power {self.active_power_w} below idle "
+                f"power {self.idle_power_w}"
+            )
+        if self.idle_power_w < 0:
+            raise HardwareError("idle power cannot be negative")
+
+    def power_w(self, *, busy: bool, utilisation: float = 1.0) -> float:
+        """Board power for a given state.
+
+        ``utilisation`` scales the dynamic part for kernels that do not
+        fill the device.
+        """
+        if not 0.0 <= utilisation <= 1.0:
+            raise HardwareError(f"utilisation must be in [0, 1], got {utilisation}")
+        if not busy:
+            return self.idle_power_w
+        return self.idle_power_w + (self.active_power_w - self.idle_power_w) * utilisation
+
+
+#: Tesla V100 as configured in the paper's GPU nodes (1.38 GHz).  The
+#: NAS-GPU kernels do not saturate the device, so per-profile
+#: utilisation scales the dynamic part during calibration.
+TESLA_V100 = GpuModel(name="NVIDIA Tesla V100", active_power_w=140.0, idle_power_w=25.0)

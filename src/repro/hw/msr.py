@@ -1,0 +1,208 @@
+"""Simulated Model Specific Register (MSR) file.
+
+EAR manipulates the hardware exclusively through MSRs (via ``msr-tools``
+or the ``/dev/cpu/*/msr`` interface), so the simulation reproduces that
+interface faithfully:
+
+* ``UNCORE_RATIO_LIMIT`` (0x620) — the register at the heart of the
+  paper.  Bits 6:0 hold the **maximum** uncore ratio and bits 14:8 the
+  **minimum** uncore ratio (multiples of the 100 MHz BCLK).  Writing
+  the same value to both fields pins the uncore; narrowing the range
+  constrains the hardware UFS control loop.
+* ``IA32_PERF_CTL`` (0x199) — target core ratio in bits 15:8.
+* RAPL energy status registers (0x611 package, 0x619 DRAM) — 32-bit
+  wrapping energy counters in units defined by 0x606.
+* ``IA32_ENERGY_PERF_BIAS`` (0x1B0) — the EPB hint that biases the
+  hardware UFS heuristic (section IV of the paper).
+
+Writes require the *privileged* flag — on a real cluster only the EAR
+daemon (EARD) runs with enough rights to touch MSRs, and the simulation
+keeps that split: the EARL policy code never writes an MSR directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+from ..errors import MsrPermissionError, UnknownMsrError
+from .units import ghz_to_ratio, ratio_to_ghz
+
+__all__ = [
+    "MSR_UNCORE_RATIO_LIMIT",
+    "MSR_PKG_POWER_LIMIT",
+    "RAPL_POWER_UNIT_W",
+    "MSR_IA32_PERF_CTL",
+    "MSR_IA32_PERF_STATUS",
+    "MSR_RAPL_POWER_UNIT",
+    "MSR_PKG_ENERGY_STATUS",
+    "MSR_DRAM_ENERGY_STATUS",
+    "MSR_IA32_ENERGY_PERF_BIAS",
+    "UncoreRatioLimit",
+    "MsrFile",
+]
+
+MSR_IA32_PERF_CTL = 0x199
+MSR_IA32_PERF_STATUS = 0x198
+MSR_IA32_ENERGY_PERF_BIAS = 0x1B0
+MSR_RAPL_POWER_UNIT = 0x606
+MSR_PKG_POWER_LIMIT = 0x610
+MSR_PKG_ENERGY_STATUS = 0x611
+MSR_DRAM_ENERGY_STATUS = 0x619
+MSR_UNCORE_RATIO_LIMIT = 0x620
+
+#: RAPL power-limit unit: 1/8 W (PL1 field, bits 14:0; enable bit 15).
+RAPL_POWER_UNIT_W = 0.125
+
+_MASK64 = (1 << 64) - 1
+
+_UNCORE_MAX_SHIFT = 0
+_UNCORE_MAX_MASK = 0x7F
+_UNCORE_MIN_SHIFT = 8
+_UNCORE_MIN_MASK = 0x7F
+
+
+@dataclass(frozen=True)
+class UncoreRatioLimit:
+    """Decoded view of MSR 0x620.
+
+    ``min_ratio``/``max_ratio`` are BCLK multiples: ratio 24 = 2.4 GHz.
+    The hardware interprets an inverted range (min > max) by honouring
+    the max field, so the decoder normalises it the same way.
+    """
+
+    min_ratio: int
+    max_ratio: int
+
+    def __post_init__(self) -> None:
+        for name, r in (("min_ratio", self.min_ratio), ("max_ratio", self.max_ratio)):
+            if not 0 <= r <= _UNCORE_MAX_MASK:
+                raise ValueError(f"{name}={r} does not fit in 7 bits")
+
+    @property
+    def min_ghz(self) -> float:
+        return ratio_to_ghz(min(self.min_ratio, self.max_ratio))
+
+    @property
+    def max_ghz(self) -> float:
+        return ratio_to_ghz(self.max_ratio)
+
+    def encode(self) -> int:
+        """Pack into the 64-bit register layout (bits 6:0 max, 14:8 min)."""
+        return ((self.min_ratio & _UNCORE_MIN_MASK) << _UNCORE_MIN_SHIFT) | (
+            (self.max_ratio & _UNCORE_MAX_MASK) << _UNCORE_MAX_SHIFT
+        )
+
+    @classmethod
+    def decode(cls, value: int) -> "UncoreRatioLimit":
+        """Unpack from the 64-bit register layout."""
+        max_ratio = (value >> _UNCORE_MAX_SHIFT) & _UNCORE_MAX_MASK
+        min_ratio = (value >> _UNCORE_MIN_SHIFT) & _UNCORE_MIN_MASK
+        return cls(min_ratio=min_ratio, max_ratio=max_ratio)
+
+    @classmethod
+    def from_ghz(cls, min_ghz: float, max_ghz: float) -> "UncoreRatioLimit":
+        """Build limits from frequencies in GHz (snapped to 100 MHz)."""
+        return cls(min_ratio=ghz_to_ratio(min_ghz), max_ratio=ghz_to_ratio(max_ghz))
+
+    def pinned(self) -> bool:
+        """True when min == max, i.e. the uncore frequency is fixed."""
+        return self.min_ratio == self.max_ratio
+
+
+@dataclass
+class MsrFile:
+    """One socket's MSR register file.
+
+    The file starts with every implemented register present (reset
+    values must be seeded by the socket model) and rejects access to
+    unknown addresses, like the real ``/dev/cpu/N/msr`` driver returns
+    ``EIO`` for unimplemented MSRs.
+
+    Write hooks let the socket model react immediately to a write (for
+    instance re-clamping the uncore frequency when 0x620 changes),
+    mirroring how an MSR write takes effect on real silicon.
+    """
+
+    registers: Dict[int, int] = field(default_factory=dict)
+    _write_hooks: Dict[int, Callable[[int], None]] = field(default_factory=dict)
+
+    def implement(self, address: int, reset_value: int = 0) -> None:
+        """Declare an MSR as implemented with a reset value."""
+        self.registers[address] = reset_value & _MASK64
+
+    def is_implemented(self, address: int) -> bool:
+        return address in self.registers
+
+    def on_write(self, address: int, hook: Callable[[int], None]) -> None:
+        """Register a side-effect hook invoked after a successful write."""
+        self._write_hooks[address] = hook
+
+    def read(self, address: int) -> int:
+        """Read an MSR (no privilege needed, like ``rdmsr``)."""
+        try:
+            return self.registers[address]
+        except KeyError:
+            raise UnknownMsrError(f"MSR 0x{address:x} is not implemented") from None
+
+    def write(self, address: int, value: int, *, privileged: bool = False) -> None:
+        """Write an MSR; requires the privileged flag (EARD context)."""
+        if not privileged:
+            raise MsrPermissionError(
+                f"unprivileged write to MSR 0x{address:x} denied"
+            )
+        if address not in self.registers:
+            raise UnknownMsrError(f"MSR 0x{address:x} is not implemented")
+        self.registers[address] = value & _MASK64
+        hook = self._write_hooks.get(address)
+        if hook is not None:
+            hook(value & _MASK64)
+
+    # -- typed helpers for the registers the simulator cares about --------
+
+    def read_uncore_limits(self) -> UncoreRatioLimit:
+        return UncoreRatioLimit.decode(self.read(MSR_UNCORE_RATIO_LIMIT))
+
+    def write_uncore_limits(
+        self, limits: UncoreRatioLimit, *, privileged: bool = False
+    ) -> None:
+        self.write(MSR_UNCORE_RATIO_LIMIT, limits.encode(), privileged=privileged)
+
+    def read_perf_ctl_ratio(self) -> int:
+        """Target core ratio from IA32_PERF_CTL bits 15:8."""
+        return (self.read(MSR_IA32_PERF_CTL) >> 8) & 0xFF
+
+    def write_perf_ctl_ratio(self, ratio: int, *, privileged: bool = False) -> None:
+        if not 0 <= ratio <= 0xFF:
+            raise ValueError(f"core ratio {ratio} does not fit in 8 bits")
+        self.write(MSR_IA32_PERF_CTL, (ratio & 0xFF) << 8, privileged=privileged)
+
+    def read_pkg_power_limit_w(self) -> float | None:
+        """PL1 package power cap in watts; None when disabled."""
+        raw = self.read(MSR_PKG_POWER_LIMIT)
+        if not raw & (1 << 15):
+            return None
+        return (raw & 0x7FFF) * RAPL_POWER_UNIT_W
+
+    def write_pkg_power_limit(
+        self, watts: float | None, *, privileged: bool = False
+    ) -> None:
+        """Set (or disable, with ``None``) the PL1 package power cap."""
+        if watts is None:
+            self.write(MSR_PKG_POWER_LIMIT, 0, privileged=privileged)
+            return
+        if watts <= 0:
+            raise ValueError(f"power limit must be positive, got {watts}")
+        ticks = int(round(watts / RAPL_POWER_UNIT_W))
+        if ticks > 0x7FFF:
+            raise ValueError(f"power limit {watts} W does not fit in the PL1 field")
+        self.write(MSR_PKG_POWER_LIMIT, (1 << 15) | ticks, privileged=privileged)
+
+    def read_epb(self) -> int:
+        """Energy/Performance Bias hint, 0 (performance) .. 15 (powersave)."""
+        return self.read(MSR_IA32_ENERGY_PERF_BIAS) & 0xF
+
+    def write_epb(self, epb: int, *, privileged: bool = False) -> None:
+        if not 0 <= epb <= 15:
+            raise ValueError(f"EPB {epb} out of range 0..15")
+        self.write(MSR_IA32_ENERGY_PERF_BIAS, epb, privileged=privileged)

@@ -1,0 +1,329 @@
+"""Compute-node model: sockets + DRAM + GPUs + sensors.
+
+A :class:`Node` is the unit the EAR daemon manages: it owns two (or
+more) sockets with their MSR files and uncore domains, the DRAM, any
+GPUs, and the power sensors (RAPL per domain, Node Manager DC energy for
+the whole node).  The simulation engine drives it with *operating
+points* — a description of what the workload is doing right now — and
+time intervals; the node turns those into power, energy-counter updates
+and frequency accounting.
+
+The DC node power is assembled exactly the way the paper argues it must
+be measured: packages + DRAM + constant platform + GPUs, i.e. everything
+behind the PSU, not just the RAPL package domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import HardwareError
+from .dram import DDR4_2400_12DIMM, DramConfig
+from .gpu import TESLA_V100, GpuModel
+from .ipmi import NodeManagerEnergyCounter
+from .power import PowerModelParams, socket_power
+from .pstates import XEON_6142M, XEON_6148, XEON_E5_2620V4, PStateTable
+from .rapl import RaplDomain
+from .ufs import UfsController, UfsInputs
+from .cpu import Socket
+
+__all__ = [
+    "OperatingPoint",
+    "NodePower",
+    "NodeConfig",
+    "Node",
+    "SD530",
+    "GPU_NODE",
+    "BROADWELL_NODE",
+]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """What the workload is doing on a node right now.
+
+    The engine derives one operating point per (phase, iteration)
+    segment; all quantities are node-wide and distributed evenly across
+    sockets (the paper's workloads are balanced within a node).
+    """
+
+    #: cores executing application work across the whole node.
+    n_active_cores: int
+    #: per-active-core dynamic activity (instruction throughput proxy).
+    activity: float
+    #: AVX-512 instruction fraction.
+    vpi: float
+    #: main-memory traffic for the whole node, GB/s.
+    traffic_gbs: float
+    #: effective core clock being sustained, GHz.
+    effective_core_ghz: float
+    #: LLC/IMC pressure seen by the HW UFS controller, 0..1.
+    uncore_demand: float = 0.0
+    #: fraction of cores the UFS monitor counts as truly busy.
+    hw_active_fraction: float | None = None
+    #: pinned-socket uncore/core follow factor override (None = derive
+    #: from the active fraction).
+    hw_follow_factor: float | None = None
+    #: number of GPUs running kernels.
+    gpus_busy: int = 0
+    #: utilisation of the busy GPUs.
+    gpu_utilisation: float = 1.0
+
+
+@dataclass(frozen=True)
+class NodePower:
+    """Instantaneous power decomposition of a node, watts."""
+
+    pck_w: tuple[float, ...]
+    dram_w: float
+    platform_w: float
+    gpus_w: float
+
+    @property
+    def pck_total_w(self) -> float:
+        return sum(self.pck_w)
+
+    @property
+    def dc_w(self) -> float:
+        return self.pck_total_w + self.dram_w + self.platform_w + self.gpus_w
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Everything needed to instantiate identical nodes of one type."""
+
+    name: str
+    pstates: PStateTable
+    dram: DramConfig
+    power: PowerModelParams
+    n_sockets: int = 2
+    gpus: tuple[GpuModel, ...] = ()
+    idle_core_freq_ghz: float | None = None
+    #: silicon uncore frequency range (BCLK ratios).
+    uncore_max_ratio: int = 24
+    uncore_min_ratio: int = 12
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_sockets * self.pstates.n_cores
+
+
+#: The paper's main testbed node: Lenovo ThinkSystem SD530,
+#: 2x Xeon Gold 6148, 12x8 GB DDR4-2400.
+SD530 = NodeConfig(
+    name="Lenovo ThinkSystem SD530 (2x Xeon Gold 6148)",
+    pstates=XEON_6148,
+    dram=DDR4_2400_12DIMM,
+    power=PowerModelParams(),
+)
+
+#: A Broadwell node like the related work's testbeds ([18], [19]):
+#: 2x Xeon E5-2620 v4, 4-channel DDR4-2133.  The smaller ring-bus
+#: uncore has a lower dynamic coefficient; no AVX-512.
+BROADWELL_NODE = NodeConfig(
+    name="Broadwell node (2x Xeon E5-2620 v4)",
+    pstates=XEON_E5_2620V4,
+    dram=DramConfig(peak_node_gbs=110.0, f_max_ghz=2.7),
+    power=PowerModelParams(
+        pck_base_w=14.0,
+        uncore_dyn_w=8.0,
+        platform_w=55.0,
+    ),
+    uncore_max_ratio=27,
+    uncore_min_ratio=12,
+)
+
+#: The GPU node used for CUDA kernels: 2x Xeon Gold 6142M + 2x V100.
+#: The 16-core die has a smaller mesh, hence the lower uncore coefficient.
+GPU_NODE = NodeConfig(
+    name="GPU node (2x Xeon Gold 6142M, 2x Tesla V100)",
+    pstates=XEON_6142M,
+    dram=DDR4_2400_12DIMM,
+    power=PowerModelParams(platform_w=60.0, uncore_dyn_w=12.0),
+    gpus=(TESLA_V100, TESLA_V100),
+)
+
+
+class Node:
+    """A live compute node instance."""
+
+    def __init__(self, config: NodeConfig, node_id: int = 0) -> None:
+        self.config = config
+        self.node_id = node_id
+        from .uncore import UncoreDomain
+
+        self.sockets = [
+            Socket(
+                pstates=config.pstates,
+                socket_id=i,
+                idle_core_freq_ghz=config.idle_core_freq_ghz,
+                uncore=UncoreDomain(
+                    hw_min_ratio=config.uncore_min_ratio,
+                    hw_max_ratio=config.uncore_max_ratio,
+                ),
+            )
+            for i in range(config.n_sockets)
+        ]
+        self.rapl = RaplDomain(n_sockets=config.n_sockets)
+        self.dc_meter = NodeManagerEnergyCounter()
+        self.ufs = UfsController()
+        self._elapsed_s = 0.0
+        #: exact package-domain energy (no RAPL wrap) — harness ground truth.
+        self._pck_energy_j = 0.0
+
+    # -- frequency control (EARD acts through these) -------------------------
+
+    def set_core_freq(self, freq_ghz: float, *, privileged: bool = False) -> None:
+        """Pin the core clock on every socket."""
+        for s in self.sockets:
+            s.set_target_freq(freq_ghz, privileged=privileged)
+
+    def set_uncore_limits(self, limits, *, privileged: bool = False) -> None:
+        """Write UNCORE_RATIO_LIMIT on every socket."""
+        for s in self.sockets:
+            s.msr.write_uncore_limits(limits, privileged=privileged)
+
+    def set_pkg_power_limit(
+        self, watts: float | None, *, privileged: bool = False
+    ) -> None:
+        """Arm (or disable) the RAPL PL1 package cap on every socket."""
+        for s in self.sockets:
+            s.msr.write_pkg_power_limit(watts, privileged=privileged)
+
+    @property
+    def core_target_ghz(self) -> float:
+        return self.sockets[0].target_freq_ghz
+
+    @property
+    def uncore_freq_ghz(self) -> float:
+        return self.sockets[0].uncore.freq_ghz
+
+    @property
+    def elapsed_s(self) -> float:
+        return self._elapsed_s
+
+    # -- hardware control loop -------------------------------------------------
+
+    def run_ufs(self, op: OperatingPoint) -> None:
+        """Let the HW UFS controller converge for the current workload.
+
+        Called by the engine at segment boundaries; the 10 ms loop
+        period is far below segment durations, so the converged target
+        is applied directly.
+        """
+        per_socket_active = op.n_active_cores / len(self.sockets)
+        for s in self.sockets:
+            if op.hw_active_fraction is not None:
+                active_frac = op.hw_active_fraction
+            else:
+                active_frac = min(1.0, per_socket_active / s.n_cores)
+            inputs = UfsInputs(
+                fastest_active_ratio=(
+                    int(round(op.effective_core_ghz * 10)) if per_socket_active > 0 else 0
+                ),
+                active_fraction=active_frac,
+                vpi=op.vpi,
+                uncore_demand=op.uncore_demand,
+                pinned=s.pinned,
+                epb=s.msr.read_epb(),
+                follow_factor=op.hw_follow_factor,
+            )
+            limits = s.msr.read_uncore_limits()
+            ratio = self.ufs.target_ratio(
+                inputs,
+                msr_min=max(limits.min_ratio, s.uncore.hw_min_ratio),
+                msr_max=min(limits.max_ratio, s.uncore.hw_max_ratio),
+            )
+            s.uncore.set_ratio(ratio)
+
+    # -- power & energy ---------------------------------------------------------
+
+    def power(self, op: OperatingPoint) -> NodePower:
+        """Instantaneous power breakdown at an operating point."""
+        if op.n_active_cores < 0 or op.n_active_cores > self.config.n_cores:
+            raise HardwareError(
+                f"{op.n_active_cores} active cores on a "
+                f"{self.config.n_cores}-core node"
+            )
+        per_socket_active = op.n_active_cores / len(self.sockets)
+        per_socket_gbs = op.traffic_gbs / len(self.sockets)
+        pck = []
+        for s in self.sockets:
+            n_active = int(round(per_socket_active))
+            bd = socket_power(
+                self.config.power,
+                f_core_ghz=op.effective_core_ghz if n_active else s.target_freq_ghz,
+                f_uncore_ghz=s.uncore.freq_ghz,
+                n_active_cores=n_active,
+                n_idle_cores=s.n_cores - n_active,
+                activity=op.activity,
+                vpi=op.vpi,
+                socket_traffic_gbs=per_socket_gbs,
+            )
+            pck.append(bd.total_w)
+        dram_w = self.config.dram.power_w(op.traffic_gbs)
+        gpus_w = 0.0
+        for i, gpu in enumerate(self.config.gpus):
+            gpus_w += gpu.power_w(busy=i < op.gpus_busy, utilisation=op.gpu_utilisation)
+        return NodePower(
+            pck_w=tuple(pck),
+            dram_w=dram_w,
+            platform_w=self.config.power.platform_w,
+            gpus_w=gpus_w,
+        )
+
+    def advance(self, op: OperatingPoint, seconds: float) -> NodePower:
+        """Spend ``seconds`` at an operating point: integrate all sensors."""
+        if seconds < 0:
+            raise HardwareError("cannot advance negative time")
+        p = self.power(op)
+        self.rapl.add_interval(
+            pck_watts=list(p.pck_w), dram_watts=p.dram_w, seconds=seconds
+        )
+        self.dc_meter.integrate(p.dc_w, seconds)
+        self._pck_energy_j += p.pck_total_w * seconds
+        per_socket_active = int(round(op.n_active_cores / len(self.sockets)))
+        for s in self.sockets:
+            s.account(
+                seconds,
+                n_active=per_socket_active,
+                effective_ghz=op.effective_core_ghz,
+            )
+        self._elapsed_s += seconds
+        return p
+
+    # -- aggregated observations ---------------------------------------------
+
+    @property
+    def pck_energy_j(self) -> float:
+        """Exact package energy since boot (harness ground truth)."""
+        return self._pck_energy_j
+
+    def average_cpu_freq_ghz(self) -> float:
+        """Node-average CPU frequency over all cores and the whole run."""
+        return sum(s.average_freq_ghz() for s in self.sockets) / len(self.sockets)
+
+    def average_imc_freq_ghz(self) -> float:
+        """Node-average uncore (IMC) frequency over the whole run."""
+        return sum(s.uncore.average_freq_ghz() for s in self.sockets) / len(self.sockets)
+
+
+@dataclass
+class Cluster:
+    """A homogeneous set of nodes allocated to one job."""
+
+    config: NodeConfig
+    n_nodes: int
+    nodes: list[Node] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise HardwareError("a cluster needs at least one node")
+        if not self.nodes:
+            self.nodes = [Node(self.config, node_id=i) for i in range(self.n_nodes)]
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,217 @@
+"""CPU P-state tables and AVX-512 licence frequency limits.
+
+EAR numbers P-states the way the Linux ``intel_pstate``/ACPI tables do:
+**P-state 0 is the turbo marker**, P-state 1 is the nominal (base)
+frequency, and each further P-state lowers the clock by 100 MHz.  The
+paper relies on this numbering: on the Xeon Gold 6148 the nominal
+frequency is 2.4 GHz and "the maximum CPU frequency for AVX512 when all
+the cores are running is 2.2 GHz, corresponding with pstate 3".
+
+Wide-vector (AVX-512) instructions draw enough current that the core
+must drop to a *licence frequency* when all cores execute them; the
+:class:`PStateTable` records that limit so both the hardware model and
+the AVX512-aware energy model (section V-A of the paper) can clamp
+requested frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..errors import FrequencyError
+from .units import ghz_to_ratio, ratio_to_ghz, snap_ghz
+
+__all__ = [
+    "PState",
+    "PStateTable",
+    "XEON_6148",
+    "XEON_6142M",
+    "XEON_E5_2620V4",
+    "TURBO_PSTATE",
+]
+
+#: Index of the turbo P-state in every table.
+TURBO_PSTATE: int = 0
+
+
+@dataclass(frozen=True)
+class PState:
+    """A single CPU performance state.
+
+    Attributes
+    ----------
+    index:
+        EAR-style P-state number (0 = turbo, 1 = nominal, ...).
+    freq_ghz:
+        The frequency the core clock runs at in this state.  For the
+        turbo state this is the *all-core* turbo frequency; single-core
+        turbo opportunism is handled by the socket model.
+    """
+
+    index: int
+    freq_ghz: float
+
+    @property
+    def ratio(self) -> int:
+        """BCLK multiplier programmed into IA32_PERF_CTL for this state."""
+        return ghz_to_ratio(self.freq_ghz)
+
+
+@dataclass(frozen=True)
+class PStateTable:
+    """The DVFS capabilities of one processor model.
+
+    Parameters
+    ----------
+    name:
+        Marketing name, e.g. ``"Intel Xeon Gold 6148"``.
+    nominal_ghz:
+        Base (non-turbo) frequency; P-state 1.
+    min_ghz:
+        Lowest supported core frequency.
+    turbo_ghz:
+        All-core turbo frequency; P-state 0.
+    avx512_max_ghz:
+        Licence limit when all cores execute AVX-512.
+    n_cores:
+        Physical cores per socket (hyper-threading is not modelled; the
+        paper does not use it either).
+    """
+
+    name: str
+    nominal_ghz: float
+    min_ghz: float
+    turbo_ghz: float
+    avx512_max_ghz: float
+    n_cores: int
+    _freqs: tuple[float, ...] = field(init=False, repr=False, default=())
+
+    def __post_init__(self) -> None:
+        if not (self.min_ghz <= self.nominal_ghz <= self.turbo_ghz):
+            raise FrequencyError(
+                f"{self.name}: inconsistent frequency range "
+                f"min={self.min_ghz} nominal={self.nominal_ghz} turbo={self.turbo_ghz}"
+            )
+        if not (self.min_ghz <= self.avx512_max_ghz <= self.nominal_ghz):
+            raise FrequencyError(
+                f"{self.name}: AVX512 licence frequency {self.avx512_max_ghz} "
+                f"outside [{self.min_ghz}, {self.nominal_ghz}]"
+            )
+        steps = ghz_to_ratio(self.nominal_ghz) - ghz_to_ratio(self.min_ghz)
+        freqs = [self.turbo_ghz] + [
+            ratio_to_ghz(ghz_to_ratio(self.nominal_ghz) - i) for i in range(steps + 1)
+        ]
+        object.__setattr__(self, "_freqs", tuple(freqs))
+
+    # -- basic accessors ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._freqs)
+
+    def __iter__(self) -> Iterator[PState]:
+        for i, f in enumerate(self._freqs):
+            yield PState(i, f)
+
+    @property
+    def frequencies_ghz(self) -> Sequence[float]:
+        """All frequencies, turbo first, then nominal downward."""
+        return self._freqs
+
+    @property
+    def nominal_pstate(self) -> int:
+        """P-state index of the nominal frequency (always 1)."""
+        return 1
+
+    @property
+    def min_pstate(self) -> int:
+        """P-state index of the lowest frequency."""
+        return len(self._freqs) - 1
+
+    @property
+    def avx512_pstate(self) -> int:
+        """P-state index of the AVX-512 all-core licence frequency."""
+        return self.pstate_of(self.avx512_max_ghz)
+
+    # -- conversions -------------------------------------------------------
+
+    def freq_of(self, pstate: int) -> float:
+        """Frequency (GHz) of a P-state index."""
+        if not 0 <= pstate < len(self._freqs):
+            raise FrequencyError(
+                f"{self.name}: P-state {pstate} out of range 0..{len(self._freqs) - 1}"
+            )
+        return self._freqs[pstate]
+
+    def pstate_of(self, freq_ghz: float) -> int:
+        """P-state index whose frequency matches ``freq_ghz`` exactly.
+
+        The frequency is snapped to the 100 MHz grid first.
+        """
+        f = snap_ghz(freq_ghz)
+        for i, tf in enumerate(self._freqs):
+            if abs(tf - f) < 1e-9:
+                return i
+        raise FrequencyError(f"{self.name}: no P-state at {freq_ghz} GHz")
+
+    def closest_pstate(self, freq_ghz: float) -> int:
+        """P-state whose frequency is closest to ``freq_ghz``.
+
+        Ties resolve to the *higher* frequency (lower index), which is
+        the conservative choice for performance.
+        """
+        best, best_d = 0, float("inf")
+        for i, tf in enumerate(self._freqs):
+            d = abs(tf - freq_ghz)
+            if d < best_d - 1e-12:
+                best, best_d = i, d
+        return best
+
+    def clamp_pstate(self, pstate: int) -> int:
+        """Clamp an arbitrary integer into the valid P-state range."""
+        return min(max(pstate, 0), len(self._freqs) - 1)
+
+    def avx512_clamp(self, pstate: int) -> int:
+        """Clamp a requested P-state to the AVX-512 licence limit.
+
+        Requesting a state *faster* than the licence frequency while all
+        cores run AVX-512 yields the licence state; slower requests are
+        honoured.  This mirrors how the hardware throttles and how the
+        paper's AVX512 energy model limits the target P-state.
+        """
+        return max(self.clamp_pstate(pstate), self.avx512_pstate)
+
+
+#: The 20-core Skylake-SP part used in the paper's main testbed
+#: (Lenovo ThinkSystem SD530, 2 sockets per node).
+XEON_6148 = PStateTable(
+    name="Intel Xeon Gold 6148",
+    nominal_ghz=2.4,
+    min_ghz=1.0,
+    turbo_ghz=2.6,
+    avx512_max_ghz=2.2,
+    n_cores=20,
+)
+
+#: The 16-core part in the GPU nodes used for the CUDA kernels.
+XEON_6142M = PStateTable(
+    name="Intel Xeon Gold 6142M",
+    nominal_ghz=2.6,
+    min_ghz=1.0,
+    turbo_ghz=2.8,
+    avx512_max_ghz=2.2,
+    n_cores=16,
+)
+
+#: The Broadwell part used by the related work the paper compares with
+#: (Gholkar et al. [18], André et al. [19]).  No AVX-512 units, so the
+#: licence frequency equals the nominal frequency (the clamp is a no-op)
+#: — included to show the policies port across micro-architectures.
+XEON_E5_2620V4 = PStateTable(
+    name="Intel Xeon E5-2620 v4",
+    nominal_ghz=2.1,
+    min_ghz=1.2,
+    turbo_ghz=2.3,
+    avx512_max_ghz=2.1,
+    n_cores=8,
+)

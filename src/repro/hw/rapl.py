@@ -1,0 +1,99 @@
+"""RAPL energy counters (package and DRAM domains).
+
+RAPL exposes energy as 32-bit counters in units announced by
+``MSR_RAPL_POWER_UNIT``; on Skylake-SP the energy unit is 2^-14 J
+(~61 µJ) and the counter wraps roughly every 262 kJ — about 22 minutes
+at 200 W, which is *shorter* than several of the paper's application
+runs, so consumers must handle the wrap.  EAR (and this reproduction's
+EARD) reads the counters periodically and accumulates the deltas.
+
+Table VII of the paper compares RAPL package (PCK) savings against DC
+node savings; this module provides the PCK side of that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import HardwareError
+
+__all__ = ["RaplCounter", "RaplDomain", "SKL_ENERGY_UNIT_J"]
+
+#: Skylake energy status unit: 1 / 2**14 joules.
+SKL_ENERGY_UNIT_J: float = 1.0 / (1 << 14)
+
+_WRAP = 1 << 32
+
+
+@dataclass
+class RaplCounter:
+    """A wrapping 32-bit energy counter.
+
+    :meth:`add_energy` is driven by the power model integration;
+    :meth:`raw` is what an MSR read returns; :meth:`delta_joules`
+    implements the wrap-aware difference a well-written reader uses.
+    """
+
+    unit_j: float = SKL_ENERGY_UNIT_J
+    _raw: int = 0
+    _residual_j: float = 0.0
+
+    def add_energy(self, joules: float) -> None:
+        """Accumulate energy, quantising to the RAPL unit."""
+        if joules < 0:
+            raise HardwareError("energy cannot decrease")
+        total = self._residual_j + joules
+        ticks = int(total / self.unit_j)
+        self._residual_j = total - ticks * self.unit_j
+        self._raw = (self._raw + ticks) % _WRAP
+
+    def raw(self) -> int:
+        """Current 32-bit register value."""
+        return self._raw
+
+    def joules(self) -> float:
+        """Energy represented by the current (wrapped) register value."""
+        return self._raw * self.unit_j
+
+    @staticmethod
+    def delta_joules(before_raw: int, after_raw: int, unit_j: float = SKL_ENERGY_UNIT_J) -> float:
+        """Wrap-aware energy difference between two raw reads.
+
+        Assumes at most one wrap between the reads, which holds for any
+        sane polling period.
+        """
+        diff = (after_raw - before_raw) % _WRAP
+        return diff * unit_j
+
+
+@dataclass
+class RaplDomain:
+    """The RAPL domains of one node: per-socket PCK plus DRAM."""
+
+    n_sockets: int = 2
+    pck: list[RaplCounter] = field(default_factory=list)
+    dram: RaplCounter = field(default_factory=RaplCounter)
+
+    def __post_init__(self) -> None:
+        if self.n_sockets <= 0:
+            raise HardwareError("need at least one socket")
+        if not self.pck:
+            self.pck = [RaplCounter() for _ in range(self.n_sockets)]
+
+    def add_interval(
+        self, *, pck_watts: list[float], dram_watts: float, seconds: float
+    ) -> None:
+        """Integrate one interval of constant power into the counters."""
+        if len(pck_watts) != self.n_sockets:
+            raise HardwareError(
+                f"expected {self.n_sockets} socket powers, got {len(pck_watts)}"
+            )
+        if seconds < 0:
+            raise HardwareError("interval cannot be negative")
+        for counter, watts in zip(self.pck, pck_watts):
+            counter.add_energy(watts * seconds)
+        self.dram.add_energy(dram_watts * seconds)
+
+    def pck_joules_total(self) -> float:
+        """Sum of (wrapped) package counters — use only for short windows."""
+        return sum(c.joules() for c in self.pck)

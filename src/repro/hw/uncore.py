@@ -1,0 +1,99 @@
+"""Uncore clock domain of one socket (LLC slices + IMC + mesh).
+
+Since Haswell-EP the uncore runs in its own frequency domain, clamped by
+the ``UNCORE_RATIO_LIMIT`` MSR and steered by a hardware control loop
+(:mod:`repro.hw.ufs`).  This module holds the domain state: the current
+ratio, the MSR-imposed limits and the bookkeeping needed to report the
+*average* IMC frequency over time, which is what EAR's signature exposes
+and what the paper's Tables IV/VI report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import FrequencyError
+from .msr import UncoreRatioLimit
+from .units import ratio_to_ghz
+
+__all__ = ["UncoreDomain", "UNCORE_MAX_RATIO_DEFAULT", "UNCORE_MIN_RATIO_DEFAULT"]
+
+#: Skylake-SP uncore range used throughout the paper: 2.4 GHz .. 1.2 GHz.
+UNCORE_MAX_RATIO_DEFAULT = 24
+UNCORE_MIN_RATIO_DEFAULT = 12
+
+
+@dataclass
+class UncoreDomain:
+    """Frequency state of one socket's uncore.
+
+    The current ratio always respects the MSR limits; re-clamping happens
+    whenever the limits change (the MSR write hook calls :meth:`clamp`).
+    Time-weighted accounting of the ratio supports the ``avg IMC
+    frequency`` signature metric.
+    """
+
+    hw_min_ratio: int = UNCORE_MIN_RATIO_DEFAULT
+    hw_max_ratio: int = UNCORE_MAX_RATIO_DEFAULT
+    limits: UncoreRatioLimit = field(default=None)  # type: ignore[assignment]
+    current_ratio: int = field(default=None)  # type: ignore[assignment]
+    _ratio_seconds: float = 0.0
+    _seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.hw_min_ratio <= self.hw_max_ratio:
+            raise FrequencyError(
+                f"invalid hardware uncore range {self.hw_min_ratio}..{self.hw_max_ratio}"
+            )
+        if self.limits is None:
+            self.limits = UncoreRatioLimit(
+                min_ratio=self.hw_min_ratio, max_ratio=self.hw_max_ratio
+            )
+        if self.current_ratio is None:
+            self.current_ratio = self.limits.max_ratio
+        self.clamp()
+
+    # -- limit handling ----------------------------------------------------
+
+    def set_limits(self, limits: UncoreRatioLimit) -> None:
+        """Apply new MSR limits (intersected with the silicon's range)."""
+        self.limits = UncoreRatioLimit(
+            min_ratio=max(limits.min_ratio, self.hw_min_ratio),
+            max_ratio=min(max(limits.max_ratio, self.hw_min_ratio), self.hw_max_ratio),
+        )
+        self.clamp()
+
+    def clamp(self) -> None:
+        """Force the current ratio inside the active limits."""
+        lo = min(self.limits.min_ratio, self.limits.max_ratio)
+        hi = self.limits.max_ratio
+        self.current_ratio = min(max(self.current_ratio, lo), hi)
+
+    def set_ratio(self, ratio: int) -> None:
+        """Controller-requested ratio; silently clamped into the limits."""
+        self.current_ratio = ratio
+        self.clamp()
+
+    # -- observation ---------------------------------------------------------
+
+    @property
+    def freq_ghz(self) -> float:
+        """Current uncore frequency in GHz."""
+        return ratio_to_ghz(self.current_ratio)
+
+    def account(self, seconds: float) -> None:
+        """Record that the domain spent ``seconds`` at the current ratio."""
+        if seconds < 0:
+            raise FrequencyError("cannot account negative time")
+        self._ratio_seconds += self.current_ratio * seconds
+        self._seconds += seconds
+
+    def average_freq_ghz(self) -> float:
+        """Time-weighted average uncore frequency since the last reset."""
+        if self._seconds <= 0:
+            return self.freq_ghz
+        return ratio_to_ghz(1) * (self._ratio_seconds / self._seconds)
+
+    def reset_accounting(self) -> None:
+        self._ratio_seconds = 0.0
+        self._seconds = 0.0

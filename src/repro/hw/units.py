@@ -1,0 +1,125 @@
+"""Physical units, conversions and small numeric helpers.
+
+The simulator uses a small, consistent set of base units throughout:
+
+========  =============  ======================================
+Quantity  Base unit      Notes
+========  =============  ======================================
+time      seconds (s)    wall-clock simulated time
+frequency GHz            CPU / uncore clocks; 1 GHz = 10 ratio
+energy    joules (J)     integrated node / package energy
+power     watts (W)      instantaneous or averaged power
+traffic   bytes          main-memory traffic
+bandwidth GB/s           ``1e9`` bytes per second (decimal GB)
+========  =============  ======================================
+
+Frequencies are also manipulated as Intel *ratios*: the multiplier of the
+100 MHz base clock (BCLK) that the hardware actually programs into MSRs.
+A frequency of 2.4 GHz is ratio 24.  :func:`ghz_to_ratio` and
+:func:`ratio_to_ghz` convert between the two representations, always
+rounding to the hardware-representable grid.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "BCLK_GHZ",
+    "GIGA",
+    "MEGA",
+    "KILO",
+    "ghz_to_ratio",
+    "ratio_to_ghz",
+    "snap_ghz",
+    "clamp",
+    "watts",
+    "joules_to_wh",
+    "approx_equal",
+    "gbs_from_bytes",
+]
+
+#: Intel base clock in GHz.  Uncore and core ratios are multiples of this.
+BCLK_GHZ: float = 0.1
+
+#: DRAM transaction granularity; TPI counts cache lines per instruction.
+CACHE_LINE_BYTES: int = 64
+
+GIGA: float = 1e9
+MEGA: float = 1e6
+KILO: float = 1e3
+
+
+def ghz_to_ratio(freq_ghz: float) -> int:
+    """Convert a frequency in GHz to the integer BCLK ratio.
+
+    The hardware can only express multiples of 100 MHz; the value is
+    rounded to the nearest ratio.
+
+    >>> ghz_to_ratio(2.4)
+    24
+    >>> ghz_to_ratio(1.25)
+    12
+    """
+    if freq_ghz < 0:
+        raise ValueError(f"frequency must be non-negative, got {freq_ghz}")
+    return int(round(freq_ghz / BCLK_GHZ))
+
+
+def ratio_to_ghz(ratio: int) -> float:
+    """Convert an integer BCLK ratio to GHz.
+
+    The product is rounded to the representable decimal so frequencies
+    coming off the 100 MHz grid compare cleanly (24 * 0.1 would
+    otherwise be 2.4000000000000004).
+
+    >>> ratio_to_ghz(24)
+    2.4
+    """
+    if ratio < 0:
+        raise ValueError(f"ratio must be non-negative, got {ratio}")
+    return round(ratio * BCLK_GHZ, 10)
+
+
+def snap_ghz(freq_ghz: float) -> float:
+    """Snap a frequency to the 100 MHz hardware grid.
+
+    >>> snap_ghz(2.3799999)
+    2.4
+    """
+    return ratio_to_ghz(ghz_to_ratio(freq_ghz))
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp ``value`` into the inclusive range ``[lo, hi]``.
+
+    Raises :class:`ValueError` when the range is inverted, which almost
+    always indicates a configuration bug (e.g. min ratio above max ratio).
+    """
+    if lo > hi:
+        raise ValueError(f"invalid clamp range: lo={lo} > hi={hi}")
+    return min(max(value, lo), hi)
+
+
+def watts(energy_j: float, interval_s: float) -> float:
+    """Average power over an interval; 0 W for an empty interval."""
+    if interval_s <= 0:
+        return 0.0
+    return energy_j / interval_s
+
+
+def joules_to_wh(energy_j: float) -> float:
+    """Convert joules to watt-hours (used by accounting reports)."""
+    return energy_j / 3600.0
+
+
+def gbs_from_bytes(nbytes: float, interval_s: float) -> float:
+    """Bandwidth in GB/s given traffic in bytes over an interval."""
+    if interval_s <= 0:
+        return 0.0
+    return nbytes / interval_s / GIGA
+
+
+def approx_equal(a: float, b: float, rel: float = 1e-9, abs_: float = 1e-12) -> bool:
+    """Tolerant float comparison used by invariant checks."""
+    return math.isclose(a, b, rel_tol=rel, abs_tol=abs_)

@@ -1,0 +1,16 @@
+"""Discrete-event simulation engine: workloads on clusters, with EARL."""
+
+from ..hw.counters import CounterBank, CounterSnapshot
+from .engine import DEFAULT_NOISE_SIGMA, SimulationEngine, run_workload
+from .result import FrequencySample, NodeResult, RunResult
+
+__all__ = [
+    "CounterBank",
+    "CounterSnapshot",
+    "SimulationEngine",
+    "run_workload",
+    "DEFAULT_NOISE_SIGMA",
+    "FrequencySample",
+    "NodeResult",
+    "RunResult",
+]

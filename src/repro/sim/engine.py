@@ -1,0 +1,225 @@
+"""The discrete-event simulation engine.
+
+Executes a workload on a cluster of simulated nodes, iteration by
+iteration, with one EARL instance per node (exactly the deployment the
+paper describes).  Each application iteration:
+
+1. every node executes the current phase's iteration at its present
+   frequencies (the HW UFS controller converges first — its 10 ms loop
+   is far below iteration durations);
+2. nodes synchronise at the MPI barrier: the iteration's wall time is
+   the slowest node's time, and faster nodes spend the difference
+   spinning in the MPI runtime (reduced activity, no traffic);
+3. each node's EARL consumes the iteration (DynAIS events, counters);
+   when a measurement window completes it computes a signature, runs
+   the policy and reprograms the MSRs through EARD.
+
+Event-driven rather than time-stepped: with iteration times of
+0.4-1.5 s and ≥10 s signature windows, nothing interesting happens
+between iteration boundaries, so a multi-thousand-second multi-node
+run simulates in milliseconds.
+
+All stochasticity (per-iteration time jitter) flows from one seeded
+generator, so runs are exactly reproducible and the paper's
+three-runs-averaged methodology is honest noise averaging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ..ear.config import EarConfig
+from ..ear.eard import Eard
+from ..ear.earl import Earl
+from ..errors import ExperimentError
+from ..hw.counters import CounterBank
+from ..hw.node import Cluster, Node
+from ..workloads.app import Workload
+from ..workloads.phase import PhaseProfile
+from .result import FrequencySample, NodeResult, RunResult
+
+__all__ = ["SimulationEngine", "run_workload"]
+
+#: relative sigma of the per-iteration lognormal time jitter.
+DEFAULT_NOISE_SIGMA = 0.003
+
+#: activity factor of cores spinning at the MPI barrier, relative to
+#: the phase's compute activity.
+_WAIT_ACTIVITY_FACTOR = 0.5
+
+
+class SimulationEngine:
+    """One job execution: workload x cluster x (optional) EAR."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        *,
+        ear_config: EarConfig | None = None,
+        seed: int = 0,
+        noise_sigma: float = DEFAULT_NOISE_SIGMA,
+        record_trace: bool = False,
+        pin_cpu_ghz: float | None = None,
+        pin_uncore_ghz: float | None = None,
+        node_speed_spread: float = 0.0,
+    ) -> None:
+        """``pin_cpu_ghz``/``pin_uncore_ghz`` fix frequencies for the whole
+        run (the motivation study's fixed-uncore sweeps, section II of the
+        paper); they are mutually exclusive with an EAR configuration.
+
+        ``node_speed_spread`` introduces static per-node performance
+        heterogeneity (manufacturing/thermal variation): each node gets
+        a fixed multiplicative slowdown factor drawn once per run, so
+        the same node is the straggler at every barrier — the realistic
+        worst case for bulk-synchronous codes.
+        """
+        if noise_sigma < 0:
+            raise ExperimentError("noise sigma cannot be negative")
+        if not 0.0 <= node_speed_spread < 0.3:
+            raise ExperimentError("node_speed_spread must be in [0, 0.3)")
+        if ear_config is not None and (pin_cpu_ghz or pin_uncore_ghz):
+            raise ExperimentError("cannot pin frequencies under an EAR policy")
+        self.workload = workload.calibrated()
+        self.ear_config = ear_config
+        self.seed = seed
+        self.noise_sigma = noise_sigma
+        self.record_trace = record_trace
+        self.cluster = Cluster(self.workload.node_config, self.workload.n_nodes)
+        for node in self.cluster:
+            if pin_cpu_ghz is not None:
+                node.set_core_freq(pin_cpu_ghz, privileged=True)
+            if pin_uncore_ghz is not None:
+                from ..hw.msr import UncoreRatioLimit
+                from ..hw.units import ghz_to_ratio
+
+                ratio = ghz_to_ratio(pin_uncore_ghz)
+                node.set_uncore_limits(
+                    UncoreRatioLimit(min_ratio=ratio, max_ratio=ratio),
+                    privileged=True,
+                )
+        self.banks = {node.node_id: CounterBank() for node in self.cluster}
+        self.earls: dict[int, Earl] = {}
+        if ear_config is not None:
+            for node in self.cluster:
+                self.earls[node.node_id] = Earl(Eard(node), ear_config)
+        self._rng = np.random.default_rng(seed)
+        # static heterogeneity: slowdown factors >= 1, fixed for the run
+        if node_speed_spread > 0:
+            draws = self._rng.uniform(0.0, node_speed_spread, size=len(self.cluster))
+            self._node_slowdown = 1.0 + draws
+        else:
+            self._node_slowdown = np.ones(len(self.cluster))
+        self._time_s = 0.0
+        self._trace: list[FrequencySample] = []
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute every phase to completion; return the job outcome."""
+        for profile, n_iterations in self.workload.phases:
+            for _ in range(n_iterations):
+                self._run_iteration(profile)
+        for earl in self.earls.values():
+            earl.on_app_end()
+        return self._result()
+
+    def _run_iteration(self, profile: PhaseProfile) -> None:
+        noises = self._iteration_noise(len(self.cluster)) * self._node_slowdown
+        counters = {}
+        for node, noise in zip(self.cluster, noises):
+            counters[node.node_id] = profile.execute_iteration(node, noise=noise)
+        t_wall = max(c.seconds for c in counters.values())
+        for node in self.cluster:
+            c = counters[node.node_id]
+            wait = t_wall - c.seconds
+            if wait > 1e-12:
+                self._spin_wait(node, profile, wait)
+            self.banks[node.node_id].add_iteration(c, wall_seconds=t_wall)
+            earl = self.earls.get(node.node_id)
+            if earl is not None:
+                earl.on_iteration(c, profile.mpi_events, t_wall)
+        self._time_s += t_wall
+        if self.record_trace:
+            node0 = self.cluster.nodes[0]
+            self._trace.append(
+                FrequencySample(
+                    at_s=self._time_s,
+                    cpu_target_ghz=node0.core_target_ghz,
+                    imc_freq_ghz=node0.uncore_freq_ghz,
+                )
+            )
+
+    def _spin_wait(self, node: Node, profile: PhaseProfile, seconds: float) -> None:
+        """Burn barrier-wait time spinning in the MPI runtime."""
+        eff_ghz = node.sockets[0].effective_freq_ghz(0.0)
+        op = profile.operating_point(node, effective_core_ghz=eff_ghz)
+        op = replace(
+            op,
+            activity=profile.activity * _WAIT_ACTIVITY_FACTOR,
+            traffic_gbs=0.0,
+            vpi=0.0,
+        )
+        node.advance(op, seconds)
+
+    def _iteration_noise(self, n: int) -> np.ndarray:
+        if self.noise_sigma == 0:
+            return np.ones(n)
+        return np.exp(self._rng.normal(0.0, self.noise_sigma, size=n))
+
+    # -- results ----------------------------------------------------------------
+
+    def _result(self) -> RunResult:
+        nodes = []
+        for node in self.cluster:
+            snap = self.banks[node.node_id].snapshot()
+            nodes.append(
+                NodeResult(
+                    node_id=node.node_id,
+                    dc_energy_j=node.dc_meter.exact_joules,
+                    pck_energy_j=node.pck_energy_j,
+                    avg_cpu_freq_ghz=node.average_cpu_freq_ghz(),
+                    avg_imc_freq_ghz=node.average_imc_freq_ghz(),
+                    cpi=snap.cpi if snap.instructions > 0 else 0.0,
+                    gbs=snap.gbs,
+                )
+            )
+        nodes = tuple(nodes)
+        earl0 = self.earls.get(0)
+        policy = "none" if self.ear_config is None else self.ear_config.policy
+        return RunResult(
+            workload=self.workload.name,
+            n_nodes=self.workload.n_nodes,
+            policy=policy,
+            seed=self.seed,
+            time_s=self._time_s,
+            nodes=nodes,
+            signatures=tuple(earl0.signatures) if earl0 else (),
+            decisions=tuple(earl0.decisions) if earl0 else (),
+            freq_trace=tuple(self._trace),
+        )
+
+
+def run_workload(
+    workload: Workload,
+    *,
+    ear_config: EarConfig | None = None,
+    seed: int = 0,
+    noise_sigma: float = DEFAULT_NOISE_SIGMA,
+    record_trace: bool = False,
+    pin_cpu_ghz: float | None = None,
+    pin_uncore_ghz: float | None = None,
+    node_speed_spread: float = 0.0,
+) -> RunResult:
+    """Convenience wrapper: build an engine and run it once."""
+    return SimulationEngine(
+        workload,
+        ear_config=ear_config,
+        seed=seed,
+        noise_sigma=noise_sigma,
+        record_trace=record_trace,
+        pin_cpu_ghz=pin_cpu_ghz,
+        pin_uncore_ghz=pin_uncore_ghz,
+        node_speed_spread=node_speed_spread,
+    ).run()

@@ -1,0 +1,132 @@
+"""Run results: what one simulated job execution produced.
+
+The result carries both what EAR itself could see (signatures, policy
+decisions) and the harness ground truth (exact energies, time-weighted
+average frequencies) used to build the paper's tables.  ``to_dict`` /
+``to_json`` export everything for external analysis tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..ear.earl import PolicyDecision
+from ..ear.signature import Signature
+
+__all__ = ["NodeResult", "RunResult", "FrequencySample"]
+
+
+@dataclass(frozen=True)
+class FrequencySample:
+    """One point of the frequency trace (node 0)."""
+
+    at_s: float
+    cpu_target_ghz: float
+    imc_freq_ghz: float
+
+
+@dataclass(frozen=True)
+class NodeResult:
+    """Ground-truth per-node outcome."""
+
+    node_id: int
+    dc_energy_j: float
+    pck_energy_j: float
+    avg_cpu_freq_ghz: float
+    avg_imc_freq_ghz: float
+    #: whole-run aggregate counters (the paper's per-kernel CPI / GB/s).
+    cpi: float = 0.0
+    gbs: float = 0.0
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one job execution."""
+
+    workload: str
+    n_nodes: int
+    policy: str
+    seed: int
+    #: job wall time (max over nodes, i.e. including barrier waits).
+    time_s: float
+    nodes: tuple[NodeResult, ...]
+    #: node-0 EARL traces (empty for no-policy runs).
+    signatures: tuple[Signature, ...] = ()
+    decisions: tuple[PolicyDecision, ...] = ()
+    freq_trace: tuple[FrequencySample, ...] = field(default=(), repr=False)
+
+    @property
+    def dc_energy_j(self) -> float:
+        """Total DC energy over all nodes."""
+        return sum(n.dc_energy_j for n in self.nodes)
+
+    @property
+    def pck_energy_j(self) -> float:
+        """Total package (RAPL PCK scope) energy over all nodes."""
+        return sum(n.pck_energy_j for n in self.nodes)
+
+    @property
+    def avg_dc_power_w(self) -> float:
+        """Average DC power per node (the paper's reporting unit)."""
+        if self.time_s <= 0 or not self.nodes:
+            return 0.0
+        return self.dc_energy_j / self.time_s / len(self.nodes)
+
+    @property
+    def avg_pck_power_w(self) -> float:
+        """Average RAPL package power per node."""
+        if self.time_s <= 0 or not self.nodes:
+            return 0.0
+        return self.pck_energy_j / self.time_s / len(self.nodes)
+
+    @property
+    def avg_cpu_freq_ghz(self) -> float:
+        return sum(n.avg_cpu_freq_ghz for n in self.nodes) / len(self.nodes)
+
+    @property
+    def avg_imc_freq_ghz(self) -> float:
+        return sum(n.avg_imc_freq_ghz for n in self.nodes) / len(self.nodes)
+
+    @property
+    def cpi(self) -> float:
+        """Run-aggregate CPI averaged over nodes."""
+        return sum(n.cpi for n in self.nodes) / len(self.nodes)
+
+    @property
+    def gbs(self) -> float:
+        """Run-aggregate per-node memory bandwidth, GB/s."""
+        return sum(n.gbs for n in self.nodes) / len(self.nodes)
+
+    # -- export ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data view of the run (JSON-serialisable)."""
+        return {
+            "workload": self.workload,
+            "n_nodes": self.n_nodes,
+            "policy": self.policy,
+            "seed": self.seed,
+            "time_s": self.time_s,
+            "dc_energy_j": self.dc_energy_j,
+            "pck_energy_j": self.pck_energy_j,
+            "avg_dc_power_w": self.avg_dc_power_w,
+            "avg_cpu_freq_ghz": self.avg_cpu_freq_ghz,
+            "avg_imc_freq_ghz": self.avg_imc_freq_ghz,
+            "nodes": [asdict(n) for n in self.nodes],
+            "signatures": [asdict(s) for s in self.signatures],
+            "decisions": [
+                {
+                    "at_s": d.at_s,
+                    "earl_state": d.earl_state.name,
+                    "policy_state": d.policy_state.name if d.policy_state else None,
+                    "freqs": asdict(d.freqs) if d.freqs else None,
+                    "signature": asdict(d.signature),
+                }
+                for d in self.decisions
+            ],
+            "freq_trace": [asdict(s) for s in self.freq_trace],
+        }
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

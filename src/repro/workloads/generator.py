@@ -1,0 +1,293 @@
+"""Parametric synthetic workload generator.
+
+Two consumers:
+
+* the **model learning phase** (:mod:`repro.ear.models.coefficients`)
+  needs a corpus of workloads spanning the compute/memory-boundedness
+  space, mirroring how EAR's real learning phase runs a kernel battery
+  at every P-state on each node type;
+* **ablation studies** need workloads with one knob turned at a time.
+
+Profiles are generated on a deterministic grid (no randomness — the
+corpus must be identical across runs so trained coefficients are
+reproducible) covering CPU-bound through bandwidth-saturated cases,
+with and without AVX-512, plus spin/offload-style profiles for GPU
+nodes.
+"""
+
+from __future__ import annotations
+
+from ..hw.node import NodeConfig
+from .app import Workload
+from .mpi_trace import stencil_pattern
+from .phase import PhaseProfile
+
+__all__ = ["synthetic_profile", "training_corpus", "synthetic_workload"]
+
+
+def synthetic_profile(
+    *,
+    name: str,
+    node_config: NodeConfig,
+    core_share: float,
+    unc_share: float,
+    mem_share: float,
+    vpi: float = 0.0,
+    activity: float = 0.9,
+    traffic_gbs: float | None = None,
+    iteration_s: float = 0.5,
+    spin: bool = False,
+    cpi_base: float = 0.3,
+) -> PhaseProfile:
+    """Build one synthetic phase with a consistent anchor.
+
+    The anchor CPI follows from the share mix (stall-heavy mixes have
+    high CPI) on top of ``cpi_base`` (the execution-CPI floor, which
+    real kernels vary independently of their stall share), traffic from
+    the memory share unless given explicitly, and power is left
+    symbolic: the profile carries its activity directly instead of
+    being solved from a power target.
+    """
+    if not 0 <= core_share + unc_share + mem_share <= 1 + 1e-9:
+        raise ValueError("shares must sum to at most 1")
+    stall = unc_share + mem_share
+    # CPI floor ~0.3 (below every real kernel in the evaluation so the
+    # regression never extrapolates) rising to ~3.3 when stall-dominated.
+    cpi = cpi_base + 3.0 * stall
+    if traffic_gbs is None:
+        # Strictly proportional to the stall share: TPI/CPI then encodes
+        # the stall share exactly, which is what makes EAR's linear
+        # (CPI, TPI) projection basis exact on this family.
+        traffic_gbs = node_config.dram.peak_node_gbs * min(0.95, 1.0 * stall)
+    # Memory-bound work keeps the LLC/IMC monitor busy, so the hardware
+    # UFS holds the uncore up for it (otherwise training measurements
+    # would conflate core DVFS with an uncore collapse no real
+    # memory-bound code experiences).
+    uncore_demand = min(1.0, unc_share + 1.3 * mem_share)
+    n_active = 1 if spin else None
+    return PhaseProfile(
+        name=name,
+        ref_iteration_s=iteration_s,
+        ref_cpi=cpi,
+        ref_gbs=max(traffic_gbs, 0.05),
+        ref_dc_power_w=300.0,  # unused: activity is set explicitly below
+        s_core=core_share,
+        s_unc=unc_share,
+        s_mem=mem_share,
+        vpi=vpi,
+        n_active_cores=n_active,
+        hw_active_fraction=(1.0 / node_config.n_cores) if spin else None,
+        uncore_demand=0.0 if spin else uncore_demand,
+        activity=activity,
+        calibrate_power=False,  # activity is authoritative, not the anchor
+        mpi_events=stencil_pattern(2),
+    )
+
+
+def training_corpus(node_config: NodeConfig) -> tuple[PhaseProfile, ...]:
+    """The learning-phase battery for one node type.
+
+    A grid over boundedness mixes; GPU nodes additionally include
+    offload/spin profiles so the trained model has seen signatures
+    whose time barely reacts to the core clock.
+    """
+    profiles: list[PhaseProfile] = []
+    # A one-parameter family from pure compute to bandwidth-saturated,
+    # with the stall time strictly memory-proportional.  This is the
+    # regime in which EAR's linear (CPI, TPI) feature basis is exact:
+    # CPI(f) = cpi_exec + stall/instr * f with stall ∝ TPI, so the
+    # learned B coefficient carries the whole frequency sensitivity.
+    # Training kernels are chosen to satisfy it (STREAM/DGEMM-style
+    # batteries do); real applications with latency- or
+    # synchronisation-dominated stalls then project conservatively
+    # (they look CPU-bound to the model), which is the safe direction.
+    # AVX-512 profiles are deliberately absent: their licence-frequency
+    # behaviour is handled at the model level (the paper's AVX512 model
+    # clamps the target P-state); mixing them into the scalar regression
+    # would corrupt the CPI slope for everything else.
+    stall_grid = [0.0, 0.04, 0.10, 0.18, 0.28, 0.38, 0.48, 0.58, 0.68, 0.78, 0.88]
+    for i, s in enumerate(stall_grid):
+        activity = 1.0 - 0.55 * s
+        profiles.append(
+            synthetic_profile(
+                name=f"train.{node_config.pstates.name}.{i}",
+                node_config=node_config,
+                core_share=1.0 - s,
+                unc_share=0.25 * s,
+                mem_share=0.75 * s,
+                activity=activity,
+            )
+        )
+    # Off-family variants: execution-CPI floor and activity varied
+    # independently of the stall share.  Without them the regression
+    # plane is only determined *along* the family, and signatures lying
+    # off it (every real application does, a little) are projected with
+    # arbitrary out-of-plane slopes — the power coefficient D in
+    # particular must see power varying at fixed (CPI, TPI).
+    for i, s in enumerate([0.0, 0.10, 0.28, 0.48, 0.68, 0.88]):
+        profiles.append(
+            synthetic_profile(
+                name=f"train.{node_config.pstates.name}.base{i}",
+                node_config=node_config,
+                core_share=1.0 - s,
+                unc_share=0.25 * s,
+                mem_share=0.75 * s,
+                activity=1.0 - 0.55 * s,
+                cpi_base=0.8,
+            )
+        )
+        profiles.append(
+            synthetic_profile(
+                name=f"train.{node_config.pstates.name}.act{i}",
+                node_config=node_config,
+                core_share=1.0 - s,
+                unc_share=0.25 * s,
+                mem_share=0.75 * s,
+                activity=(1.0 - 0.55 * s) * 0.7,
+            )
+        )
+    if node_config.gpus:
+        # GPU nodes learn from offload/spin profiles: a host core spinning
+        # on a device handle while the GPU computes.  Their weight in the
+        # corpus dominates, as they dominate what actually runs there.
+        for i, (c, a) in enumerate(
+            [(0.02, 1.0), (0.03, 0.9), (0.05, 0.8), (0.08, 0.7), (0.10, 0.6), (0.15, 0.5)]
+        ):
+            profiles.append(
+                synthetic_profile(
+                    name=f"train.{node_config.pstates.name}.spin{i}",
+                    node_config=node_config,
+                    core_share=c,
+                    unc_share=0.01,
+                    mem_share=0.01,
+                    activity=a,
+                    traffic_gbs=0.1,
+                    spin=True,
+                )
+            )
+    return tuple(profiles)
+
+
+def communication_workload(
+    *,
+    comm_fraction: float,
+    node_config: NodeConfig,
+    n_nodes: int = 4,
+    n_iterations: int = 200,
+    iteration_s: float = 0.5,
+) -> Workload:
+    """A workload whose iteration is ``comm_fraction`` MPI time.
+
+    The substrate for the paper's future-work question about
+    "high communication intensive applications": as the communication
+    share grows, per-iteration time becomes frequency-invariant, cores
+    spend their time spinning in the MPI runtime (which the hardware
+    UFS monitor reads as a lightly loaded socket), and both the DVFS
+    and the uncore stages change character.
+    """
+    if not 0.0 <= comm_fraction <= 0.9:
+        raise ValueError(f"comm_fraction must be in [0, 0.9], got {comm_fraction}")
+    compute = 1.0 - comm_fraction
+    profile = synthetic_profile(
+        name=f"comm{int(comm_fraction * 100)}",
+        node_config=node_config,
+        core_share=0.82 * compute,
+        unc_share=0.08 * compute,
+        mem_share=0.06 * compute,
+        iteration_s=iteration_s,
+        activity=0.95,
+    )
+    from dataclasses import replace
+
+    profile = replace(
+        profile,
+        # spinning ranks look mostly idle to the UFS activity monitor
+        hw_active_fraction=max(0.1, 1.0 - 0.85 * comm_fraction),
+    )
+    return Workload(
+        name=f"COMM-{int(comm_fraction * 100)}%",
+        node_config=node_config,
+        n_nodes=n_nodes,
+        n_processes=n_nodes * node_config.n_cores,
+        phases=((profile, n_iterations),),
+        description=f"synthetic bulk-synchronous code, {comm_fraction:.0%} MPI time",
+    )
+
+
+def alternating_phases_workload(
+    *,
+    node_config: NodeConfig,
+    n_blocks: int = 3,
+    iterations_per_block: int = 60,
+    iteration_s: float = 0.5,
+) -> Workload:
+    """A multi-phase application: compute and memory phases alternate.
+
+    Exercises EARL's phase machinery end to end: the 15 % signature
+    change detection, the validate-fail -> defaults -> re-select path,
+    and the restart of the IMC descent when the phase flips under it.
+    """
+    if n_blocks < 1:
+        raise ValueError("need at least one block")
+    compute = synthetic_profile(
+        name="alt.compute",
+        node_config=node_config,
+        core_share=0.9,
+        unc_share=0.05,
+        mem_share=0.03,
+        iteration_s=iteration_s,
+        activity=1.0,
+    )
+    memory = synthetic_profile(
+        name="alt.memory",
+        node_config=node_config,
+        core_share=0.12,
+        unc_share=0.2,
+        mem_share=0.6,
+        iteration_s=iteration_s,
+        activity=0.5,
+    )
+    phases: list = []
+    for _ in range(n_blocks):
+        phases.append((compute, iterations_per_block))
+        phases.append((memory, iterations_per_block))
+    return Workload(
+        name=f"ALTERNATING-{n_blocks}x{iterations_per_block}",
+        node_config=node_config,
+        n_nodes=1,
+        n_processes=node_config.n_cores,
+        phases=tuple(phases),
+        description="synthetic multi-phase code alternating compute/memory",
+    )
+
+
+def synthetic_workload(
+    *,
+    name: str = "synthetic",
+    node_config: NodeConfig,
+    core_share: float,
+    unc_share: float,
+    mem_share: float,
+    vpi: float = 0.0,
+    n_nodes: int = 1,
+    n_iterations: int = 120,
+    iteration_s: float = 0.5,
+) -> Workload:
+    """A one-phase workload for ablation and property tests."""
+    profile = synthetic_profile(
+        name=f"{name}.phase",
+        node_config=node_config,
+        core_share=core_share,
+        unc_share=unc_share,
+        mem_share=mem_share,
+        vpi=vpi,
+        iteration_s=iteration_s,
+    )
+    return Workload(
+        name=name,
+        node_config=node_config,
+        n_nodes=n_nodes,
+        n_processes=n_nodes,
+        phases=((profile, n_iterations),),
+        description="synthetic generator workload",
+    )

@@ -1,0 +1,82 @@
+"""MPI call-stream synthesis for DynAIS.
+
+EARL detects the outer iterative structure of MPI applications by
+watching the sequence of MPI calls (call type + a hash of its
+arguments) — the paper's "Dynais technology [...] based on repetitive
+invocations of MPI calls".  The simulation therefore attaches a short,
+characteristic MPI event pattern to each workload phase; the engine
+replays it once per iteration and DynAIS sees exactly the kind of
+periodic stream it sees in production.
+
+Events are small integers: a call-type tag combined with a
+pseudo-argument hash so two ``MPI_Send`` calls to different neighbours
+are distinct events, as they are to the real Dynais.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["MpiCall", "event", "stencil_pattern", "allreduce_pattern", "pencil_pattern"]
+
+
+class MpiCall(IntEnum):
+    """MPI call types that matter to the loop detector."""
+
+    SEND = 1
+    RECV = 2
+    ISEND = 3
+    IRECV = 4
+    WAITALL = 5
+    ALLREDUCE = 6
+    BCAST = 7
+    ALLTOALL = 8
+    BARRIER = 9
+    REDUCE = 10
+
+
+def event(call: MpiCall, arg_hash: int = 0) -> int:
+    """Encode one MPI event as DynAIS sees it (call type + argument hash)."""
+    if arg_hash < 0:
+        raise ValueError("arg_hash must be non-negative")
+    return int(call) * 1000 + (arg_hash % 1000)
+
+
+def stencil_pattern(n_neighbours: int = 4, *, with_reduce: bool = True) -> tuple[int, ...]:
+    """Halo-exchange iteration: Isend/Irecv per neighbour + Waitall.
+
+    The shape of BT-MZ/SP-MZ/LU-style structured-grid solvers.
+    """
+    if n_neighbours <= 0:
+        raise ValueError("need at least one neighbour")
+    events: list[int] = []
+    for n in range(n_neighbours):
+        events.append(event(MpiCall.IRECV, n))
+        events.append(event(MpiCall.ISEND, n))
+    events.append(event(MpiCall.WAITALL))
+    if with_reduce:
+        events.append(event(MpiCall.ALLREDUCE))
+    return tuple(events)
+
+
+def allreduce_pattern(n_reductions: int = 2) -> tuple[int, ...]:
+    """CG-style iteration dominated by dot products (HPCG, BQCD solvers)."""
+    if n_reductions <= 0:
+        raise ValueError("need at least one reduction")
+    events: list[int] = []
+    for n in range(n_reductions):
+        events.append(event(MpiCall.ALLREDUCE, n))
+        events.append(event(MpiCall.ISEND, n))
+        events.append(event(MpiCall.IRECV, n))
+        events.append(event(MpiCall.WAITALL, n))
+    return tuple(events)
+
+
+def pencil_pattern() -> tuple[int, ...]:
+    """Pencil-decomposed spectral/FFT iteration (AFiD, DUMSES transposes)."""
+    return (
+        event(MpiCall.ALLTOALL, 0),
+        event(MpiCall.ALLTOALL, 1),
+        event(MpiCall.ALLREDUCE),
+        event(MpiCall.BARRIER),
+    )

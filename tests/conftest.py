@@ -1,0 +1,75 @@
+"""Shared fixtures.
+
+Coefficient training is cached per node type inside
+:mod:`repro.ear.models.coefficients`; the session fixtures below warm
+that cache once so individual tests don't pay for it repeatedly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.ear.models import train_coefficients
+from repro.hw.node import GPU_NODE, SD530, Node
+from repro.workloads.generator import synthetic_workload
+
+
+@pytest.fixture(scope="session")
+def sd530_coefficients():
+    """Trained coefficient table for the main testbed node type."""
+    return train_coefficients(SD530)
+
+
+@pytest.fixture(scope="session")
+def gpu_coefficients():
+    return train_coefficients(GPU_NODE)
+
+
+@pytest.fixture()
+def node() -> Node:
+    """A fresh SD530 node."""
+    return Node(SD530)
+
+
+@pytest.fixture()
+def gpu_node() -> Node:
+    return Node(GPU_NODE)
+
+
+@pytest.fixture()
+def ear_config() -> EarConfig:
+    """The paper's default configuration (5 % / 2 %, eUFS on)."""
+    return EarConfig()
+
+
+def make_fast_workload(
+    *,
+    core_share: float = 0.85,
+    unc_share: float = 0.06,
+    mem_share: float = 0.05,
+    n_nodes: int = 1,
+    n_iterations: int = 150,
+    vpi: float = 0.0,
+):
+    """A small synthetic workload for engine/policy tests (~75 s sim)."""
+    return synthetic_workload(
+        name=f"fast-{core_share:.2f}-{mem_share:.2f}",
+        node_config=SD530,
+        core_share=core_share,
+        unc_share=unc_share,
+        mem_share=mem_share,
+        vpi=vpi,
+        n_nodes=n_nodes,
+        n_iterations=n_iterations,
+    )
+
+
+@pytest.fixture()
+def fast_workload():
+    return make_fast_workload()
+
+
+@pytest.fixture()
+def memory_workload():
+    return make_fast_workload(core_share=0.12, unc_share=0.2, mem_share=0.6)

@@ -1,0 +1,94 @@
+"""Job accounting (eacct-like)."""
+
+import pytest
+
+from repro.ear.accounting import AccountingDB, JobRecord, NodeJobRecord
+from repro.errors import ExperimentError
+
+
+def record(job_id=1, workload="BT-MZ.C", policy="min_energy", n_nodes=2) -> JobRecord:
+    nodes = tuple(
+        NodeJobRecord(
+            node_id=i,
+            seconds=100.0,
+            dc_energy_j=33000.0,
+            avg_cpu_freq_ghz=2.38,
+            avg_imc_freq_ghz=1.98,
+        )
+        for i in range(n_nodes)
+    )
+    return JobRecord(
+        job_id=job_id,
+        workload=workload,
+        policy=policy,
+        cpu_policy_th=0.05,
+        unc_policy_th=0.02,
+        nodes=nodes,
+    )
+
+
+class TestRecords:
+    def test_job_aggregates(self):
+        rec = record()
+        assert rec.seconds == pytest.approx(100.0)
+        assert rec.dc_energy_j == pytest.approx(66000.0)
+        assert rec.avg_node_power_w == pytest.approx(330.0)
+        assert rec.dc_energy_wh == pytest.approx(66000.0 / 3600.0)
+
+    def test_node_power(self):
+        n = record().nodes[0]
+        assert n.avg_dc_power_w == pytest.approx(330.0)
+
+    def test_empty_job(self):
+        rec = JobRecord(
+            job_id=9, workload="x", policy="none", cpu_policy_th=0, unc_policy_th=0
+        )
+        assert rec.seconds == 0.0
+        assert rec.avg_node_power_w == 0.0
+
+
+class TestDatabase:
+    def test_insert_and_query(self):
+        db = AccountingDB()
+        db.insert(record(job_id=1))
+        db.insert(record(job_id=2, workload="HPCG"))
+        assert db.job(1).workload == "BT-MZ.C"
+        assert [r.job_id for r in db.jobs(workload="HPCG")] == [2]
+        assert len(db.jobs()) == 2
+
+    def test_policy_filter(self):
+        db = AccountingDB()
+        db.insert(record(job_id=1, policy="min_energy"))
+        db.insert(record(job_id=2, policy="monitoring"))
+        assert [r.job_id for r in db.jobs(policy="monitoring")] == [2]
+
+    def test_duplicate_id_rejected(self):
+        db = AccountingDB()
+        db.insert(record(job_id=1))
+        with pytest.raises(ExperimentError):
+            db.insert(record(job_id=1))
+
+    def test_unknown_job_rejected(self):
+        with pytest.raises(ExperimentError):
+            AccountingDB().job(42)
+
+    def test_job_id_allocation(self):
+        db = AccountingDB()
+        assert db.new_job_id() == 1
+        assert db.new_job_id() == 2
+
+    def test_total_energy(self):
+        db = AccountingDB()
+        db.insert(record(job_id=1))
+        db.insert(record(job_id=2))
+        assert db.total_energy_j() == pytest.approx(132000.0)
+
+    def test_json_roundtrip(self):
+        db = AccountingDB()
+        db.insert(record(job_id=1))
+        db.insert(record(job_id=7, workload="POP"))
+        restored = AccountingDB.from_json(db.to_json())
+        assert restored.job(7).workload == "POP"
+        assert restored.total_energy_j() == pytest.approx(db.total_energy_j())
+        # id allocation continues after the highest restored id
+        assert restored.new_job_id() == 8

@@ -1,0 +1,97 @@
+"""The paper's AVX512-aware model (section V-A)."""
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.ear.models import Avx512Model, DefaultModel, make_model, steady_state_signature
+from repro.hw.node import SD530
+from repro.workloads.kernels import dgemm_mkl
+from repro.workloads.generator import synthetic_profile
+
+
+@pytest.fixture()
+def models(sd530_coefficients):
+    return (
+        Avx512Model(sd530_coefficients, SD530.pstates),
+        DefaultModel(sd530_coefficients, SD530.pstates),
+    )
+
+
+def scalar_sig():
+    profile = synthetic_profile(
+        name="scalar", node_config=SD530, core_share=0.9, unc_share=0.05, mem_share=0.05
+    )
+    return steady_state_signature(profile, SD530, f_cpu_ghz=2.4)
+
+
+def dgemm_sig():
+    profile = dgemm_mkl().calibrated().main_phase
+    return steady_state_signature(profile, SD530, f_cpu_ghz=2.4)
+
+
+class TestScalarEquivalence:
+    def test_vpi_zero_reduces_to_default(self, models):
+        avx, default = models
+        sig = scalar_sig()
+        for to_ps in (1, 4, 8):
+            a = avx.project(sig, 1, to_ps)
+            d = default.project(sig, 1, to_ps)
+            assert a.time_s == pytest.approx(d.time_s)
+            assert a.power_w == pytest.approx(d.power_w)
+
+
+class TestLicenceClamping:
+    def test_no_speedup_promised_above_licence(self, models):
+        """Projections to any state above the licence frequency must
+        predict the same time: the silicon cannot deliver more."""
+        avx, _ = models
+        sig = dgemm_sig()  # measured at effective 2.2 GHz -> from_ps 3
+        from_ps = SD530.pstates.closest_pstate(sig.avg_cpu_freq_ghz)
+        t_nominal = avx.project(sig, from_ps, 1).time_s
+        t_licence = avx.project(sig, from_ps, 3).time_s
+        assert t_nominal == pytest.approx(t_licence)
+
+    def test_below_licence_predicts_full_slowdown(self, models):
+        """The AVX component scales purely with the clock below the
+        licence state — vector-dense kernels are execution bound."""
+        avx, _ = models
+        sig = dgemm_sig()
+        from_ps = SD530.pstates.closest_pstate(sig.avg_cpu_freq_ghz)
+        pred = avx.project(sig, from_ps, SD530.pstates.pstate_of(1.1))
+        assert pred.time_s / sig.iteration_time_s == pytest.approx(2.0, rel=0.01)
+
+    def test_partial_vpi_blends(self, models):
+        avx, default = models
+        profile = synthetic_profile(
+            name="mixed",
+            node_config=SD530,
+            core_share=0.9,
+            unc_share=0.05,
+            mem_share=0.05,
+            vpi=0.5,
+        )
+        sig = steady_state_signature(profile, SD530, f_cpu_ghz=2.4)
+        from_ps = SD530.pstates.closest_pstate(sig.avg_cpu_freq_ghz)
+        a = avx.project(sig, from_ps, 6)
+        d = default.project(sig, from_ps, 6)
+        # the blend must sit between the pure-default and pure-AVX ends
+        assert a.time_s != pytest.approx(d.time_s)
+
+
+class TestPolicyConsequence:
+    def test_min_energy_keeps_dgemm_near_licence(self, sd530_coefficients):
+        """Table IV: DGEMM's ME frequency is the licence frequency, not
+        something deep below it."""
+        from repro.ear.policies import MinEnergyPolicy, PolicyContext
+
+        cfg = EarConfig(use_explicit_ufs=False)
+        ctx = PolicyContext(
+            config=cfg,
+            pstates=SD530.pstates,
+            model=make_model(SD530, cfg),
+            imc_max_ghz=2.4,
+            imc_min_ghz=1.2,
+        )
+        policy = MinEnergyPolicy(ctx)
+        _, freqs = policy.node_policy(dgemm_sig())
+        assert freqs.cpu_ghz >= 2.1

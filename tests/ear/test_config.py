@@ -1,0 +1,47 @@
+"""EAR configuration validation."""
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = EarConfig()
+        assert cfg.policy == "min_energy"
+        assert cfg.cpu_policy_th == 0.05
+        assert cfg.unc_policy_th == 0.02
+        assert cfg.use_explicit_ufs
+        assert cfg.hw_guided_imc
+        assert cfg.imc_step_ghz == pytest.approx(0.1)
+        assert not cfg.move_imc_min
+        assert cfg.signature_min_time_s == 10.0
+        assert cfg.signature_change_th == 0.15
+
+    def test_overrides(self):
+        cfg = EarConfig().with_overrides(cpu_policy_th=0.03)
+        assert cfg.cpu_policy_th == 0.03
+        assert cfg.unc_policy_th == 0.02
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("cpu_policy_th", -0.1),
+            ("cpu_policy_th", 0.6),
+            ("unc_policy_th", -0.01),
+            ("imc_step_ghz", 0.0),
+            ("signature_min_time_s", 0.0),
+            ("signature_change_th", 0.0),
+            ("signature_change_th", 1.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            EarConfig(**{field: value})
+
+    def test_zero_thresholds_allowed(self):
+        """Figure 4 runs unc_policy_th = 0 %."""
+        assert EarConfig(unc_policy_th=0.0).unc_policy_th == 0.0

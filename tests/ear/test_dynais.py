@@ -1,0 +1,113 @@
+"""DynAIS loop detection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ear.dynais import Dynais, DynaisEvent
+from repro.workloads.mpi_trace import allreduce_pattern, pencil_pattern, stencil_pattern
+
+
+def feed(dynais: Dynais, events) -> list[DynaisEvent]:
+    return [dynais.observe(e) for e in events]
+
+
+class TestDetection:
+    def test_locks_onto_simple_loop(self):
+        d = Dynais(confirm=3)
+        pattern = [1, 2, 3]
+        out = feed(d, pattern * 6)
+        assert DynaisEvent.NEW_LOOP in out
+        assert d.in_loop
+        assert d.period == 3
+
+    def test_iteration_boundaries_fire_once_per_period(self):
+        d = Dynais(confirm=3)
+        pattern = [1, 2, 3, 4]
+        out = feed(d, pattern * 10)
+        boundaries = out.count(DynaisEvent.NEW_ITERATION)
+        # after lock-on, one boundary per remaining period
+        assert boundaries >= 5
+        # never more boundaries than periods
+        assert boundaries <= 10
+
+    def test_random_stream_never_locks(self):
+        d = Dynais()
+        out = feed(d, [7, 3, 9, 1, 4, 8, 2, 6, 5, 10, 13, 11, 12, 15, 14])
+        assert all(e is DynaisEvent.NO_LOOP for e in out)
+        assert not d.in_loop
+
+    def test_loop_end_detected(self):
+        d = Dynais(confirm=3)
+        feed(d, [1, 2] * 8)
+        assert d.in_loop
+        out = feed(d, [99])
+        assert out[-1] is DynaisEvent.END_LOOP
+        assert not d.in_loop
+
+    def test_relocks_after_phase_change(self):
+        d = Dynais(confirm=3)
+        feed(d, [1, 2] * 8)
+        feed(d, [99])  # END_LOOP
+        out = feed(d, [5, 6, 7] * 6)
+        assert DynaisEvent.NEW_LOOP in out
+        assert d.period == 3
+
+    def test_smallest_period_wins(self):
+        """An outer loop of two identical halves reports the inner period."""
+        d = Dynais(confirm=3)
+        feed(d, [1, 2, 1, 2, 1, 2, 1, 2, 1, 2])
+        assert d.period == 2
+
+    def test_constant_stream_is_period_one(self):
+        d = Dynais(confirm=3)
+        feed(d, [5] * 10)
+        assert d.period == 1
+
+
+class TestRealPatterns:
+    @pytest.mark.parametrize(
+        "pattern",
+        [stencil_pattern(4), allreduce_pattern(2), pencil_pattern()],
+        ids=["stencil", "allreduce", "pencil"],
+    )
+    def test_locks_on_real_mpi_patterns(self, pattern):
+        d = Dynais(confirm=3)
+        out = feed(d, list(pattern) * 8)
+        assert d.in_loop
+        assert d.period == len(pattern)
+        assert out.count(DynaisEvent.NEW_ITERATION) >= 3
+
+
+class TestRobustness:
+    def test_reset(self):
+        d = Dynais(confirm=3)
+        feed(d, [1, 2] * 8)
+        d.reset()
+        assert not d.in_loop
+        assert feed(d, [1, 2])[0] is DynaisEvent.NO_LOOP
+
+    def test_history_is_bounded(self):
+        d = Dynais(max_period=8, confirm=3)
+        feed(d, list(range(100000)) )
+        assert len(d._history) <= 4 * 8 * 3
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Dynais(max_period=0)
+        with pytest.raises(ValueError):
+            Dynais(confirm=1)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=5), min_size=2, max_size=6),
+        st.integers(min_value=4, max_value=8),
+    )
+    @settings(max_examples=40)
+    def test_any_periodic_stream_locks(self, body, repeats):
+        """Property: repeating any body enough times gets detected."""
+        d = Dynais(confirm=3)
+        out = feed(d, body * repeats * 3)
+        assert d.in_loop
+        assert d.period is not None
+        assert d.period <= len(body)  # may find a sub-period
+        assert len(body) % d.period == 0 or d.period <= len(body)

@@ -1,0 +1,106 @@
+"""EARD: the privileged node daemon."""
+
+import pytest
+
+from repro.ear.eard import Eard
+from repro.ear.policies import NodeFreqs
+from repro.errors import MsrPermissionError
+from repro.hw.node import SD530, Node
+
+
+@pytest.fixture()
+def eard(node):
+    return Eard(node)
+
+
+class TestBoot:
+    def test_reads_silicon_uncore_range_at_start(self, eard):
+        """The paper: the available range 'can be read from this MSR
+        register after the boot'."""
+        assert eard.imc_max_ghz == pytest.approx(2.4)
+        assert eard.imc_min_ghz == pytest.approx(1.2)
+
+
+class TestFrequencyControl:
+    def test_apply_freqs_reaches_both_scopes(self, eard, node):
+        eard.apply_freqs(NodeFreqs(cpu_ghz=2.0, imc_max_ghz=1.8, imc_min_ghz=1.2))
+        assert node.core_target_ghz == pytest.approx(2.0)
+        for s in node.sockets:
+            limits = s.msr.read_uncore_limits()
+            assert limits.max_ratio == 18
+            assert limits.min_ratio == 12
+
+    def test_restore_defaults(self, eard, node):
+        eard.apply_freqs(NodeFreqs(cpu_ghz=1.2, imc_max_ghz=1.2, imc_min_ghz=1.2))
+        eard.restore_defaults(NodeFreqs(cpu_ghz=2.4, imc_max_ghz=2.4, imc_min_ghz=1.2))
+        assert node.core_target_ghz == pytest.approx(2.4)
+
+    def test_unprivileged_code_cannot_bypass_eard(self, node):
+        """EARL-side code has no privilege: direct MSR writes fail."""
+        with pytest.raises(MsrPermissionError):
+            node.set_core_freq(2.0)
+
+
+class TestSensors:
+    def test_energy_reading_is_latched(self, eard, node):
+        from repro.hw.node import OperatingPoint
+
+        op = OperatingPoint(
+            n_active_cores=40,
+            activity=1.0,
+            vpi=0.0,
+            traffic_gbs=10.0,
+            effective_core_ghz=2.4,
+        )
+        node.advance(op, 2.5)
+        reading = eard.read_dc_energy()
+        assert reading.timestamp_s == pytest.approx(2.0)
+        assert reading.joules > 0
+
+    def test_current_frequency_views(self, eard, node):
+        assert eard.current_cpu_target_ghz() == pytest.approx(2.4)
+        assert eard.current_imc_freq_ghz() == pytest.approx(2.4)
+
+    def test_effective_cpu_falls_back_to_target(self, eard):
+        """Before any accounting, the effective view is the target."""
+        assert eard.current_effective_cpu_ghz() == pytest.approx(2.4)
+
+    def test_epb_reaches_all_sockets(self, eard, node):
+        eard.set_epb(15)
+        for s in node.sockets:
+            assert s.msr.read_epb() == 15
+
+    def test_powersave_epb_lowers_uncore_end_to_end(self, node):
+        """EPB is one of the HW UFS inputs (paper section IV): a
+        powersave hint sinks the uncore on a pinned, lightly-loaded
+        socket."""
+        from repro.ear.eard import Eard
+        from repro.workloads.generator import synthetic_profile
+        from repro.hw.node import SD530
+
+        profile = synthetic_profile(
+            name="epb.probe",
+            node_config=SD530,
+            core_share=0.9,
+            unc_share=0.05,
+            mem_share=0.03,
+        )
+        node.set_core_freq(2.0, privileged=True)
+        profile.execute_iteration(node)
+        balanced_imc = node.uncore_freq_ghz
+        Eard(node).set_epb(15)
+        profile.execute_iteration(node)
+        assert node.uncore_freq_ghz < balanced_imc
+
+    def test_rapl_read(self, eard, node):
+        from repro.hw.node import OperatingPoint
+
+        op = OperatingPoint(
+            n_active_cores=40,
+            activity=1.0,
+            vpi=0.0,
+            traffic_gbs=10.0,
+            effective_core_ghz=2.4,
+        )
+        node.advance(op, 1.0)
+        assert eard.read_rapl_pck_joules() > 0

@@ -1,0 +1,65 @@
+"""EARGM energy-budget control."""
+
+import pytest
+
+from repro.ear.eargm import Eargm, EargmConfig, WarningLevel
+from repro.errors import ConfigError
+
+
+def make(budget_j=1000.0, horizon_s=100.0) -> Eargm:
+    return Eargm(EargmConfig(budget_j=budget_j, horizon_s=horizon_s))
+
+
+class TestLevels:
+    def test_starts_ok(self):
+        assert make().level() is WarningLevel.OK
+
+    def test_on_pace_consumption_is_ok(self):
+        gm = make()
+        assert gm.report(energy_j=80.0, seconds=10.0) is WarningLevel.OK
+
+    def test_warning1_at_85_percent_pace(self):
+        gm = make()
+        assert gm.report(energy_j=88.0, seconds=10.0) is WarningLevel.WARNING1
+
+    def test_warning2_at_95_percent_pace(self):
+        gm = make()
+        assert gm.report(energy_j=96.0, seconds=10.0) is WarningLevel.WARNING2
+
+    def test_panic_when_over_pace(self):
+        gm = make()
+        assert gm.report(energy_j=150.0, seconds=10.0) is WarningLevel.PANIC
+
+    def test_panic_when_budget_exhausted(self):
+        gm = make()
+        gm.report(energy_j=1100.0, seconds=100.0)
+        assert gm.level() is WarningLevel.PANIC
+
+    def test_graded_pstate_offsets(self):
+        gm = make()
+        assert gm.recommended_max_pstate_offset() == 0
+        gm.report(energy_j=88.0, seconds=10.0)
+        assert gm.recommended_max_pstate_offset() == 1
+        gm.report(energy_j=120.0, seconds=10.0)
+        assert gm.recommended_max_pstate_offset() >= 2
+
+    def test_accumulators(self):
+        gm = make()
+        gm.report(energy_j=10.0, seconds=5.0)
+        gm.report(energy_j=20.0, seconds=5.0)
+        assert gm.consumed_j == pytest.approx(30.0)
+        assert gm.elapsed_s == pytest.approx(10.0)
+
+
+class TestValidation:
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            EargmConfig(budget_j=0.0, horizon_s=10.0)
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ConfigError):
+            EargmConfig(budget_j=1.0, horizon_s=1.0, warning1=0.9, warning2=0.8)
+
+    def test_negative_report_rejected(self):
+        with pytest.raises(ConfigError):
+            make().report(energy_j=-1.0, seconds=1.0)

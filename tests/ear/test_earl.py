@@ -1,0 +1,154 @@
+"""EARL runtime: windows, the Code-1 state machine, policy wiring."""
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.ear.eard import Eard
+from repro.ear.earl import Earl, EarlState
+from repro.ear.policies import PolicyState
+from repro.hw.node import SD530, Node
+from repro.workloads.generator import synthetic_profile
+
+
+def make_earl(node: Node, **cfg_overrides) -> Earl:
+    cfg = EarConfig(**cfg_overrides)
+    return Earl(Eard(node), cfg)
+
+
+def run_iterations(earl: Earl, node: Node, profile, n: int):
+    for _ in range(n):
+        counters = profile.execute_iteration(node)
+        earl.on_iteration(counters, profile.mpi_events, counters.seconds)
+
+
+@pytest.fixture()
+def profile(node):
+    return synthetic_profile(
+        name="earl.test",
+        node_config=SD530,
+        core_share=0.88,
+        unc_share=0.06,
+        mem_share=0.04,
+        iteration_s=0.5,
+    ).calibrate_activity(node)
+
+
+class TestStartup:
+    def test_default_frequency_pinned_at_job_start(self, node):
+        make_earl(node)
+        assert node.sockets[0].pinned
+        assert node.core_target_ghz == pytest.approx(2.4)
+
+    def test_monitoring_policy_does_not_pin(self, node):
+        make_earl(node, policy="monitoring")
+        assert not node.sockets[0].pinned
+
+
+class TestWindows:
+    def test_no_signature_before_min_window(self, node, profile):
+        earl = make_earl(node)
+        run_iterations(earl, node, profile, 15)  # 7.5 s < 10 s
+        assert earl.signatures == []
+
+    def test_signature_after_window_completes(self, node, profile):
+        earl = make_earl(node)
+        run_iterations(earl, node, profile, 60)  # ~30 s
+        assert len(earl.signatures) >= 2
+
+    def test_signature_metrics_plausible(self, node, profile):
+        earl = make_earl(node)
+        run_iterations(earl, node, profile, 30)
+        sig = earl.signatures[0]
+        assert sig.iteration_time_s == pytest.approx(0.5, rel=0.05)
+        assert 250 < sig.dc_power_w < 420
+        assert sig.cpi == pytest.approx(profile.ref_cpi, rel=0.1)
+
+    def test_dynais_gates_mpi_workloads(self, node, profile):
+        """No signature until the loop is detected."""
+        earl = make_earl(node)
+        # feed 30 iterations of *aperiodic* events: never locks
+        for i in range(30):
+            counters = profile.execute_iteration(node)
+            earl.on_iteration(counters, (i * 17 + 3, i * 31 + 5), counters.seconds)
+        assert earl.signatures == []
+
+    def test_time_guided_mode_without_mpi(self, node):
+        """Non-MPI codes are time-guided (the paper's fallback)."""
+        from dataclasses import replace
+
+        profile = replace(
+            synthetic_profile(
+                name="omp",
+                node_config=SD530,
+                core_share=0.88,
+                unc_share=0.06,
+                mem_share=0.04,
+            ),
+            mpi_events=(),
+        ).calibrate_activity(node)
+        earl = make_earl(node)
+        run_iterations(earl, node, profile, 30)
+        assert len(earl.signatures) >= 1
+
+
+class TestLifetimeEvents:
+    def test_loop_hooks_fired(self, node, profile):
+        """The policy API's loop lifetime events (paper section V-B:
+        'several application lifetime events are captured')."""
+        earl = make_earl(node)
+        calls = []
+        earl.policy.on_new_loop = lambda: calls.append("new")
+        earl.policy.on_end_loop = lambda: calls.append("end")
+        run_iterations(earl, node, profile, 10)
+        assert "new" in calls
+        # break the pattern: the loop ends
+        counters = profile.execute_iteration(node)
+        earl.on_iteration(counters, (999, 998, 997), counters.seconds)
+        assert "end" in calls
+
+
+class TestStateMachine:
+    def test_iterative_policy_continues_then_stabilises(self, node, profile):
+        earl = make_earl(node)
+        run_iterations(earl, node, profile, 300)  # ~150 s: full descent
+        states = [d.policy_state for d in earl.decisions if d.policy_state]
+        assert PolicyState.CONTINUE in states
+        assert PolicyState.READY in states
+        assert earl.state is EarlState.VALIDATE_POLICY
+
+    def test_frequencies_applied_to_hardware(self, node, profile):
+        earl = make_earl(node)
+        run_iterations(earl, node, profile, 300)
+        # the descent must have constrained the uncore ceiling
+        limits = node.sockets[0].msr.read_uncore_limits()
+        assert limits.max_ratio < 24
+
+    def test_decision_trace_recorded(self, node, profile):
+        earl = make_earl(node)
+        run_iterations(earl, node, profile, 100)
+        assert earl.decisions
+        assert earl.decisions[0].earl_state is EarlState.NODE_POLICY
+        assert earl.decisions[0].freqs is not None
+
+    def test_phase_change_revalidates(self, node, profile):
+        """After stabilising, a very different phase flips EARL back to
+        NODE_POLICY via the validate failure path."""
+        earl = make_earl(node)
+        run_iterations(earl, node, profile, 300)
+        assert earl.state is EarlState.VALIDATE_POLICY
+        memory_phase = synthetic_profile(
+            name="phase2",
+            node_config=SD530,
+            core_share=0.1,
+            unc_share=0.2,
+            mem_share=0.65,
+            activity=0.5,
+        ).calibrate_activity(node)
+        run_iterations(earl, node, memory_phase, 60)
+        # it went back through NODE_POLICY at least once
+        node_policy_after = [
+            d
+            for d in earl.decisions
+            if d.earl_state is EarlState.NODE_POLICY and d.signature.cpi > 1.5
+        ]
+        assert node_policy_after

@@ -1,0 +1,82 @@
+"""ClusterManager: the EARGM actuation loop."""
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.ear.eargm import Eargm, EargmConfig, WarningLevel
+from repro.ear.manager import ClusterManager
+from repro.workloads.kernels import bt_mz_c_openmp
+
+
+def make_manager(budget_j=1e9, horizon_s=1e4) -> ClusterManager:
+    return ClusterManager(Eargm(EargmConfig(budget_j=budget_j, horizon_s=horizon_s)))
+
+
+def small_job():
+    return bt_mz_c_openmp().scaled_iterations(0.25)
+
+
+class TestSubmission:
+    def test_job_recorded_in_accounting(self):
+        mgr = make_manager()
+        job = mgr.submit(small_job())
+        rec = mgr.accounting.job(job.job_id)
+        assert rec.workload == "BT-MZ.C"
+        assert rec.dc_energy_j == pytest.approx(job.result.dc_energy_j)
+
+    def test_consumption_reported_to_eargm(self):
+        mgr = make_manager()
+        job = mgr.submit(small_job())
+        assert mgr.eargm.consumed_j == pytest.approx(job.result.dc_energy_j)
+        assert mgr.total_energy_j == pytest.approx(job.result.dc_energy_j)
+
+    def test_history_kept(self):
+        mgr = make_manager()
+        mgr.submit(small_job())
+        mgr.submit(small_job(), seed=2)
+        assert [j.job_id for j in mgr.history] == [1, 2]
+
+    def test_config_overrides_per_job(self):
+        mgr = make_manager()
+        job = mgr.submit(small_job(), cpu_policy_th=0.03)
+        rec = mgr.accounting.job(job.job_id)
+        assert rec.cpu_policy_th == 0.03
+
+
+class TestActuation:
+    def test_healthy_budget_no_cap(self):
+        mgr = make_manager()
+        job = mgr.submit(small_job())
+        assert job.level_before is WarningLevel.OK
+        assert job.pstate_offset_applied == 0
+        assert job.result.avg_cpu_freq_ghz > 2.3
+
+    def test_exhausted_budget_caps_default_frequency(self):
+        mgr = make_manager(budget_j=1e4, horizon_s=500.0)
+        first = mgr.submit(small_job())
+        second = mgr.submit(small_job(), seed=2)
+        assert first.pstate_offset_applied == 0
+        assert second.level_before is WarningLevel.PANIC
+        assert second.pstate_offset_applied == 3
+        # the cap reaches the hardware: the whole job ran slower
+        assert (
+            second.result.avg_cpu_freq_ghz < first.result.avg_cpu_freq_ghz - 0.2
+        )
+
+    def test_capped_job_draws_less_power(self):
+        mgr_free = make_manager()
+        mgr_tight = make_manager(budget_j=1e4, horizon_s=500.0)
+        mgr_tight.submit(small_job())  # exhaust the budget
+        free = mgr_free.submit(small_job(), seed=3)
+        capped = mgr_tight.submit(small_job(), seed=3)
+        assert capped.result.avg_dc_power_w < free.result.avg_dc_power_w
+
+    def test_base_config_respected(self):
+        mgr = ClusterManager(
+            Eargm(EargmConfig(budget_j=1e9, horizon_s=1e4)),
+            base_config=EarConfig(use_explicit_ufs=False),
+        )
+        job = mgr.submit(small_job())
+        assert job.result.policy == "min_energy"
+        # no explicit UFS: the uncore ceiling was never constrained
+        assert job.result.avg_imc_freq_ghz > 2.3

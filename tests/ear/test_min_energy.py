@@ -1,0 +1,250 @@
+"""min_energy_to_solution: the figure-2 state machine, unit level.
+
+These tests drive the policy directly with hand-built signatures,
+checking each transition of the paper's state diagram without the
+engine in the loop (integration is covered in tests/sim).
+"""
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.ear.models import make_model
+from repro.ear.policies import MinEnergyPolicy, PolicyContext, PolicyState, Stage
+from repro.ear.signature import Signature
+from repro.hw.node import SD530
+
+
+def make_policy(**cfg_overrides) -> MinEnergyPolicy:
+    cfg = EarConfig(**cfg_overrides)
+    ctx = PolicyContext(
+        config=cfg,
+        pstates=SD530.pstates,
+        model=make_model(SD530, cfg),
+        imc_max_ghz=2.4,
+        imc_min_ghz=1.2,
+    )
+    return MinEnergyPolicy(ctx)
+
+
+def cpu_bound_sig(**overrides) -> Signature:
+    """A BT-MZ-like signature: the CPU stage keeps the default."""
+    kwargs = dict(
+        iteration_time_s=0.45,
+        dc_power_w=332.0,
+        cpi=0.39,
+        tpi=0.0018,
+        gbs=28.0,
+        vpi=0.0,
+        avg_cpu_freq_ghz=2.4,
+        avg_imc_freq_ghz=2.4,
+    )
+    kwargs.update(overrides)
+    return Signature(**kwargs)
+
+
+def memory_bound_sig(**overrides) -> Signature:
+    """An HPCG-like signature: the CPU stage dives."""
+    kwargs = dict(
+        iteration_time_s=0.5,
+        dc_power_w=340.0,
+        cpi=3.13,
+        tpi=0.0904,
+        gbs=177.0,
+        vpi=0.0,
+        avg_cpu_freq_ghz=2.4,
+        avg_imc_freq_ghz=2.4,
+    )
+    kwargs.update(overrides)
+    return Signature(**kwargs)
+
+
+class TestCpuFreqSel:
+    def test_cpu_bound_keeps_default(self):
+        policy = make_policy(use_explicit_ufs=False)
+        state, freqs = policy.node_policy(cpu_bound_sig())
+        assert state is PolicyState.READY
+        assert freqs.cpu_ghz == pytest.approx(2.4)
+
+    def test_memory_bound_lowers_frequency(self):
+        policy = make_policy(use_explicit_ufs=False)
+        state, freqs = policy.node_policy(memory_bound_sig())
+        assert state is PolicyState.READY
+        assert freqs.cpu_ghz <= 2.2
+
+    def test_tighter_threshold_is_more_conservative(self):
+        loose = make_policy(use_explicit_ufs=False, cpu_policy_th=0.05)
+        tight = make_policy(use_explicit_ufs=False, cpu_policy_th=0.01)
+        _, f_loose = loose.node_policy(memory_bound_sig())
+        _, f_tight = tight.node_policy(memory_bound_sig())
+        assert f_tight.cpu_ghz >= f_loose.cpu_ghz
+
+    def test_min_frequency_respected(self):
+        policy = make_policy(use_explicit_ufs=False, min_cpu_freq_ghz=2.2)
+        _, freqs = policy.node_policy(memory_bound_sig())
+        assert freqs.cpu_ghz >= 2.2
+
+    def test_without_eufs_policy_goes_stable(self):
+        policy = make_policy(use_explicit_ufs=False)
+        policy.node_policy(cpu_bound_sig())
+        assert policy.stage is Stage.STABLE
+
+
+class TestStateDiagram:
+    def test_default_selection_shortcuts_to_imc_stage(self):
+        """Figure 2: default CPU frequency -> IMC_FREQ_SEL directly."""
+        policy = make_policy()
+        state, freqs = policy.node_policy(cpu_bound_sig())
+        assert policy.stage is Stage.IMC_FREQ_SEL
+        assert state is PolicyState.CONTINUE
+        assert freqs.imc_max_ghz < 2.4  # first step already taken
+
+    def test_lowered_selection_goes_through_comp_ref(self):
+        """Figure 2: a changed CPU frequency needs a reference window."""
+        policy = make_policy()
+        state, freqs = policy.node_policy(memory_bound_sig())
+        assert policy.stage is Stage.COMP_REF
+        assert state is PolicyState.CONTINUE
+        assert freqs.imc_max_ghz == pytest.approx(2.4)  # IMC untouched yet
+
+    def test_comp_ref_records_reference_and_starts_descent(self):
+        policy = make_policy()
+        policy.node_policy(memory_bound_sig())
+        at_new_freq = memory_bound_sig(
+            avg_cpu_freq_ghz=2.0, cpi=2.7, avg_imc_freq_ghz=2.4
+        )
+        state, freqs = policy.node_policy(at_new_freq)
+        assert policy.stage is Stage.IMC_FREQ_SEL
+        assert state is PolicyState.CONTINUE
+        assert policy._ref_cpi == pytest.approx(2.7)
+
+
+class TestImcDescent:
+    def descend_to_ready(self, policy, base_sig, *, cpi_per_step=0.0, max_steps=20):
+        """Feed signatures whose CPI grows with each uncore step."""
+        state, freqs = policy.node_policy(base_sig)
+        steps = 0
+        while state is PolicyState.CONTINUE and steps < max_steps:
+            steps += 1
+            sig = base_sig
+            if cpi_per_step:
+                # CPI responds to how far the uncore came down
+                drop = round((2.4 - freqs.imc_max_ghz) * 10)
+                sig = cpu_bound_sig(
+                    cpi=base_sig.cpi * (1.0 + cpi_per_step * drop),
+                    avg_imc_freq_ghz=freqs.imc_max_ghz,
+                )
+            state, freqs = policy.node_policy(sig)
+        return state, freqs, steps
+
+    def test_insensitive_workload_descends_to_floor(self):
+        """No CPI/GBs reaction -> the descent only stops at the silicon
+        minimum (the BT.CUDA case)."""
+        policy = make_policy()
+        state, freqs, steps = self.descend_to_ready(policy, cpu_bound_sig())
+        assert state is PolicyState.READY
+        assert freqs.imc_max_ghz == pytest.approx(1.2)
+        assert policy.stage is Stage.STABLE
+
+    def test_guard_trips_and_reverts_one_step(self):
+        """CPI growing 0.7 %/step crosses the 2 % guard around the 3rd
+        step; the last reduction must be reverted."""
+        policy = make_policy()
+        state, freqs, steps = self.descend_to_ready(
+            policy, cpu_bound_sig(), cpi_per_step=0.007
+        )
+        assert state is PolicyState.READY
+        # guard: 1 + 0.007*drop > 1.02 at drop=3 (2.1 GHz), reverted to 2.2
+        assert freqs.imc_max_ghz == pytest.approx(2.2)
+
+    def test_gbs_guard_also_trips(self):
+        policy = make_policy()
+        state, freqs = policy.node_policy(cpu_bound_sig())
+        assert state is PolicyState.CONTINUE
+        # a GB/s collapse beyond unc_policy_th with CPI unchanged
+        state, freqs = policy.node_policy(cpu_bound_sig(gbs=20.0))
+        assert state is PolicyState.READY
+
+    def test_gbs_guard_ignored_for_negligible_traffic(self):
+        """Busy-wait hosts move ~0.1 GB/s; relative jitter there must
+        not stop the descent."""
+        policy = make_policy()
+        state, _ = policy.node_policy(cpu_bound_sig(gbs=0.09))
+        assert state is PolicyState.CONTINUE
+        state, _ = policy.node_policy(cpu_bound_sig(gbs=0.05))
+        assert state is PolicyState.CONTINUE
+
+    def test_tighter_unc_threshold_stops_earlier(self):
+        tight = make_policy(unc_policy_th=0.01)
+        loose = make_policy(unc_policy_th=0.03)
+        _, f_tight, _ = TestImcDescent().descend_to_ready(
+            tight, cpu_bound_sig(), cpi_per_step=0.007
+        )
+        _, f_loose, _ = TestImcDescent().descend_to_ready(
+            loose, cpu_bound_sig(), cpi_per_step=0.007
+        )
+        assert f_tight.imc_max_ghz >= f_loose.imc_max_ghz
+
+    def test_only_max_limit_moves_by_default(self):
+        """Paper extension 3: the minimum stays at the hardware floor."""
+        policy = make_policy()
+        _, freqs = policy.node_policy(cpu_bound_sig())
+        assert freqs.imc_min_ghz == pytest.approx(1.2)
+        assert freqs.imc_max_ghz < 2.4
+
+    def test_move_imc_min_pins_the_range(self):
+        policy = make_policy(move_imc_min=True)
+        _, freqs = policy.node_policy(cpu_bound_sig())
+        assert freqs.imc_min_ghz == pytest.approx(freqs.imc_max_ghz)
+
+
+class TestHwGuidedStart:
+    def test_hw_guided_starts_from_hw_selection(self):
+        policy = make_policy(hw_guided_imc=True)
+        sig = cpu_bound_sig(avg_imc_freq_ghz=1.8)
+        _, freqs = policy.node_policy(sig)
+        assert freqs.imc_max_ghz == pytest.approx(1.7)  # one step below HW
+
+    def test_not_guided_starts_from_maximum(self):
+        policy = make_policy(hw_guided_imc=False)
+        sig = cpu_bound_sig(avg_imc_freq_ghz=1.8)
+        _, freqs = policy.node_policy(sig)
+        assert freqs.imc_max_ghz == pytest.approx(2.3)
+
+
+class TestPhaseChange:
+    def test_signature_change_during_descent_restarts(self):
+        """Paper: a phase change during IMC selection goes back to
+        CPU_FREQ_SEL."""
+        policy = make_policy()
+        policy.node_policy(cpu_bound_sig())
+        assert policy.stage is Stage.IMC_FREQ_SEL
+        # CPI moves 10x: far past the 15 % signature threshold
+        changed = memory_bound_sig(avg_cpu_freq_ghz=2.4)
+        state, freqs = policy.node_policy(changed)
+        # the policy restarted and re-selected for the new signature
+        assert freqs.cpu_ghz <= 2.2
+
+    def test_validate_accepts_stable_signature(self):
+        policy = make_policy(use_explicit_ufs=False)
+        sig = cpu_bound_sig()
+        policy.node_policy(sig)
+        assert policy.validate(cpu_bound_sig(cpi=0.40))
+
+    def test_validate_rejects_phase_change(self):
+        policy = make_policy(use_explicit_ufs=False)
+        policy.node_policy(cpu_bound_sig())
+        assert not policy.validate(memory_bound_sig())
+
+    def test_reset_restores_initial_state(self):
+        policy = make_policy()
+        policy.node_policy(cpu_bound_sig())
+        policy.reset()
+        assert policy.stage is Stage.CPU_FREQ_SEL
+        assert policy._imc_max_ghz == pytest.approx(2.4)
+
+    def test_default_freqs(self):
+        policy = make_policy()
+        f = policy.default_freqs()
+        assert f.cpu_ghz == pytest.approx(2.4)
+        assert f.imc_max_ghz == pytest.approx(2.4)
+        assert f.imc_min_ghz == pytest.approx(1.2)

@@ -1,0 +1,107 @@
+"""min_energy edge cases: floors, caps, and unusual starts."""
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.ear.models import make_model
+from repro.ear.policies import MinEnergyPolicy, PolicyContext, PolicyState, Stage
+from repro.ear.signature import Signature
+from repro.hw.node import SD530
+
+
+def make_policy(**cfg_overrides) -> MinEnergyPolicy:
+    cfg = EarConfig(**cfg_overrides)
+    ctx = PolicyContext(
+        config=cfg,
+        pstates=SD530.pstates,
+        model=make_model(SD530, cfg),
+        imc_max_ghz=2.4,
+        imc_min_ghz=1.2,
+    )
+    return MinEnergyPolicy(ctx)
+
+
+def sig(**overrides) -> Signature:
+    kwargs = dict(
+        iteration_time_s=0.45,
+        dc_power_w=332.0,
+        cpi=0.39,
+        tpi=0.0018,
+        gbs=28.0,
+        vpi=0.0,
+        avg_cpu_freq_ghz=2.4,
+        avg_imc_freq_ghz=2.4,
+    )
+    kwargs.update(overrides)
+    return Signature(**kwargs)
+
+
+class TestDescentFloors:
+    def test_hw_start_at_silicon_minimum_settles_immediately(self):
+        """HW already chose the floor: no step is possible -> READY."""
+        policy = make_policy()
+        state, freqs = policy.node_policy(sig(avg_imc_freq_ghz=1.2))
+        assert state is PolicyState.READY
+        assert freqs.imc_max_ghz == pytest.approx(1.2)
+        assert policy.stage is Stage.STABLE
+
+    def test_hw_start_one_step_above_minimum(self):
+        policy = make_policy()
+        state, freqs = policy.node_policy(sig(avg_imc_freq_ghz=1.3))
+        assert state is PolicyState.CONTINUE
+        assert freqs.imc_max_ghz == pytest.approx(1.2)
+        # next window, no guard trip: floor reached -> READY
+        state, freqs = policy.node_policy(sig(avg_imc_freq_ghz=1.2))
+        assert state is PolicyState.READY
+
+    def test_hw_reading_outside_silicon_range_is_clamped(self):
+        """A garbage avg-IMC reading must not produce an illegal start."""
+        policy = make_policy()
+        _, freqs = policy.node_policy(sig(avg_imc_freq_ghz=0.4))
+        assert freqs.imc_max_ghz >= 1.2 - 1e-9
+
+
+class TestSiteCaps:
+    def test_not_guided_start_respects_site_cap(self):
+        """NG-U starts from the *configured* ceiling, not the silicon max,
+        when a site default cap is set."""
+        policy = make_policy(hw_guided_imc=False, default_imc_max_ghz=2.0)
+        _, freqs = policy.node_policy(sig())
+        assert freqs.imc_max_ghz <= 2.0 + 1e-9
+
+    def test_default_freqs_with_cap_below_hw_min(self):
+        """A cap below the silicon floor pins min = max at the cap."""
+        policy = make_policy(default_imc_max_ghz=1.0)
+        f = policy.default_freqs()
+        assert f.imc_min_ghz <= f.imc_max_ghz
+
+
+class TestValidateEdges:
+    def test_validate_before_any_decision_is_ok(self):
+        assert make_policy().validate(sig())
+
+    def test_stable_state_reentry_reruns_policy(self):
+        """node_policy called while STABLE (EARL race) must not crash:
+        the safe interpretation is a fresh selection."""
+        policy = make_policy(use_explicit_ufs=False)
+        policy.node_policy(sig())
+        assert policy.stage is Stage.STABLE
+        state, freqs = policy.node_policy(sig())
+        assert state is PolicyState.READY
+        assert freqs.cpu_ghz > 0
+
+
+class TestCompRefEdges:
+    def test_comp_ref_after_reset_mid_run(self):
+        """CPU selection from a non-default state goes through COMP_REF
+        even when it selects the default frequency (the signature was
+        not measured there)."""
+        policy = make_policy()
+        # memory-bound first: CPU drops, stage = COMP_REF
+        mem = sig(cpi=3.13, tpi=0.0904, gbs=177.0)
+        state, _ = policy.node_policy(mem)
+        assert policy.stage is Stage.COMP_REF
+        # now the phase flips to cpu-bound *during* COMP_REF: the
+        # reference is taken at whatever arrived and descent starts
+        state, _ = policy.node_policy(sig(avg_cpu_freq_ghz=2.0, cpi=0.4))
+        assert policy.stage is Stage.IMC_FREQ_SEL

@@ -1,0 +1,80 @@
+"""min_time_to_solution and the monitoring policy."""
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.ear.models import make_model, steady_state_signature
+from repro.ear.policies import (
+    MinTimePolicy,
+    MonitoringPolicy,
+    PolicyContext,
+    PolicyState,
+)
+from repro.hw.node import SD530
+from repro.workloads.generator import synthetic_profile
+
+
+def make_context(**cfg_overrides) -> PolicyContext:
+    cfg = EarConfig(**cfg_overrides)
+    return PolicyContext(
+        config=cfg,
+        pstates=SD530.pstates,
+        model=make_model(SD530, cfg),
+        imc_max_ghz=2.4,
+        imc_min_ghz=1.2,
+    )
+
+
+def sig_for(core_share: float, f_cpu: float = 2.4):
+    stall = 1.0 - core_share
+    profile = synthetic_profile(
+        name="probe",
+        node_config=SD530,
+        core_share=core_share,
+        unc_share=0.25 * stall,
+        mem_share=0.75 * stall,
+        activity=1.0 - 0.55 * stall,
+    )
+    return steady_state_signature(profile, SD530, f_cpu_ghz=f_cpu)
+
+
+class TestMinTime:
+    def test_cpu_bound_climbs_to_turbo(self):
+        """A compute-bound code gains the full frequency ratio: climb."""
+        policy = MinTimePolicy(make_context(use_explicit_ufs=False))
+        _, freqs = policy.node_policy(sig_for(0.97))
+        assert freqs.cpu_ghz == pytest.approx(2.6)
+
+    def test_memory_bound_stays_at_nominal(self):
+        """Extra clock buys a bandwidth-bound code nothing: stay."""
+        policy = MinTimePolicy(make_context(use_explicit_ufs=False))
+        _, freqs = policy.node_policy(sig_for(0.1))
+        assert freqs.cpu_ghz == pytest.approx(2.4)
+
+    def test_eufs_extension_trims_uncore(self):
+        """The paper's future work: min_time + the guarded descent."""
+        policy = MinTimePolicy(make_context())
+        state, freqs = policy.node_policy(sig_for(0.97))
+        # iterative IMC stage engaged after the climb
+        assert state is PolicyState.CONTINUE
+
+    def test_invalid_gain_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            MinTimePolicy(make_context(), min_eff_gain=0.0)
+
+
+class TestMonitoring:
+    def test_returns_defaults_ready(self):
+        policy = MonitoringPolicy(make_context())
+        state, freqs = policy.node_policy(sig_for(0.8))
+        assert state is PolicyState.READY
+        assert freqs.cpu_ghz == pytest.approx(2.4)
+
+    def test_never_applies_frequencies(self):
+        assert MonitoringPolicy.applies_frequencies is False
+
+    def test_validate_tracks_signature(self):
+        policy = MonitoringPolicy(make_context())
+        policy.node_policy(sig_for(0.9))
+        assert policy.validate(sig_for(0.9))
+        assert not policy.validate(sig_for(0.1))

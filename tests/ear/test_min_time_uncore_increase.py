@@ -1,0 +1,93 @@
+"""min_time's upward uncore search (the paper's future-work strategy)."""
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.hw.node import SD530
+from repro.sim.engine import run_workload
+from repro.workloads.generator import synthetic_workload
+
+
+def memory_workload(n_iterations=200):
+    return synthetic_workload(
+        name="membound",
+        node_config=SD530,
+        core_share=0.12,
+        unc_share=0.2,
+        mem_share=0.6,
+        n_iterations=n_iterations,
+    )
+
+
+def cpu_workload(n_iterations=200):
+    return synthetic_workload(
+        name="cpubound",
+        node_config=SD530,
+        core_share=0.92,
+        unc_share=0.04,
+        mem_share=0.03,
+        n_iterations=n_iterations,
+    )
+
+
+class TestUpwardSearch:
+    def test_raises_capped_uncore_for_memory_bound(self):
+        """Under a conservative site cap, min_time recovers the lost
+        bandwidth by walking the uncore ceiling back up."""
+        cfg = EarConfig(policy="min_time", default_imc_max_ghz=1.8)
+        r = run_workload(memory_workload(), ear_config=cfg, seed=1)
+        final = [d.freqs.imc_max_ghz for d in r.decisions if d.freqs][-1]
+        assert final > 2.2
+        assert r.avg_imc_freq_ghz > 1.9
+
+    def test_upward_search_recovers_time(self):
+        wl = memory_workload()
+        capped_me = run_workload(
+            wl,
+            ear_config=EarConfig(policy="min_energy", default_imc_max_ghz=1.8),
+            seed=1,
+        )
+        capped_mt = run_workload(
+            wl,
+            ear_config=EarConfig(policy="min_time", default_imc_max_ghz=1.8),
+            seed=1,
+        )
+        assert capped_mt.time_s < capped_me.time_s * 0.97
+
+    def test_cpu_bound_still_descends_under_cap(self):
+        """A CPU-bound code has nothing to gain from more uncore: the
+        inherited guarded descent runs instead."""
+        cfg = EarConfig(policy="min_time", default_imc_max_ghz=2.0)
+        r = run_workload(cpu_workload(), ear_config=cfg, seed=1)
+        final = [d.freqs.imc_max_ghz for d in r.decisions if d.freqs][-1]
+        assert final < 2.0
+
+    def test_uncapped_memory_bound_does_not_search_up(self):
+        """Already at the ceiling: nothing to raise, settles promptly."""
+        cfg = EarConfig(policy="min_time")
+        r = run_workload(memory_workload(), ear_config=cfg, seed=1)
+        assert r.avg_imc_freq_ghz > 2.2
+
+    def test_site_cap_respected_by_min_energy(self):
+        """min_energy treats the cap as its ceiling (no upward moves)."""
+        cfg = EarConfig(policy="min_energy", default_imc_max_ghz=1.8)
+        r = run_workload(memory_workload(), ear_config=cfg, seed=1)
+        for d in r.decisions:
+            if d.freqs is not None:
+                assert d.freqs.imc_max_ghz <= 1.8 + 1e-9
+
+
+class TestDefaultPstateOffset:
+    def test_offset_lowers_default_and_selection(self):
+        wl = cpu_workload()
+        free = run_workload(wl, ear_config=EarConfig(), seed=1)
+        capped = run_workload(
+            wl, ear_config=EarConfig(default_pstate_offset=3), seed=1
+        )
+        assert capped.avg_cpu_freq_ghz < free.avg_cpu_freq_ghz - 0.2
+
+    def test_offset_validated(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            EarConfig(default_pstate_offset=99)

@@ -1,0 +1,107 @@
+"""Policy plugin registry and the policy API."""
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.ear.models import make_model
+from repro.ear.policies import (
+    NodeFreqs,
+    PolicyContext,
+    PolicyPlugin,
+    PolicyState,
+    available_policies,
+    create_policy,
+    register_policy,
+)
+from repro.ear.policies.registry import _FACTORIES
+from repro.errors import PolicyError
+from repro.hw.node import SD530
+
+
+def make_context(**cfg_overrides) -> PolicyContext:
+    cfg = EarConfig(**cfg_overrides)
+    return PolicyContext(
+        config=cfg,
+        pstates=SD530.pstates,
+        model=make_model(SD530, cfg),
+        imc_max_ghz=2.4,
+        imc_min_ghz=1.2,
+    )
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = available_policies()
+        assert "min_energy" in names
+        assert "min_time" in names
+        assert "monitoring" in names
+
+    def test_create_by_name(self):
+        policy = create_policy("min_energy", make_context())
+        assert isinstance(policy, PolicyPlugin)
+        assert policy.name == "min_energy"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(PolicyError):
+            create_policy("does_not_exist", make_context())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(PolicyError):
+            register_policy("min_energy")(lambda ctx: None)
+
+    def test_custom_plugin_roundtrip(self):
+        """Users extend EAR by registering plugins — the paper's
+        'policies have been implemented as plugins' mechanism."""
+
+        @register_policy("test_fixed_freq")
+        class FixedFreqPolicy(PolicyPlugin):
+            name = "test_fixed_freq"
+
+            def __init__(self, ctx):
+                self.ctx = ctx
+
+            def node_policy(self, sig):
+                return PolicyState.READY, self.default_freqs()
+
+            def validate(self, sig):
+                return True
+
+            def default_freqs(self):
+                return NodeFreqs(cpu_ghz=2.0, imc_max_ghz=2.0, imc_min_ghz=1.2)
+
+        try:
+            policy = create_policy("test_fixed_freq", make_context())
+            state, freqs = policy.node_policy(None)
+            assert state is PolicyState.READY
+            assert freqs.cpu_ghz == 2.0
+        finally:
+            _FACTORIES.pop("test_fixed_freq", None)
+
+    def test_factory_returning_wrong_type_rejected(self):
+        _FACTORIES["test_bad"] = lambda ctx: object()
+        try:
+            with pytest.raises(PolicyError):
+                create_policy("test_bad", make_context())
+        finally:
+            _FACTORIES.pop("test_bad", None)
+
+
+class TestNodeFreqs:
+    def test_spans_both_scopes(self):
+        f = NodeFreqs(cpu_ghz=2.4, imc_max_ghz=2.4, imc_min_ghz=1.2)
+        assert f.cpu_ghz == 2.4
+        assert f.imc_max_ghz == 2.4
+
+    def test_inverted_imc_range_rejected(self):
+        with pytest.raises(PolicyError):
+            NodeFreqs(cpu_ghz=2.4, imc_max_ghz=1.2, imc_min_ghz=2.4)
+
+    def test_zero_cpu_rejected(self):
+        with pytest.raises(PolicyError):
+            NodeFreqs(cpu_ghz=0.0, imc_max_ghz=2.4, imc_min_ghz=1.2)
+
+    def test_with_imc_max_keeps_range_valid(self):
+        f = NodeFreqs(cpu_ghz=2.4, imc_max_ghz=2.4, imc_min_ghz=2.0)
+        g = f.with_imc_max(1.8)
+        assert g.imc_max_ghz == pytest.approx(1.8)
+        assert g.imc_min_ghz <= g.imc_max_ghz

@@ -1,0 +1,112 @@
+"""Signature construction and change detection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SignatureError
+from repro.ear.signature import Signature, relative_change, signature_changed
+from repro.hw.counters import CounterSnapshot
+
+
+def sig(**overrides) -> Signature:
+    kwargs = dict(
+        iteration_time_s=0.5,
+        dc_power_w=330.0,
+        cpi=0.6,
+        tpi=0.005,
+        gbs=30.0,
+        vpi=0.0,
+        avg_cpu_freq_ghz=2.4,
+        avg_imc_freq_ghz=2.4,
+    )
+    kwargs.update(overrides)
+    return Signature(**kwargs)
+
+
+class TestConstruction:
+    def test_energy_per_iteration(self):
+        assert sig().energy_per_iteration_j == pytest.approx(165.0)
+
+    def test_from_window(self):
+        window = CounterSnapshot(
+            seconds=12.0,
+            iterations=24,
+            instructions=1e12,
+            cycles=6e11,
+            bytes_transferred=3.6e11,
+            avx512_instructions=0.0,
+        )
+        s = Signature.from_window(
+            window,
+            dc_energy_j=4000.0,
+            dc_seconds=12.0,
+            avg_cpu_freq_ghz=2.4,
+            avg_imc_freq_ghz=2.2,
+        )
+        assert s.iteration_time_s == pytest.approx(0.5)
+        assert s.dc_power_w == pytest.approx(333.33, rel=1e-3)
+        assert s.cpi == pytest.approx(0.6)
+        assert s.gbs == pytest.approx(30.0)
+        assert s.iterations == 24
+
+    def test_empty_window_rejected(self):
+        window = CounterSnapshot(0.0, 0, 0.0, 0.0, 0.0, 0.0)
+        with pytest.raises(SignatureError):
+            Signature.from_window(
+                window,
+                dc_energy_j=1.0,
+                dc_seconds=1.0,
+                avg_cpu_freq_ghz=2.4,
+                avg_imc_freq_ghz=2.4,
+            )
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("iteration_time_s", 0.0),
+            ("dc_power_w", -1.0),
+            ("cpi", 0.0),
+            ("tpi", -0.1),
+            ("vpi", 1.5),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(SignatureError):
+            sig(**{field: value})
+
+
+class TestRelativeChange:
+    def test_basic(self):
+        assert relative_change(100.0, 110.0) == pytest.approx(0.1)
+
+    def test_symmetric_in_magnitude(self):
+        assert relative_change(100.0, 90.0) == pytest.approx(0.1)
+
+    def test_tiny_base(self):
+        assert relative_change(0.0, 0.0) == 0.0
+        assert relative_change(0.0, 1.0) == float("inf")
+
+    @given(st.floats(min_value=0.1, max_value=1e6))
+    def test_no_change_is_zero(self, x):
+        assert relative_change(x, x) == 0.0
+
+
+class TestChangeDetection:
+    def test_unchanged_signature(self):
+        assert not signature_changed(sig(), sig(), 0.15)
+
+    def test_cpi_change_beyond_threshold(self):
+        assert signature_changed(sig(), sig(cpi=0.75), 0.15)
+
+    def test_cpi_change_below_threshold(self):
+        assert not signature_changed(sig(), sig(cpi=0.65), 0.15)
+
+    def test_gbs_change_detected(self):
+        assert signature_changed(sig(), sig(gbs=50.0), 0.15)
+
+    def test_busy_wait_traffic_jitter_ignored(self):
+        """0.1 GB/s signatures (CUDA hosts) must not flap the detector."""
+        a = sig(gbs=0.09)
+        b = sig(gbs=0.18)
+        assert not signature_changed(a, b, 0.15)

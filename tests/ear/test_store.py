@@ -1,0 +1,78 @@
+"""Coefficient persistence (the learning-phase artefact lifecycle)."""
+
+import json
+
+import pytest
+
+from repro.ear.models import (
+    load_coefficients,
+    make_model,
+    save_coefficients,
+    steady_state_signature,
+)
+from repro.ear.models.default_model import DefaultModel
+from repro.errors import ModelError
+from repro.hw.node import SD530
+from repro.workloads.generator import synthetic_profile
+
+
+class TestRoundtrip:
+    def test_save_load_identical_projections(self, sd530_coefficients, tmp_path):
+        path = tmp_path / "sd530.json"
+        save_coefficients(sd530_coefficients, path)
+        restored = load_coefficients(path)
+
+        assert restored.node_name == sd530_coefficients.node_name
+        assert restored.pstate_freqs_ghz == sd530_coefficients.pstate_freqs_ghz
+        assert len(restored) == len(sd530_coefficients)
+
+        profile = synthetic_profile(
+            name="probe", node_config=SD530, core_share=0.6, unc_share=0.12, mem_share=0.25
+        )
+        sig = steady_state_signature(profile, SD530, f_cpu_ghz=2.4)
+        for to_ps in (2, 5, 9, 14):
+            t1, p1 = sd530_coefficients.project(sig, 1, to_ps)
+            t2, p2 = restored.project(sig, 1, to_ps)
+            assert t1 == pytest.approx(t2)
+            assert p1 == pytest.approx(p2)
+
+    def test_restored_table_drives_a_model(self, sd530_coefficients, tmp_path):
+        path = tmp_path / "sd530.json"
+        save_coefficients(sd530_coefficients, path)
+        model = DefaultModel(load_coefficients(path), SD530.pstates)
+        profile = synthetic_profile(
+            name="probe", node_config=SD530, core_share=0.9, unc_share=0.05, mem_share=0.04
+        )
+        sig = steady_state_signature(profile, SD530, f_cpu_ghz=2.4)
+        proj = model.project(sig, 1, 4)
+        assert proj.time_s > sig.iteration_time_s
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ModelError):
+            load_coefficients(tmp_path / "nope.json")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ModelError):
+            load_coefficients(path)
+
+    def test_wrong_version_rejected(self, sd530_coefficients, tmp_path):
+        path = tmp_path / "v99.json"
+        save_coefficients(sd530_coefficients, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ModelError):
+            load_coefficients(path)
+
+    def test_truncated_table_rejected(self, sd530_coefficients, tmp_path):
+        path = tmp_path / "trunc.json"
+        save_coefficients(sd530_coefficients, path)
+        payload = json.loads(path.read_text())
+        payload["pairs"] = payload["pairs"][:10]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ModelError):
+            load_coefficients(path)

@@ -1,0 +1,54 @@
+"""CSV export of experiment artefacts."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments.export import rows_to_csv, series_to_csv, write_csv
+
+
+class TestRowsToCsv:
+    def test_simple_rows(self):
+        text = rows_to_csv([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows == [{"a": "1", "b": "2"}, {"a": "3", "b": "4"}]
+
+    def test_nested_rows_flattened(self):
+        """Table builders emit nested config dicts; columns dot-join."""
+        text = rows_to_csv(
+            [{"kernel": "BT", "me": {"time_penalty": 0.0, "energy_saving": 0.0}}]
+        )
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["me.time_penalty"] == "0.0"
+
+    def test_union_of_columns(self):
+        text = rows_to_csv([{"a": 1}, {"b": 2}])
+        header = text.splitlines()[0]
+        assert header == "a,b"
+
+    def test_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_real_table_exports(self):
+        from repro.experiments.tables import table2_kernel_characteristics
+
+        rows = table2_kernel_characteristics(seeds=(1,), scale=0.2)
+        text = rows_to_csv(rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 5
+        assert "dc_power_w" in parsed[0]
+
+
+class TestSeriesToCsv:
+    def test_series_column_prepended(self):
+        text = series_to_csv({"HPCG": [{"config": "me", "x": 1}]})
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["series"] == "HPCG"
+        assert rows[0]["config"] == "me"
+
+
+class TestWriteCsv:
+    def test_writes_file(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", [{"a": 1}])
+        assert path.read_text().startswith("a")

@@ -1,0 +1,99 @@
+"""Figure builders at reduced scale: series structure and ordering."""
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.runner import clear_run_cache
+
+SCALE = 0.5
+SEEDS = (1,)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_run_cache()
+    yield
+    clear_run_cache()
+
+
+class TestFigure3:
+    def test_threshold_monotonicity(self):
+        """Deeper unc_policy_th -> lower uncore -> more power saving."""
+        series = {s["config"]: s for s in figures.figure3_bqcd(seeds=SEEDS, scale=SCALE)}
+        assert (
+            series["me_eufs_3"]["avg_imc_ghz"]
+            <= series["me_eufs_1"]["avg_imc_ghz"] + 0.01
+        )
+        assert (
+            series["me_eufs_3"]["power_saving"]
+            >= series["me_eufs_1"]["power_saving"] - 0.005
+        )
+
+    def test_me_alone_saves_nothing_for_bqcd(self):
+        series = {s["config"]: s for s in figures.figure3_bqcd(seeds=SEEDS, scale=SCALE)}
+        assert abs(series["me"]["energy_saving"]) < 0.01
+
+
+class TestFigure4:
+    def test_zero_threshold_still_saves_power(self):
+        """unc_policy_th = 0 %: power savings at ~no iteration slowdown."""
+        series = {s["config"]: s for s in figures.figure4_btmz(seeds=SEEDS, scale=SCALE)}
+        zero = series["me_eufs_0"]
+        assert zero["power_saving"] > 0.005
+        assert zero["time_penalty"] < 0.02
+
+    def test_depth_grows_with_threshold(self):
+        series = {s["config"]: s for s in figures.figure4_btmz(seeds=SEEDS, scale=SCALE)}
+        assert (
+            series["me_eufs_2"]["avg_imc_ghz"] <= series["me_eufs_0"]["avg_imc_ghz"] + 0.01
+        )
+
+
+class TestFigure5:
+    def test_both_explicit_variants_beat_me(self):
+        data = figures.figure5_gromacs1(seeds=SEEDS, scale=SCALE)
+        for series in data.values():
+            by_cfg = {s["config"]: s for s in series}
+            for variant in ("me_ngu", "me_eufs"):
+                assert (
+                    by_cfg[variant]["energy_saving"]
+                    >= by_cfg["me"]["energy_saving"] - 0.01
+                )
+
+    def test_guided_and_not_guided_converge_similarly(self):
+        data = figures.figure5_gromacs1(seeds=SEEDS, scale=SCALE)
+        by_cfg = {s["config"]: s for s in data["cpu_th_5"]}
+        assert by_cfg["me_eufs"]["avg_imc_ghz"] == pytest.approx(
+            by_cfg["me_ngu"]["avg_imc_ghz"], abs=0.25
+        )
+
+
+class TestFigure6:
+    def test_hardware_already_sinks_uncore(self):
+        series = {s["config"]: s for s in figures.figure6_gromacs2(seeds=SEEDS, scale=SCALE)}
+        assert series["me"]["avg_imc_ghz"] < 1.8
+        assert series["me"]["power_saving"] > 0.05
+
+
+class TestFigure7:
+    def test_memory_bound_pair(self):
+        data = figures.figure7_hpcg_pop(seeds=SEEDS, scale=SCALE)
+        assert set(data) == {"HPCG", "POP"}
+        for series in data.values():
+            by_cfg = {s["config"]: s for s in series}
+            assert by_cfg["me"]["energy_saving"] > 0
+            assert (
+                by_cfg["me_eufs"]["energy_saving"]
+                >= by_cfg["me"]["energy_saving"] - 0.01
+            )
+
+
+class TestFigure8:
+    def test_threshold_dial(self):
+        data = figures.figure8_dumses_afid(seeds=SEEDS, scale=SCALE)
+        for name, series in data.items():
+            by_cfg = {s["config"]: s for s in series}
+            # looser DVFS threshold -> lower CPU frequency
+            assert (
+                by_cfg["me_5"]["avg_cpu_ghz"] <= by_cfg["me_3"]["avg_cpu_ghz"] + 0.01
+            ), name

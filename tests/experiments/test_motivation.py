@@ -1,0 +1,74 @@
+"""The Figure-1 motivation sweep."""
+
+import pytest
+
+from repro.experiments.motivation import figure1, uncore_sweep
+from repro.workloads.kernels import bt_mz_c_mpi, lu_d_mpi
+
+SCALE = 0.3
+SEEDS = (1,)
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return figure1(seeds=SEEDS, scale=SCALE)
+
+
+class TestSweepStructure:
+    def test_covers_full_uncore_range(self, sweeps):
+        for sweep in sweeps.values():
+            freqs = [p.uncore_ghz for p in sweep.points]
+            assert freqs[0] == pytest.approx(2.4)
+            assert freqs[-1] == pytest.approx(1.2)
+            assert len(freqs) == 13  # 0.1 GHz steps
+
+    def test_reference_is_hardware_ufs(self, sweeps):
+        assert sweeps["BT-MZ"].hw_reference_imc_ghz > 2.3
+
+    def test_pinned_points_hold_their_frequency(self, sweeps):
+        for sweep in sweeps.values():
+            for p in sweep.points:
+                assert p.avg_imc_ghz == pytest.approx(p.uncore_ghz, abs=0.01)
+
+
+class TestPaperObservations:
+    def test_power_saving_grows_monotonically(self, sweeps):
+        """Reducing the uncore step by step brings more power saving."""
+        for sweep in sweeps.values():
+            savings = [p.power_saving for p in sweep.points]
+            assert all(b >= a - 1e-3 for a, b in zip(savings, savings[1:]))
+
+    def test_power_saving_outpaces_time_penalty_for_bt(self, sweeps):
+        """The paper's first observation, clearest on BT-MZ."""
+        for p in sweeps["BT-MZ"].points:
+            assert p.power_saving >= p.time_penalty - 1e-3
+
+    def test_lowest_uncore_hurts_energy_for_lu(self, sweeps):
+        """'at lowest uncore frequencies the time penalty outweighs
+        energy saving' — LU's energy curve peaks then falls."""
+        savings = [p.energy_saving for p in sweeps["LU"].points]
+        peak = max(savings)
+        assert savings[-1] < peak
+
+    def test_lu_pays_more_time_than_bt(self, sweeps):
+        bt_final = sweeps["BT-MZ"].points[-1].time_penalty
+        lu_final = sweeps["LU"].points[-1].time_penalty
+        assert lu_final > 2 * bt_final
+
+    def test_gbs_penalty_tracks_time_for_bt(self, sweeps):
+        """'time and memory bandwidth penalties have very closed
+        results' for the less memory-dependent kernel."""
+        for p in sweeps["BT-MZ"].points:
+            assert p.gbs_penalty == pytest.approx(p.time_penalty, abs=0.01)
+
+
+class TestCustomSweep:
+    def test_partial_range(self):
+        sweep = uncore_sweep(
+            bt_mz_c_mpi(), cpu_ghz=2.4, seeds=(1,), scale=0.2, min_ratio=20, max_ratio=24
+        )
+        assert len(sweep.points) == 5
+
+    def test_lower_cpu_reference(self):
+        sweep = uncore_sweep(lu_d_mpi(), cpu_ghz=2.0, seeds=(1,), scale=0.2)
+        assert sweep.cpu_ghz == pytest.approx(2.0)

@@ -1,0 +1,69 @@
+"""Consistency of the transcribed paper data with the workload catalogue."""
+
+import pytest
+
+from repro.experiments import paper_data
+from repro.workloads.applications import mpi_applications
+from repro.workloads.kernels import single_node_kernels
+
+
+class TestCrossReferences:
+    def test_every_kernel_has_table2_3_4_rows(self):
+        for wl in single_node_kernels():
+            assert wl.name in paper_data.TABLE2
+            assert wl.name in paper_data.TABLE3
+            assert wl.name in paper_data.TABLE4
+
+    def test_every_application_has_table5_6_rows(self):
+        for wl in mpi_applications():
+            assert wl.name in paper_data.TABLE5
+            assert wl.name in paper_data.TABLE6
+
+    def test_table7_apps_subset_of_table5(self):
+        assert set(paper_data.TABLE7) <= set(paper_data.TABLE5)
+
+    def test_table7_omits_gromacs_i(self):
+        """The paper's Table VII lists seven applications, without
+        GROMACS(I)."""
+        assert "GROMACS(I)" not in paper_data.TABLE7
+        assert len(paper_data.TABLE7) == 7
+
+
+class TestPlausibility:
+    """Guard against transcription typos: the published numbers must
+    satisfy the paper's own claims."""
+
+    def test_pck_savings_exceed_dc_savings_in_table7(self):
+        for app, row in paper_data.TABLE7.items():
+            assert row["pck_saving"] > row["dc_saving"], app
+
+    def test_hw_uncore_is_conservative_in_table4_and_6(self):
+        for table in (paper_data.TABLE4, paper_data.TABLE6):
+            for name, row in table.items():
+                if name == "DGEMM":
+                    continue  # AVX512 power rebalancing is the exception
+                assert row["none"]["imc"] >= 2.35, name
+
+    def test_eufs_never_raises_uncore(self):
+        for table in (paper_data.TABLE4, paper_data.TABLE6):
+            for name, row in table.items():
+                assert row["me_eufs"]["imc"] <= row["me"]["imc"] + 1e-9, name
+
+    def test_memory_bound_class_cut_cpu_in_table6(self):
+        for app in ("HPCG", "POP", "DUMSES", "AFiD"):
+            assert paper_data.TABLE6[app]["me"]["cpu"] < 2.3
+
+    def test_frequencies_within_skylake_ranges(self):
+        for table in (paper_data.TABLE4, paper_data.TABLE6):
+            for name, row in table.items():
+                for cfg in ("none", "me", "me_eufs"):
+                    assert 1.0 <= row[cfg]["cpu"] <= 2.6, (name, cfg)
+                    assert 1.2 <= row[cfg]["imc"] <= 2.4, (name, cfg)
+
+    def test_table1_matches_motivation_narrative(self):
+        bt = paper_data.TABLE1["BT-MZ.C.mpi"]
+        lu = paper_data.TABLE1["LU.D.mpi"]
+        # "even having clearly different performance profiles, the
+        # uncore frequency selected by the hardware has been the same"
+        assert bt["imc_ghz"] == lu["imc_ghz"]
+        assert lu["cpi"] > 2 * bt["cpi"]

@@ -1,0 +1,88 @@
+"""Experiment runner: averaging, caching, comparisons."""
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.experiments.runner import (
+    AveragedResult,
+    clear_run_cache,
+    compare,
+    run_averaged,
+    standard_configs,
+)
+from tests.conftest import make_fast_workload
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_run_cache()
+    yield
+    clear_run_cache()
+
+
+class TestAveraging:
+    def test_averages_over_seeds(self, fast_workload):
+        avg = run_averaged(fast_workload, None, seeds=(1, 2, 3), scale=0.5)
+        assert avg.n_runs == 3
+        times = [r.time_s for r in avg.runs]
+        assert avg.time_s == pytest.approx(sum(times) / 3)
+        assert min(times) <= avg.time_s <= max(times)
+
+    def test_three_runs_default(self, fast_workload):
+        avg = run_averaged(fast_workload, None, scale=0.3)
+        assert avg.n_runs == 3
+
+    def test_from_runs_consistency(self, fast_workload):
+        avg = run_averaged(fast_workload, None, seeds=(1,), scale=0.3)
+        rebuilt = AveragedResult.from_runs(avg.workload, "x", avg.runs)
+        assert rebuilt.dc_energy_j == pytest.approx(avg.dc_energy_j)
+
+
+class TestCaching:
+    def test_identical_request_cached(self, fast_workload):
+        a = run_averaged(fast_workload, None, seeds=(1,), scale=0.3)
+        b = run_averaged(fast_workload, None, seeds=(1,), scale=0.3)
+        assert a is b
+
+    def test_different_config_not_cached(self, fast_workload):
+        a = run_averaged(fast_workload, None, seeds=(1,), scale=0.3)
+        b = run_averaged(fast_workload, EarConfig(), seeds=(1,), scale=0.3)
+        assert a is not b
+
+    def test_clear(self, fast_workload):
+        a = run_averaged(fast_workload, None, seeds=(1,), scale=0.3)
+        clear_run_cache()
+        b = run_averaged(fast_workload, None, seeds=(1,), scale=0.3)
+        assert a is not b
+        assert a.time_s == b.time_s  # same seeds -> same numbers
+
+
+class TestComparison:
+    def test_metrics_signs(self, fast_workload):
+        cmp_ = compare(fast_workload, standard_configs(), seeds=(1,), scale=0.5)
+        eu = cmp_["me_eufs"]
+        assert eu.energy_saving > 0
+        assert eu.time_penalty >= 0
+        assert eu.power_saving > 0
+
+    def test_reference_injected_when_missing(self, fast_workload):
+        cmp_ = compare(
+            fast_workload, {"me": EarConfig(use_explicit_ufs=False)}, seeds=(1,), scale=0.3
+        )
+        assert "me" in cmp_
+        assert cmp_["me"].reference.config_name == "none"
+
+    def test_efficiency_ratio(self, fast_workload):
+        cmp_ = compare(fast_workload, standard_configs(), seeds=(1,), scale=0.5)
+        eu = cmp_["me_eufs"]
+        if eu.time_penalty > 0:
+            assert eu.efficiency_ratio == pytest.approx(
+                eu.energy_saving / eu.time_penalty
+            )
+
+    def test_standard_configs_shape(self):
+        cfgs = standard_configs(cpu_policy_th=0.03)
+        assert cfgs["none"] is None
+        assert cfgs["me"].use_explicit_ufs is False
+        assert cfgs["me"].cpu_policy_th == 0.03
+        assert cfgs["me_eufs"].use_explicit_ufs is True

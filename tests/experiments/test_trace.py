@@ -1,0 +1,79 @@
+"""Trace rendering and descent summaries."""
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.experiments.trace import (
+    descent_summary,
+    render_timeline,
+    settled_imc_max_ghz,
+)
+from repro.sim.engine import run_workload
+from tests.conftest import make_fast_workload
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    wl = make_fast_workload(n_iterations=200)
+    return run_workload(wl, ear_config=EarConfig(), seed=1, record_trace=True)
+
+
+class TestTimeline:
+    def test_renders_both_domains(self, traced_run):
+        text = render_timeline(traced_run)
+        assert "cpu [" in text
+        assert "imc [" in text
+        assert traced_run.workload in text
+
+    def test_descent_visible_in_imc_row(self, traced_run):
+        text = render_timeline(traced_run)
+        imc_line = [l for l in text.splitlines() if "imc [" in l][0]
+        # the sparkline must not be flat: at least two glyphs appear
+        spark = imc_line.split("]")[-1].strip()
+        assert len(set(spark)) >= 2
+
+    def test_respects_width(self, traced_run):
+        text = render_timeline(traced_run, width=20)
+        imc_line = [l for l in text.splitlines() if "imc [" in l][0]
+        spark = imc_line.split("]")[-1].strip()
+        assert len(spark) <= 20
+
+    def test_untraced_run_rejected(self):
+        wl = make_fast_workload(n_iterations=30)
+        result = run_workload(wl, ear_config=EarConfig(), seed=1)
+        with pytest.raises(ValueError):
+            render_timeline(result)
+
+
+class TestDescentSummary:
+    def test_one_row_per_decision(self, traced_run):
+        rows = descent_summary(traced_run)
+        assert len(rows) == len(traced_run.decisions)
+
+    def test_rows_pair_decision_with_signature(self, traced_run):
+        rows = descent_summary(traced_run)
+        first = rows[0]
+        assert first["earl_state"] == "NODE_POLICY"
+        assert first["cpi"] > 0
+        assert first["dc_power_w"] > 0
+        assert first["imc_max_ghz"] is not None
+
+    def test_imc_ceiling_decreases_through_descent(self, traced_run):
+        ceilings = [
+            r["imc_max_ghz"]
+            for r in descent_summary(traced_run)
+            if r["imc_max_ghz"] is not None and r["policy_state"] == "CONTINUE"
+        ]
+        assert ceilings == sorted(ceilings, reverse=True)
+
+
+class TestSettledCeiling:
+    def test_settled_value_matches_last_ready(self, traced_run):
+        settled = settled_imc_max_ghz(traced_run)
+        assert settled is not None
+        assert 1.2 <= settled <= 2.4
+
+    def test_none_without_decisions(self):
+        wl = make_fast_workload(n_iterations=30)
+        result = run_workload(wl, seed=1)  # no policy
+        assert settled_imc_max_ghz(result) is None

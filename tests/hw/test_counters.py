@@ -1,0 +1,112 @@
+"""Counter bank and snapshot arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SignatureError
+from repro.hw.counters import CounterBank, CounterSnapshot
+from repro.workloads.phase import IterationCounters
+
+
+def iteration(seconds=0.5, instructions=1e9, cycles=5e8, nbytes=1e8, avx=0.0):
+    return IterationCounters(
+        seconds=seconds,
+        instructions=instructions,
+        cycles=cycles,
+        bytes_transferred=nbytes,
+        avx512_instructions=avx,
+    )
+
+
+class TestBank:
+    def test_accumulates(self):
+        bank = CounterBank()
+        bank.add_iteration(iteration(), wall_seconds=0.5)
+        bank.add_iteration(iteration(), wall_seconds=0.5)
+        snap = bank.snapshot()
+        assert snap.iterations == 2
+        assert snap.seconds == pytest.approx(1.0)
+        assert snap.instructions == pytest.approx(2e9)
+
+    def test_wall_time_may_exceed_compute_time(self):
+        bank = CounterBank()
+        bank.add_iteration(iteration(seconds=0.5), wall_seconds=0.6)
+        assert bank.snapshot().seconds == pytest.approx(0.6)
+
+    def test_wall_below_compute_rejected(self):
+        bank = CounterBank()
+        with pytest.raises(SignatureError):
+            bank.add_iteration(iteration(seconds=0.5), wall_seconds=0.4)
+
+
+class TestSnapshotMetrics:
+    def test_cpi(self):
+        bank = CounterBank()
+        bank.add_iteration(iteration(instructions=1e9, cycles=5e8), wall_seconds=0.5)
+        assert bank.snapshot().cpi == pytest.approx(0.5)
+
+    def test_tpi_counts_cache_lines(self):
+        bank = CounterBank()
+        bank.add_iteration(iteration(instructions=1e9, nbytes=64e9), wall_seconds=0.5)
+        assert bank.snapshot().tpi == pytest.approx(1.0)
+
+    def test_gbs(self):
+        bank = CounterBank()
+        bank.add_iteration(iteration(seconds=1.0, nbytes=5e9), wall_seconds=1.0)
+        assert bank.snapshot().gbs == pytest.approx(5.0)
+
+    def test_vpi(self):
+        bank = CounterBank()
+        bank.add_iteration(iteration(instructions=1e9, avx=25e7), wall_seconds=0.5)
+        assert bank.snapshot().vpi == pytest.approx(0.25)
+
+    def test_seconds_per_iteration(self):
+        bank = CounterBank()
+        for _ in range(4):
+            bank.add_iteration(iteration(seconds=0.5), wall_seconds=0.5)
+        assert bank.snapshot().seconds_per_iteration == pytest.approx(0.5)
+
+    def test_empty_window_metrics_raise(self):
+        snap = CounterBank().snapshot()
+        with pytest.raises(SignatureError):
+            _ = snap.cpi
+        with pytest.raises(SignatureError):
+            _ = snap.seconds_per_iteration
+
+
+class TestDelta:
+    def test_window_isolation(self):
+        """A window's metrics must not depend on earlier windows."""
+        bank = CounterBank()
+        bank.add_iteration(iteration(cycles=9e8), wall_seconds=0.5)
+        start = bank.snapshot()
+        bank.add_iteration(iteration(cycles=4e8), wall_seconds=0.5)
+        window = bank.snapshot().delta(start)
+        assert window.iterations == 1
+        assert window.cpi == pytest.approx(0.4)
+
+    def test_wrong_order_rejected(self):
+        bank = CounterBank()
+        early = bank.snapshot()
+        bank.add_iteration(iteration(), wall_seconds=0.5)
+        late = bank.snapshot()
+        with pytest.raises(SignatureError):
+            early.delta(late)
+
+    @given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=30))
+    def test_delta_additivity(self, n1, n2):
+        """snapshot(a+b).delta(0) == combining the two windows."""
+        bank = CounterBank()
+        s0 = bank.snapshot()
+        for _ in range(n1):
+            bank.add_iteration(iteration(), wall_seconds=0.5)
+        s1 = bank.snapshot()
+        for _ in range(n2):
+            bank.add_iteration(iteration(), wall_seconds=0.5)
+        s2 = bank.snapshot()
+        total = s2.delta(s0)
+        w1, w2 = s1.delta(s0), s2.delta(s1)
+        assert total.iterations == w1.iterations + w2.iterations
+        assert total.instructions == pytest.approx(w1.instructions + w2.instructions)
+        assert total.seconds == pytest.approx(w1.seconds + w2.seconds)

@@ -1,0 +1,71 @@
+"""DRAM bandwidth/uncore curve."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HardwareError
+from repro.hw.dram import DDR4_2400_12DIMM, DramConfig
+
+
+class TestBandwidthCurve:
+    def test_normalised_at_max_uncore(self):
+        assert DDR4_2400_12DIMM.bandwidth_scale(2.4) == pytest.approx(1.0)
+
+    def test_peak_bandwidth_at_max(self):
+        assert DDR4_2400_12DIMM.bandwidth_gbs(2.4) == pytest.approx(205.0)
+
+    def test_half_uncore_loses_about_a_quarter(self):
+        """Skylake measurements: 2.4 -> 1.2 GHz costs ~25 % of peak."""
+        scale = DDR4_2400_12DIMM.bandwidth_scale(1.2)
+        assert 0.70 < scale < 0.85
+
+    @given(st.floats(min_value=0.6, max_value=3.0, allow_nan=False))
+    def test_monotonically_increasing(self, f):
+        cfg = DDR4_2400_12DIMM
+        assert cfg.bandwidth_scale(f + 0.1) > cfg.bandwidth_scale(f)
+
+    def test_mild_extrapolation_above_max(self):
+        scale = DDR4_2400_12DIMM.bandwidth_scale(2.6)
+        assert 1.0 < scale < 1.1
+
+    def test_zero_uncore_rejected(self):
+        with pytest.raises(HardwareError):
+            DDR4_2400_12DIMM.bandwidth_scale(0.0)
+
+    @given(
+        st.floats(min_value=0.3, max_value=2.0),
+        st.floats(min_value=1.2, max_value=3.0),
+    )
+    def test_saturating_shape(self, f_half, f):
+        """Marginal gain per GHz decreases as frequency grows."""
+        cfg = DramConfig(peak_node_gbs=100.0, f_half_ghz=f_half)
+        g1 = cfg.bandwidth_scale(f + 0.1) - cfg.bandwidth_scale(f)
+        g2 = cfg.bandwidth_scale(f + 0.6) - cfg.bandwidth_scale(f + 0.5)
+        assert g2 < g1
+
+
+class TestDramPower:
+    def test_static_floor(self):
+        assert DDR4_2400_12DIMM.power_w(0.0) == pytest.approx(
+            DDR4_2400_12DIMM.static_power_w
+        )
+
+    def test_traffic_term(self):
+        cfg = DDR4_2400_12DIMM
+        p = cfg.power_w(100.0)
+        assert p == pytest.approx(cfg.static_power_w + 100.0 * cfg.power_w_per_gbs)
+
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(HardwareError):
+            DDR4_2400_12DIMM.power_w(-1.0)
+
+
+class TestValidation:
+    def test_zero_peak_rejected(self):
+        with pytest.raises(HardwareError):
+            DramConfig(peak_node_gbs=0.0)
+
+    def test_bad_curve_constants_rejected(self):
+        with pytest.raises(HardwareError):
+            DramConfig(peak_node_gbs=100.0, f_half_ghz=0.0)

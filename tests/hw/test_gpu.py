@@ -1,0 +1,42 @@
+"""GPU power model."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.gpu import TESLA_V100, GpuModel
+
+
+class TestPower:
+    def test_idle_power(self):
+        assert TESLA_V100.power_w(busy=False) == pytest.approx(
+            TESLA_V100.idle_power_w
+        )
+
+    def test_full_utilisation(self):
+        assert TESLA_V100.power_w(busy=True) == pytest.approx(
+            TESLA_V100.active_power_w
+        )
+
+    def test_partial_utilisation_interpolates(self):
+        p = TESLA_V100.power_w(busy=True, utilisation=0.5)
+        mid = (TESLA_V100.active_power_w + TESLA_V100.idle_power_w) / 2
+        assert p == pytest.approx(mid)
+
+    def test_idle_ignores_utilisation(self):
+        assert TESLA_V100.power_w(busy=False, utilisation=0.0) == pytest.approx(
+            TESLA_V100.idle_power_w
+        )
+
+    def test_utilisation_range_enforced(self):
+        with pytest.raises(HardwareError):
+            TESLA_V100.power_w(busy=True, utilisation=1.5)
+
+
+class TestValidation:
+    def test_active_below_idle_rejected(self):
+        with pytest.raises(HardwareError):
+            GpuModel(name="bad", active_power_w=10.0, idle_power_w=20.0)
+
+    def test_negative_idle_rejected(self):
+        with pytest.raises(HardwareError):
+            GpuModel(name="bad", active_power_w=10.0, idle_power_w=-1.0)

@@ -1,0 +1,58 @@
+"""Node Manager DC energy counter: 1 Hz latch semantics."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.ipmi import NodeManagerEnergyCounter
+
+
+class TestLatching:
+    def test_read_before_first_second_is_zero(self):
+        c = NodeManagerEnergyCounter()
+        c.integrate(300.0, 0.5)
+        assert c.read_joules() == 0.0
+        assert c.exact_joules == pytest.approx(150.0)
+
+    def test_latch_at_whole_second(self):
+        c = NodeManagerEnergyCounter()
+        c.integrate(300.0, 1.5)
+        # latched at t=1.0 with 300 J; the last 0.5 s not yet published
+        assert c.read_joules() == pytest.approx(300.0)
+        assert c.read_timestamp_s() == pytest.approx(1.0)
+
+    def test_multiple_periods_in_one_interval(self):
+        c = NodeManagerEnergyCounter()
+        c.integrate(100.0, 10.2)
+        assert c.read_timestamp_s() == pytest.approx(10.0)
+        assert c.read_joules() == pytest.approx(1000.0)
+
+    def test_power_from_latched_pairs_is_unbiased(self):
+        """Dividing energy deltas by *latch-time* deltas gives the true
+        average power despite the 1 Hz quantisation — the reason EAR
+        records the timestamps."""
+        c = NodeManagerEnergyCounter()
+        c.integrate(333.0, 0.7)
+        e0, t0 = c.read_joules(), c.read_timestamp_s()
+        c.integrate(333.0, 10.4)
+        e1, t1 = c.read_joules(), c.read_timestamp_s()
+        assert (e1 - e0) / (t1 - t0) == pytest.approx(333.0, rel=1e-6)
+
+    def test_exact_energy_always_current(self):
+        c = NodeManagerEnergyCounter()
+        c.integrate(100.0, 0.25)
+        c.integrate(200.0, 0.25)
+        assert c.exact_joules == pytest.approx(75.0)
+        assert c.now_s == pytest.approx(0.5)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(HardwareError):
+            NodeManagerEnergyCounter().integrate(100.0, -0.1)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(HardwareError):
+            NodeManagerEnergyCounter().integrate(-5.0, 1.0)
+
+    def test_custom_period(self):
+        c = NodeManagerEnergyCounter(update_period_s=0.5)
+        c.integrate(100.0, 0.6)
+        assert c.read_timestamp_s() == pytest.approx(0.5)

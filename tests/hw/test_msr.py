@@ -1,0 +1,142 @@
+"""MSR register file: bit-accurate 0x620, privilege model, hooks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MsrPermissionError, UnknownMsrError
+from repro.hw.msr import (
+    MSR_IA32_ENERGY_PERF_BIAS,
+    MSR_IA32_PERF_CTL,
+    MSR_UNCORE_RATIO_LIMIT,
+    MsrFile,
+    UncoreRatioLimit,
+)
+
+
+class TestUncoreRatioLimitEncoding:
+    def test_paper_layout_max_bits_6_0(self):
+        """Bits 6:0 hold the max ratio (paper section IV)."""
+        limits = UncoreRatioLimit(min_ratio=0, max_ratio=24)
+        assert limits.encode() == 24
+
+    def test_paper_layout_min_bits_14_8(self):
+        limits = UncoreRatioLimit(min_ratio=12, max_ratio=0)
+        assert limits.encode() == 12 << 8
+
+    def test_decode_skylake_default(self):
+        # min 1.2 GHz (12) in bits 14:8, max 2.4 GHz (24) in bits 6:0
+        value = (12 << 8) | 24
+        limits = UncoreRatioLimit.decode(value)
+        assert limits.min_ratio == 12
+        assert limits.max_ratio == 24
+
+    def test_ghz_views(self):
+        limits = UncoreRatioLimit.from_ghz(1.2, 2.4)
+        assert limits.min_ghz == pytest.approx(1.2)
+        assert limits.max_ghz == pytest.approx(2.4)
+
+    def test_pinned(self):
+        assert UncoreRatioLimit(min_ratio=18, max_ratio=18).pinned()
+        assert not UncoreRatioLimit(min_ratio=12, max_ratio=24).pinned()
+
+    def test_inverted_range_normalises_to_max(self):
+        """The hardware honours the max field when min > max."""
+        limits = UncoreRatioLimit(min_ratio=30, max_ratio=20)
+        assert limits.min_ghz == pytest.approx(2.0)
+
+    def test_seven_bit_limit_enforced(self):
+        with pytest.raises(ValueError):
+            UncoreRatioLimit(min_ratio=0, max_ratio=128)
+
+    @given(
+        st.integers(min_value=0, max_value=127),
+        st.integers(min_value=0, max_value=127),
+    )
+    def test_encode_decode_roundtrip(self, mn, mx):
+        limits = UncoreRatioLimit(min_ratio=mn, max_ratio=mx)
+        assert UncoreRatioLimit.decode(limits.encode()) == limits
+
+    @given(st.integers(min_value=0, max_value=(1 << 15) - 1))
+    def test_decode_encode_preserves_fields(self, value):
+        decoded = UncoreRatioLimit.decode(value)
+        redecoded = UncoreRatioLimit.decode(decoded.encode())
+        assert decoded == redecoded
+
+
+class TestMsrFile:
+    def make(self) -> MsrFile:
+        msr = MsrFile()
+        msr.implement(MSR_UNCORE_RATIO_LIMIT, UncoreRatioLimit(12, 24).encode())
+        msr.implement(MSR_IA32_PERF_CTL)
+        msr.implement(MSR_IA32_ENERGY_PERF_BIAS, 6)
+        return msr
+
+    def test_read_reset_value(self):
+        msr = self.make()
+        assert msr.read_uncore_limits() == UncoreRatioLimit(12, 24)
+
+    def test_unknown_msr_read(self):
+        with pytest.raises(UnknownMsrError):
+            MsrFile().read(0x1234)
+
+    def test_unknown_msr_write(self):
+        with pytest.raises(UnknownMsrError):
+            self.make().write(0x1234, 0, privileged=True)
+
+    def test_unprivileged_write_denied(self):
+        """Only EARD may write MSRs — the EARL/EARD privilege split."""
+        msr = self.make()
+        with pytest.raises(MsrPermissionError):
+            msr.write(MSR_UNCORE_RATIO_LIMIT, 0)
+        # state unchanged after the denied write
+        assert msr.read_uncore_limits() == UncoreRatioLimit(12, 24)
+
+    def test_privileged_write(self):
+        msr = self.make()
+        msr.write_uncore_limits(UncoreRatioLimit(12, 18), privileged=True)
+        assert msr.read_uncore_limits().max_ratio == 18
+
+    def test_write_hook_invoked(self):
+        msr = self.make()
+        seen = []
+        msr.on_write(MSR_UNCORE_RATIO_LIMIT, seen.append)
+        msr.write_uncore_limits(UncoreRatioLimit(12, 20), privileged=True)
+        assert seen == [UncoreRatioLimit(12, 20).encode()]
+
+    def test_hook_not_invoked_on_denied_write(self):
+        msr = self.make()
+        seen = []
+        msr.on_write(MSR_UNCORE_RATIO_LIMIT, seen.append)
+        with pytest.raises(MsrPermissionError):
+            msr.write(MSR_UNCORE_RATIO_LIMIT, 0)
+        assert seen == []
+
+    def test_perf_ctl_ratio_field(self):
+        msr = self.make()
+        msr.write_perf_ctl_ratio(23, privileged=True)
+        assert msr.read_perf_ctl_ratio() == 23
+        # ratio lives in bits 15:8
+        assert msr.read(MSR_IA32_PERF_CTL) == 23 << 8
+
+    def test_perf_ctl_ratio_range(self):
+        msr = self.make()
+        with pytest.raises(ValueError):
+            msr.write_perf_ctl_ratio(256, privileged=True)
+
+    def test_epb_range(self):
+        msr = self.make()
+        msr.write_epb(15, privileged=True)
+        assert msr.read_epb() == 15
+        with pytest.raises(ValueError):
+            msr.write_epb(16, privileged=True)
+
+    def test_values_masked_to_64_bits(self):
+        msr = self.make()
+        msr.write(MSR_IA32_PERF_CTL, (1 << 70) | 42, privileged=True)
+        assert msr.read(MSR_IA32_PERF_CTL) == 42
+
+    def test_is_implemented(self):
+        msr = self.make()
+        assert msr.is_implemented(MSR_IA32_PERF_CTL)
+        assert not msr.is_implemented(0xDEAD)

@@ -1,0 +1,126 @@
+"""Node model: power assembly, sensors, UFS integration."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.msr import UncoreRatioLimit
+from repro.hw.node import GPU_NODE, SD530, Cluster, Node, OperatingPoint
+
+
+def busy_op(node: Node, **overrides) -> OperatingPoint:
+    kwargs = dict(
+        n_active_cores=node.config.n_cores,
+        activity=1.0,
+        vpi=0.0,
+        traffic_gbs=30.0,
+        effective_core_ghz=2.4,
+        uncore_demand=0.0,
+    )
+    kwargs.update(overrides)
+    return OperatingPoint(**kwargs)
+
+
+class TestPowerAssembly:
+    def test_dc_is_sum_of_components(self, node):
+        p = node.power(busy_op(node))
+        assert p.dc_w == pytest.approx(
+            sum(p.pck_w) + p.dram_w + p.platform_w + p.gpus_w
+        )
+
+    def test_two_symmetric_sockets(self, node):
+        p = node.power(busy_op(node))
+        assert len(p.pck_w) == 2
+        assert p.pck_w[0] == pytest.approx(p.pck_w[1])
+
+    def test_no_gpus_on_sd530(self, node):
+        assert node.power(busy_op(node)).gpus_w == 0.0
+
+    def test_gpu_node_includes_boards(self, gpu_node):
+        op = busy_op(gpu_node, n_active_cores=1, gpus_busy=1, gpu_utilisation=0.5)
+        p = gpu_node.power(op)
+        # one busy at 0.5 utilisation + one idle
+        assert p.gpus_w > 2 * 25.0
+
+    def test_too_many_active_cores_rejected(self, node):
+        with pytest.raises(HardwareError):
+            node.power(busy_op(node, n_active_cores=100))
+
+
+class TestAdvance:
+    def test_sensors_integrate(self, node):
+        p = node.advance(busy_op(node), 10.0)
+        assert node.dc_meter.exact_joules == pytest.approx(p.dc_w * 10.0)
+        assert node.pck_energy_j == pytest.approx(p.pck_total_w * 10.0)
+        assert node.rapl.pck_joules_total() == pytest.approx(
+            p.pck_total_w * 10.0, rel=1e-3
+        )
+        assert node.elapsed_s == pytest.approx(10.0)
+
+    def test_negative_time_rejected(self, node):
+        with pytest.raises(HardwareError):
+            node.advance(busy_op(node), -1.0)
+
+    def test_frequency_averages_accumulate(self, node):
+        node.advance(busy_op(node), 10.0)
+        assert 2.3 < node.average_cpu_freq_ghz() < 2.4
+        assert node.average_imc_freq_ghz() == pytest.approx(2.4)
+
+
+class TestFrequencyControl:
+    def test_set_core_freq_all_sockets(self, node):
+        node.set_core_freq(1.8, privileged=True)
+        for s in node.sockets:
+            assert s.target_freq_ghz == pytest.approx(1.8)
+            assert s.pinned
+
+    def test_set_uncore_limits_all_sockets(self, node):
+        node.set_uncore_limits(
+            UncoreRatioLimit(min_ratio=12, max_ratio=18), privileged=True
+        )
+        assert node.uncore_freq_ghz <= 1.8
+
+
+class TestUfsIntegration:
+    def test_unpinned_busy_keeps_max(self, node):
+        node.run_ufs(busy_op(node))
+        assert node.uncore_freq_ghz == pytest.approx(2.4)
+
+    def test_pinned_spin_socket_sinks(self, gpu_node):
+        gpu_node.set_core_freq(2.4, privileged=True)
+        op = busy_op(gpu_node, n_active_cores=1, hw_active_fraction=1.0 / 32.0)
+        gpu_node.run_ufs(op)
+        assert gpu_node.uncore_freq_ghz < 1.8
+
+    def test_msr_limits_bound_controller(self, node):
+        node.set_uncore_limits(
+            UncoreRatioLimit(min_ratio=12, max_ratio=16), privileged=True
+        )
+        node.run_ufs(busy_op(node))
+        assert node.uncore_freq_ghz == pytest.approx(1.6)
+
+
+class TestCluster:
+    def test_allocates_n_nodes(self):
+        cluster = Cluster(SD530, 4)
+        assert len(cluster) == 4
+        assert [n.node_id for n in cluster] == [0, 1, 2, 3]
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(HardwareError):
+            Cluster(SD530, 0)
+
+    def test_nodes_are_independent(self):
+        cluster = Cluster(SD530, 2)
+        cluster.nodes[0].set_core_freq(1.2, privileged=True)
+        assert cluster.nodes[1].core_target_ghz == pytest.approx(2.4)
+
+
+class TestNodeConfigs:
+    def test_sd530_shape(self):
+        assert SD530.n_cores == 40
+        assert SD530.n_sockets == 2
+        assert not SD530.gpus
+
+    def test_gpu_node_shape(self):
+        assert GPU_NODE.n_cores == 32
+        assert len(GPU_NODE.gpus) == 2

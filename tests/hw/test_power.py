@@ -1,0 +1,114 @@
+"""Socket power model structure."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HardwareError
+from repro.hw.power import PowerModelParams, VoltageCurve, socket_power
+
+PARAMS = PowerModelParams()
+
+
+def busy_socket(**overrides):
+    kwargs = dict(
+        f_core_ghz=2.4,
+        f_uncore_ghz=2.4,
+        n_active_cores=20,
+        n_idle_cores=0,
+        activity=1.0,
+        vpi=0.0,
+        socket_traffic_gbs=20.0,
+    )
+    kwargs.update(overrides)
+    return socket_power(PARAMS, **kwargs)
+
+
+class TestVoltageCurve:
+    def test_floor_below_f0(self):
+        v = VoltageCurve()
+        assert v.volts(0.8) == pytest.approx(v.v0)
+
+    def test_linear_above_f0(self):
+        v = VoltageCurve()
+        assert v.volts(2.0) == pytest.approx(v.v0 + v.slope)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(HardwareError):
+            VoltageCurve().volts(0.0)
+
+
+class TestStructure:
+    def test_breakdown_adds_up(self):
+        bd = busy_socket()
+        assert bd.total_w == pytest.approx(bd.base_w + bd.cores_w + bd.uncore_w)
+
+    def test_core_power_scales_superlinearly_with_frequency(self):
+        """P ~ f·V(f)²: doubling frequency more than doubles core power."""
+        lo = busy_socket(f_core_ghz=1.2).cores_w
+        hi = busy_socket(f_core_ghz=2.4).cores_w
+        assert hi > 2.0 * lo
+
+    def test_uncore_power_rises_with_uncore_frequency(self):
+        lo = busy_socket(f_uncore_ghz=1.2).uncore_w
+        hi = busy_socket(f_uncore_ghz=2.4).uncore_w
+        assert hi > lo
+        # the swing is the explicit-UFS headroom: tens of watts/socket
+        assert 10.0 < hi - lo < 40.0
+
+    def test_avx512_surcharge(self):
+        scalar = busy_socket(vpi=0.0).cores_w
+        avx = busy_socket(vpi=1.0).cores_w
+        assert avx == pytest.approx(scalar * PARAMS.avx512_factor)
+
+    def test_partial_vpi_interpolates(self):
+        scalar = busy_socket(vpi=0.0).cores_w
+        half = busy_socket(vpi=0.5).cores_w
+        full = busy_socket(vpi=1.0).cores_w
+        assert half == pytest.approx((scalar + full) / 2)
+
+    def test_idle_cores_cheap(self):
+        idle = busy_socket(n_active_cores=0, n_idle_cores=20)
+        assert idle.cores_w == pytest.approx(20 * PARAMS.core_idle_w)
+
+    def test_activity_scales_dynamic_power(self):
+        full = busy_socket(activity=1.0).cores_w
+        half = busy_socket(activity=0.5).cores_w
+        assert half == pytest.approx(full / 2)
+
+    def test_traffic_term(self):
+        quiet = busy_socket(socket_traffic_gbs=0.0).uncore_w
+        loud = busy_socket(socket_traffic_gbs=50.0).uncore_w
+        assert loud - quiet == pytest.approx(50.0 * PARAMS.uncore_bw_w_per_gbs)
+
+    @given(
+        st.floats(min_value=1.0, max_value=2.6),
+        st.floats(min_value=1.2, max_value=2.4),
+        st.floats(min_value=0.0, max_value=1.2),
+    )
+    def test_always_positive(self, f_core, f_unc, activity):
+        bd = busy_socket(f_core_ghz=f_core, f_uncore_ghz=f_unc, activity=activity)
+        assert bd.total_w > 0
+
+
+class TestValidation:
+    def test_negative_cores_rejected(self):
+        with pytest.raises(HardwareError):
+            busy_socket(n_active_cores=-1)
+
+    def test_negative_activity_rejected(self):
+        with pytest.raises(HardwareError):
+            busy_socket(activity=-0.1)
+
+    def test_vpi_out_of_range_rejected(self):
+        with pytest.raises(HardwareError):
+            busy_socket(vpi=1.5)
+
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(HardwareError):
+            busy_socket(socket_traffic_gbs=-1.0)
+
+    def test_with_overrides(self):
+        p = PARAMS.with_overrides(platform_w=100.0)
+        assert p.platform_w == 100.0
+        assert p.core_dyn_w == PARAMS.core_dyn_w

@@ -1,0 +1,69 @@
+"""Power-model calibration against the paper's Tables II and V.
+
+The anchors are exact by construction (the activity solve inverts the
+affine power model), so these tests pin the *calibration machinery* and
+the representability of every published operating point: if a model
+coefficient drifts so far that an anchor needs an implausible activity,
+``calibrate_activity`` raises and the table row fails here.
+"""
+
+import pytest
+
+from repro.hw.node import Node
+from repro.workloads.applications import mpi_applications
+from repro.workloads.kernels import single_node_kernels
+
+
+def nominal_dc_power(workload) -> float:
+    """Model DC power at the anchor operating point after calibration."""
+    wl = workload.calibrated()
+    profile = wl.main_phase
+    node = Node(wl.node_config)
+    eff = profile._reference_effective_ghz(node)
+    from dataclasses import replace
+
+    op = replace(
+        profile.operating_point(node, effective_core_ghz=eff),
+        traffic_gbs=profile.ref_gbs,
+    )
+    return node.power(op).dc_w
+
+
+@pytest.mark.parametrize("workload", single_node_kernels(), ids=lambda w: w.name)
+def test_kernel_anchor_power_reproduced(workload):
+    """Table II node powers are representable and reproduced exactly."""
+    assert nominal_dc_power(workload) == pytest.approx(
+        workload.main_phase.ref_dc_power_w, rel=1e-6
+    )
+
+
+@pytest.mark.parametrize("workload", mpi_applications(), ids=lambda w: w.name)
+def test_application_anchor_power_reproduced(workload):
+    """Table V node powers are representable and reproduced exactly."""
+    assert nominal_dc_power(workload) == pytest.approx(
+        workload.main_phase.ref_dc_power_w, rel=1e-6
+    )
+
+
+@pytest.mark.parametrize("workload", single_node_kernels(), ids=lambda w: w.name)
+def test_calibrated_activity_physically_plausible(workload):
+    """Activities must land in a plausible band — CPU-bound near 1,
+    memory-bound well below."""
+    wl = workload.calibrated()
+    for profile, _ in wl.phases:
+        if profile.gpus_busy:
+            assert 0.0 < profile.gpu_utilisation <= 1.0
+        else:
+            assert 0.3 < profile.activity < 1.3
+
+
+def test_memory_bound_activity_below_cpu_bound():
+    """HPCG's stalled cores must burn less dynamic power per core than
+    BT-MZ's retiring ones — the physical reason its power drops less
+    than a CPU-bound code's when frequency falls."""
+    from repro.workloads.applications import hpcg
+    from repro.workloads.kernels import bt_mz_c_openmp
+
+    a_mem = hpcg().calibrated().main_phase.activity
+    a_cpu = bt_mz_c_openmp().calibrated().main_phase.activity
+    assert a_mem < a_cpu

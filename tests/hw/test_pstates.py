@@ -1,0 +1,107 @@
+"""P-state tables and AVX-512 licence clamping."""
+
+import pytest
+
+from repro.errors import FrequencyError
+from repro.hw.pstates import TURBO_PSTATE, XEON_6142M, XEON_6148, PState, PStateTable
+
+
+class TestXeon6148Table:
+    def test_turbo_is_pstate_zero(self):
+        assert XEON_6148.freq_of(TURBO_PSTATE) == pytest.approx(2.6)
+
+    def test_nominal_is_pstate_one(self):
+        """EAR numbering: P-state 1 is the base frequency."""
+        assert XEON_6148.freq_of(XEON_6148.nominal_pstate) == pytest.approx(2.4)
+
+    def test_avx512_licence_is_pstate_three(self):
+        """The paper: 2.2 GHz 'corresponding with pstate 3'."""
+        assert XEON_6148.avx512_pstate == 3
+        assert XEON_6148.freq_of(3) == pytest.approx(2.2)
+
+    def test_min_pstate_frequency(self):
+        assert XEON_6148.freq_of(XEON_6148.min_pstate) == pytest.approx(1.0)
+
+    def test_length_covers_100mhz_grid(self):
+        # turbo + 2.4 .. 1.0 inclusive = 1 + 15
+        assert len(XEON_6148) == 16
+
+    def test_frequencies_strictly_decreasing(self):
+        freqs = XEON_6148.frequencies_ghz
+        assert all(a > b for a, b in zip(freqs, freqs[1:]))
+
+    def test_iteration_yields_pstates(self):
+        states = list(XEON_6148)
+        assert states[0] == PState(0, 2.6)
+        assert states[1].index == 1
+
+    def test_n_cores(self):
+        assert XEON_6148.n_cores == 20
+        assert XEON_6142M.n_cores == 16
+
+
+class TestConversions:
+    def test_pstate_of_exact(self):
+        assert XEON_6148.pstate_of(2.3) == 2
+
+    def test_pstate_of_snaps_to_grid(self):
+        assert XEON_6148.pstate_of(2.2999999) == 2
+
+    def test_pstate_of_unknown_raises(self):
+        with pytest.raises(FrequencyError):
+            XEON_6148.pstate_of(5.0)
+
+    def test_freq_of_out_of_range_raises(self):
+        with pytest.raises(FrequencyError):
+            XEON_6148.freq_of(99)
+        with pytest.raises(FrequencyError):
+            XEON_6148.freq_of(-1)
+
+    def test_closest_pstate_tie_prefers_higher_frequency(self):
+        # 2.35 is equidistant from 2.4 (ps1) and 2.3 (ps2)
+        assert XEON_6148.closest_pstate(2.35) == 1
+
+    def test_closest_pstate_extremes(self):
+        assert XEON_6148.closest_pstate(9.9) == 0
+        assert XEON_6148.closest_pstate(0.1) == XEON_6148.min_pstate
+
+    def test_clamp_pstate(self):
+        assert XEON_6148.clamp_pstate(-5) == 0
+        assert XEON_6148.clamp_pstate(999) == XEON_6148.min_pstate
+
+
+class TestAvx512Clamp:
+    def test_faster_than_licence_clamps(self):
+        assert XEON_6148.avx512_clamp(0) == 3
+        assert XEON_6148.avx512_clamp(1) == 3
+        assert XEON_6148.avx512_clamp(3) == 3
+
+    def test_slower_than_licence_passes(self):
+        assert XEON_6148.avx512_clamp(7) == 7
+
+    def test_ratio_property(self):
+        assert PState(1, 2.4).ratio == 24
+
+
+class TestValidation:
+    def test_inconsistent_range_rejected(self):
+        with pytest.raises(FrequencyError):
+            PStateTable(
+                name="bad",
+                nominal_ghz=2.0,
+                min_ghz=2.4,
+                turbo_ghz=2.6,
+                avx512_max_ghz=2.0,
+                n_cores=4,
+            )
+
+    def test_avx_above_nominal_rejected(self):
+        with pytest.raises(FrequencyError):
+            PStateTable(
+                name="bad",
+                nominal_ghz=2.0,
+                min_ghz=1.0,
+                turbo_ghz=2.4,
+                avx512_max_ghz=2.2,
+                n_cores=4,
+            )

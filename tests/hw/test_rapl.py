@@ -1,0 +1,89 @@
+"""RAPL counters: units, quantisation, 32-bit wrap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import HardwareError
+from repro.hw.rapl import SKL_ENERGY_UNIT_J, RaplCounter, RaplDomain
+
+
+class TestCounter:
+    def test_unit_is_2_to_minus_14(self):
+        assert SKL_ENERGY_UNIT_J == pytest.approx(1.0 / 16384)
+
+    def test_accumulates_in_units(self):
+        c = RaplCounter()
+        c.add_energy(1.0)
+        assert c.joules() == pytest.approx(1.0, abs=SKL_ENERGY_UNIT_J)
+
+    def test_residual_preserved_across_small_adds(self):
+        """Adding many sub-unit chunks must not lose energy."""
+        c = RaplCounter()
+        for _ in range(1000):
+            c.add_energy(SKL_ENERGY_UNIT_J / 10)
+        assert c.joules() == pytest.approx(100 * SKL_ENERGY_UNIT_J, rel=0.02)
+
+    def test_wraps_at_32_bits(self):
+        c = RaplCounter()
+        wrap_j = (1 << 32) * SKL_ENERGY_UNIT_J  # ~262 kJ
+        c.add_energy(wrap_j + 5.0)
+        assert c.joules() == pytest.approx(5.0, abs=0.01)
+
+    def test_energy_cannot_decrease(self):
+        with pytest.raises(HardwareError):
+            RaplCounter().add_energy(-1.0)
+
+    def test_delta_without_wrap(self):
+        c = RaplCounter()
+        before = c.raw()
+        c.add_energy(100.0)
+        after = c.raw()
+        assert RaplCounter.delta_joules(before, after) == pytest.approx(100.0, abs=0.01)
+
+    def test_delta_across_wrap(self):
+        """A 200 W reader polling every 10 s survives the ~22 min wrap."""
+        c = RaplCounter()
+        wrap_j = (1 << 32) * SKL_ENERGY_UNIT_J
+        c.add_energy(wrap_j - 1.0)
+        before = c.raw()
+        c.add_energy(3.0)  # crosses the wrap
+        after = c.raw()
+        assert after < before
+        assert RaplCounter.delta_joules(before, after) == pytest.approx(3.0, abs=0.01)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=20))
+    def test_deltas_sum_to_total(self, chunks):
+        c = RaplCounter()
+        total = 0.0
+        prev = c.raw()
+        for chunk in chunks:
+            c.add_energy(chunk)
+            cur = c.raw()
+            total += RaplCounter.delta_joules(prev, cur)
+            prev = cur
+        assert total == pytest.approx(sum(chunks), abs=len(chunks) * SKL_ENERGY_UNIT_J)
+
+
+class TestDomain:
+    def test_per_socket_counters(self):
+        dom = RaplDomain(n_sockets=2)
+        dom.add_interval(pck_watts=[100.0, 120.0], dram_watts=20.0, seconds=10.0)
+        assert dom.pck[0].joules() == pytest.approx(1000.0, abs=0.01)
+        assert dom.pck[1].joules() == pytest.approx(1200.0, abs=0.01)
+        assert dom.dram.joules() == pytest.approx(200.0, abs=0.01)
+        assert dom.pck_joules_total() == pytest.approx(2200.0, abs=0.02)
+
+    def test_socket_count_enforced(self):
+        dom = RaplDomain(n_sockets=2)
+        with pytest.raises(HardwareError):
+            dom.add_interval(pck_watts=[100.0], dram_watts=0.0, seconds=1.0)
+
+    def test_negative_interval_rejected(self):
+        dom = RaplDomain(n_sockets=1)
+        with pytest.raises(HardwareError):
+            dom.add_interval(pck_watts=[100.0], dram_watts=0.0, seconds=-1.0)
+
+    def test_zero_sockets_rejected(self):
+        with pytest.raises(HardwareError):
+            RaplDomain(n_sockets=0)

@@ -1,0 +1,124 @@
+"""Hardware UFS controller: the paper-calibrated behaviours."""
+
+import pytest
+
+from repro.hw.ufs import UfsController, UfsInputs
+
+CTL = UfsController()
+
+
+def target(**kwargs):
+    defaults = dict(
+        fastest_active_ratio=24,
+        active_fraction=1.0,
+        vpi=0.0,
+        uncore_demand=0.0,
+        pinned=False,
+        epb=6,
+    )
+    defaults.update(kwargs)
+    return CTL.target_ratio(UfsInputs(**defaults), msr_min=12, msr_max=24)
+
+
+class TestUnpinned:
+    def test_loaded_unpinned_socket_holds_max(self):
+        """Table I: HW keeps 2.39 GHz for both CPU- and memory-bound."""
+        assert target() == 24
+
+    def test_idle_socket_decays_to_floor(self):
+        assert target(fastest_active_ratio=0) == 12
+
+    def test_avx512_rebalances_power_away_from_uncore(self):
+        """DGEMM under no policy: ~1.9-2.0 GHz uncore (Table IV)."""
+        assert target(vpi=1.0) in (19, 20)
+
+    def test_moderate_vector_mix_barely_moves(self):
+        """GROMACS (VPI ~0.3) still gets max uncore when unpinned."""
+        assert target(vpi=0.3) == 24
+
+
+class TestPinned:
+    def test_busy_pinned_socket_follows_core_up(self):
+        """BT-MZ pinned at nominal keeps the uncore at max (Table I)."""
+        assert target(pinned=True, fastest_active_ratio=24) == 24
+
+    def test_spin_socket_sinks(self):
+        """BT.CUDA: one spinning core out of 32 -> ~0.63 of its clock."""
+        ratio = target(
+            pinned=True, fastest_active_ratio=24, active_fraction=1.0 / 32.0
+        )
+        assert 14 <= ratio <= 16
+
+    def test_follow_factor_override(self):
+        """GROMACS(II)'s calibrated 0.64 follow factor -> ~1.45 GHz."""
+        ratio = target(
+            pinned=True,
+            fastest_active_ratio=23,
+            active_fraction=0.27,
+            **{"follow_factor": 0.64},
+        )
+        assert ratio in (14, 15)
+
+    def test_memory_demand_keeps_uncore_up_when_pinned_low(self):
+        """HPCG pinned at 1.7 GHz still gets max uncore (Table VI)."""
+        ratio = target(
+            pinned=True, fastest_active_ratio=17, uncore_demand=1.0
+        )
+        assert ratio == 24
+
+    def test_deep_pin_without_demand_follows_down(self):
+        ratio = target(pinned=True, fastest_active_ratio=17)
+        assert ratio < 24
+
+
+class TestLimitsAndBias:
+    def test_msr_max_caps_target(self):
+        ratio = CTL.target_ratio(
+            UfsInputs(
+                fastest_active_ratio=24,
+                active_fraction=1.0,
+                vpi=0.0,
+                uncore_demand=1.0,
+                pinned=False,
+            ),
+            msr_min=12,
+            msr_max=18,
+        )
+        assert ratio == 18
+
+    def test_msr_min_floors_target(self):
+        ratio = CTL.target_ratio(
+            UfsInputs(
+                fastest_active_ratio=10,
+                active_fraction=0.01,
+                vpi=0.0,
+                uncore_demand=0.0,
+                pinned=True,
+            ),
+            msr_min=16,
+            msr_max=24,
+        )
+        assert ratio == 16
+
+    def test_inverted_msr_range_honours_max(self):
+        ratio = CTL.target_ratio(
+            UfsInputs(
+                fastest_active_ratio=24,
+                active_fraction=1.0,
+                vpi=0.0,
+                uncore_demand=0.0,
+                pinned=False,
+            ),
+            msr_min=30,
+            msr_max=20,
+        )
+        assert ratio == 20
+
+    def test_powersave_epb_lowers_target(self):
+        balanced = target(pinned=True, fastest_active_ratio=20)
+        powersave = target(pinned=True, fastest_active_ratio=20, epb=15)
+        assert powersave < balanced
+
+    def test_inputs_are_clamped(self):
+        """Out-of-range monitor inputs must not explode the target."""
+        assert target(active_fraction=5.0, uncore_demand=7.0) == 24

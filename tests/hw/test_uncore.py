@@ -1,0 +1,68 @@
+"""Uncore domain state: limits, clamping, time-weighted averaging."""
+
+import pytest
+
+from repro.errors import FrequencyError
+from repro.hw.msr import UncoreRatioLimit
+from repro.hw.uncore import UncoreDomain
+
+
+class TestLimits:
+    def test_starts_at_max(self):
+        dom = UncoreDomain()
+        assert dom.current_ratio == 24
+        assert dom.freq_ghz == pytest.approx(2.4)
+
+    def test_set_limits_reclamps_current(self):
+        dom = UncoreDomain()
+        dom.set_limits(UncoreRatioLimit(min_ratio=12, max_ratio=18))
+        assert dom.current_ratio == 18
+
+    def test_limits_intersect_silicon_range(self):
+        dom = UncoreDomain()
+        dom.set_limits(UncoreRatioLimit(min_ratio=2, max_ratio=60))
+        assert dom.limits.min_ratio == 12
+        assert dom.limits.max_ratio == 24
+
+    def test_set_ratio_respects_limits(self):
+        dom = UncoreDomain()
+        dom.set_limits(UncoreRatioLimit(min_ratio=14, max_ratio=20))
+        dom.set_ratio(24)
+        assert dom.current_ratio == 20
+        dom.set_ratio(5)
+        assert dom.current_ratio == 14
+
+    def test_pinned_limits_pin_frequency(self):
+        dom = UncoreDomain()
+        dom.set_limits(UncoreRatioLimit(min_ratio=18, max_ratio=18))
+        dom.set_ratio(24)
+        assert dom.freq_ghz == pytest.approx(1.8)
+
+    def test_inverted_hw_range_rejected(self):
+        with pytest.raises(FrequencyError):
+            UncoreDomain(hw_min_ratio=24, hw_max_ratio=12)
+
+
+class TestAccounting:
+    def test_average_without_history_is_current(self):
+        dom = UncoreDomain()
+        assert dom.average_freq_ghz() == pytest.approx(2.4)
+
+    def test_time_weighted_average(self):
+        dom = UncoreDomain()
+        dom.account(10.0)  # 10 s at 2.4
+        dom.set_limits(UncoreRatioLimit(min_ratio=12, max_ratio=12))
+        dom.account(10.0)  # 10 s at 1.2
+        assert dom.average_freq_ghz() == pytest.approx(1.8)
+
+    def test_reset_accounting(self):
+        dom = UncoreDomain()
+        dom.account(5.0)
+        dom.reset_accounting()
+        dom.set_limits(UncoreRatioLimit(min_ratio=12, max_ratio=12))
+        dom.account(1.0)
+        assert dom.average_freq_ghz() == pytest.approx(1.2)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FrequencyError):
+            UncoreDomain().account(-1.0)

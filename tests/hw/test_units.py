@@ -1,0 +1,78 @@
+"""Units and conversions."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hw import units
+
+
+class TestRatioConversions:
+    def test_ghz_to_ratio_nominal(self):
+        assert units.ghz_to_ratio(2.4) == 24
+
+    def test_ratio_to_ghz_roundtrip_exact(self):
+        assert units.ratio_to_ghz(24) == pytest.approx(2.4)
+
+    def test_ghz_to_ratio_rounds_to_nearest(self):
+        assert units.ghz_to_ratio(1.24) == 12
+        assert units.ghz_to_ratio(1.26) == 13
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            units.ghz_to_ratio(-0.1)
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            units.ratio_to_ghz(-1)
+
+    @given(st.integers(min_value=0, max_value=80))
+    def test_ratio_ghz_ratio_roundtrip(self, ratio):
+        assert units.ghz_to_ratio(units.ratio_to_ghz(ratio)) == ratio
+
+    @given(st.floats(min_value=0.0, max_value=8.0, allow_nan=False))
+    def test_snap_idempotent(self, freq):
+        snapped = units.snap_ghz(freq)
+        assert units.snap_ghz(snapped) == pytest.approx(snapped)
+        assert abs(snapped - freq) <= units.BCLK_GHZ / 2 + 1e-12
+
+
+class TestClamp:
+    def test_inside_range(self):
+        assert units.clamp(5, 0, 10) == 5
+
+    def test_below(self):
+        assert units.clamp(-1, 0, 10) == 0
+
+    def test_above(self):
+        assert units.clamp(11, 0, 10) == 10
+
+    def test_inverted_range_raises(self):
+        with pytest.raises(ValueError):
+            units.clamp(5, 10, 0)
+
+
+class TestPowerHelpers:
+    def test_watts(self):
+        assert units.watts(1000.0, 10.0) == pytest.approx(100.0)
+
+    def test_watts_empty_interval(self):
+        assert units.watts(100.0, 0.0) == 0.0
+
+    def test_joules_to_wh(self):
+        assert units.joules_to_wh(3600.0) == pytest.approx(1.0)
+
+    def test_gbs_from_bytes(self):
+        assert units.gbs_from_bytes(2e9, 1.0) == pytest.approx(2.0)
+
+    def test_gbs_zero_interval(self):
+        assert units.gbs_from_bytes(1e9, 0.0) == 0.0
+
+    def test_approx_equal(self):
+        assert units.approx_equal(1.0, 1.0 + 1e-12)
+        assert not units.approx_equal(1.0, 1.1)
+
+    def test_cache_line_constant(self):
+        assert units.CACHE_LINE_BYTES == 64

@@ -1,0 +1,55 @@
+"""RunResult aggregation."""
+
+import pytest
+
+from repro.sim.result import NodeResult, RunResult
+
+
+def node(node_id=0, dc=1000.0, pck=600.0, cpu=2.38, imc=2.0, cpi=0.5, gbs=20.0):
+    return NodeResult(
+        node_id=node_id,
+        dc_energy_j=dc,
+        pck_energy_j=pck,
+        avg_cpu_freq_ghz=cpu,
+        avg_imc_freq_ghz=imc,
+        cpi=cpi,
+        gbs=gbs,
+    )
+
+
+def result(nodes, time_s=10.0):
+    return RunResult(
+        workload="w",
+        n_nodes=len(nodes),
+        policy="none",
+        seed=0,
+        time_s=time_s,
+        nodes=tuple(nodes),
+    )
+
+
+class TestAggregation:
+    def test_energy_sums_over_nodes(self):
+        r = result([node(0), node(1)])
+        assert r.dc_energy_j == pytest.approx(2000.0)
+        assert r.pck_energy_j == pytest.approx(1200.0)
+
+    def test_avg_power_is_per_node(self):
+        """The paper reports average *node* power, not cluster power."""
+        r = result([node(0), node(1)], time_s=10.0)
+        assert r.avg_dc_power_w == pytest.approx(100.0)
+        assert r.avg_pck_power_w == pytest.approx(60.0)
+
+    def test_frequency_means(self):
+        r = result([node(0, cpu=2.4, imc=2.4), node(1, cpu=2.0, imc=1.6)])
+        assert r.avg_cpu_freq_ghz == pytest.approx(2.2)
+        assert r.avg_imc_freq_ghz == pytest.approx(2.0)
+
+    def test_counter_means(self):
+        r = result([node(0, cpi=0.4, gbs=10.0), node(1, cpi=0.6, gbs=30.0)])
+        assert r.cpi == pytest.approx(0.5)
+        assert r.gbs == pytest.approx(20.0)
+
+    def test_zero_time_guard(self):
+        r = result([node(0)], time_s=0.0)
+        assert r.avg_dc_power_w == 0.0

@@ -1,0 +1,103 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_workloads_and_policies(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "BT-MZ.C" in out
+        assert "HPCG" in out
+        assert "min_energy" in out
+
+
+class TestRun:
+    def test_run_all_configs(self, capsys):
+        assert main(["run", "-w", "BT-MZ.C", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "me_eufs" in out
+        assert "time penalty" in out
+
+    def test_run_single_config(self, capsys):
+        assert main(["run", "-w", "BT-MZ.C", "-p", "me", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "me" in out
+        assert "me_eufs" not in out
+
+    def test_unknown_workload_fails(self):
+        with pytest.raises(SystemExit):
+            main(["run", "-w", "NOPE"])
+
+    def test_unknown_config_fails(self):
+        with pytest.raises(SystemExit):
+            main(["run", "-w", "BT-MZ.C", "-p", "warp_speed"])
+
+    def test_workload_name_case_insensitive(self, capsys):
+        assert main(["run", "-w", "bt-mz.c", "-p", "me", "--scale", "0.2"]) == 0
+
+
+class TestTable:
+    @pytest.mark.parametrize("number", [1, 2, 3, 4])
+    def test_kernel_tables_render(self, capsys, number):
+        assert main(["table", str(number), "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert f"Table" in out
+        assert "BT-MZ.C" in out
+
+    def test_invalid_table(self):
+        with pytest.raises(SystemExit):
+            main(["table", "9", "--scale", "0.2"])
+
+
+class TestFigureAndSweep:
+    def test_figure4_renders(self, capsys):
+        assert main(["figure", "4", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "BT-MZ" in out
+        assert "me_eufs_0" in out
+
+    def test_invalid_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "2", "--scale", "0.2"])
+
+    def test_sweep_renders(self, capsys):
+        assert main(["sweep", "-w", "BT-MZ.C.mpi", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "uncore GHz" in out
+        assert "2.40" in out
+
+
+class TestTimelineAndCampaign:
+    def test_timeline_renders(self, capsys):
+        # long enough that the descent settles (READY reached)
+        assert main(["timeline", "-w", "BT-MZ.C", "--scale", "0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "frequency timeline" in out
+        assert "imc [" in out
+        assert "settled uncore ceiling" in out
+
+    def test_export_csv_to_stdout(self, capsys):
+        assert main(["export", "2", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("kernel,")
+        assert "BT-MZ.C" in out
+
+    def test_export_csv_to_file(self, tmp_path, capsys):
+        target = str(tmp_path / "t2.csv")
+        assert main(["export", "2", "-o", target, "--scale", "0.1"]) == 0
+        assert (tmp_path / "t2.csv").read_text().startswith("kernel,")
+
+    def test_export_invalid_table(self):
+        with pytest.raises(SystemExit):
+            main(["export", "12", "--scale", "0.1"])
+
+    def test_campaign_runs_under_budget_control(self, capsys):
+        assert main(["campaign", "--scale", "0.05", "--budget-mj", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign:" in out
+        assert "BQCD" in out
+        # the tight budget must escalate at some point
+        assert "WARNING" in out or "PANIC" in out

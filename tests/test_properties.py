@@ -1,0 +1,165 @@
+"""Cross-cutting property-based tests on core invariants.
+
+These complement the per-module hypothesis tests with properties that
+span layers: energy conservation, guard safety, model sanity and
+policy bounds under arbitrary (but valid) workload shapes.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ear.config import EarConfig
+from repro.ear.models import make_model, steady_state_signature
+from repro.hw.node import SD530, Node
+from repro.sim.engine import run_workload
+from repro.workloads.generator import synthetic_profile, synthetic_workload
+
+# share mixes: (core, unc, mem) with sum <= 0.98
+share_mixes = st.tuples(
+    st.floats(min_value=0.05, max_value=0.9),
+    st.floats(min_value=0.0, max_value=0.3),
+    st.floats(min_value=0.0, max_value=0.7),
+).filter(lambda t: sum(t) <= 0.98)
+
+
+def profile_from(mix, vpi=0.0):
+    core, unc, mem = mix
+    return synthetic_profile(
+        name="prop",
+        node_config=SD530,
+        core_share=core,
+        unc_share=unc,
+        mem_share=mem,
+        vpi=vpi,
+    )
+
+
+class TestSteadyStateProperties:
+    @given(share_mixes, st.sampled_from([2.4, 2.1, 1.8, 1.5, 1.2]))
+    @settings(max_examples=40, deadline=None)
+    def test_slower_cpu_never_speeds_up(self, mix, freq):
+        p = profile_from(mix)
+        fast = steady_state_signature(p, SD530, f_cpu_ghz=2.4)
+        slow = steady_state_signature(p, SD530, f_cpu_ghz=freq)
+        assert slow.iteration_time_s >= fast.iteration_time_s - 1e-12
+
+    @given(share_mixes)
+    @settings(max_examples=30, deadline=None)
+    def test_lower_uncore_lowers_power(self, mix):
+        p = profile_from(mix)
+        hi = steady_state_signature(p, SD530, f_cpu_ghz=2.4, f_uncore_ghz=2.4)
+        lo = steady_state_signature(p, SD530, f_cpu_ghz=2.4, f_uncore_ghz=1.2)
+        assert lo.dc_power_w < hi.dc_power_w
+
+    @given(share_mixes)
+    @settings(max_examples=30, deadline=None)
+    def test_signature_metrics_consistent(self, mix):
+        p = profile_from(mix)
+        sig = steady_state_signature(p, SD530, f_cpu_ghz=2.4)
+        # CPI, TPI, GBs must satisfy their defining identity:
+        # gbs = tpi * 64 * instr/s = tpi * 64 * (cycles/s / cpi)
+        instr_per_s = sig.avg_cpu_freq_ghz * 1e9 * 40 / sig.cpi
+        gbs = sig.tpi * 64 * instr_per_s / 1e9
+        assert gbs == pytest.approx(sig.gbs, rel=1e-6)
+
+
+class TestModelProperties:
+    @given(share_mixes, st.integers(min_value=2, max_value=15))
+    @settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_projection_finite_and_positive(self, mix, to_ps):
+        model = make_model(SD530, EarConfig())
+        sig = steady_state_signature(profile_from(mix), SD530, f_cpu_ghz=2.4)
+        proj = model.project(sig, 1, to_ps)
+        assert math.isfinite(proj.time_s) and proj.time_s > 0
+        assert math.isfinite(proj.power_w) and proj.power_w > 0
+
+    @given(share_mixes)
+    @settings(max_examples=20, deadline=None)
+    def test_projection_roundtrip_identity(self, mix):
+        model = make_model(SD530, EarConfig())
+        sig = steady_state_signature(profile_from(mix), SD530, f_cpu_ghz=2.4)
+        proj = model.project(sig, 1, 1)
+        assert proj.time_s == pytest.approx(sig.iteration_time_s)
+        assert proj.power_w == pytest.approx(sig.dc_power_w)
+
+
+class TestEndToEndProperties:
+    @given(share_mixes, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=8, deadline=None)
+    def test_energy_conservation(self, mix, seed):
+        """Total energy == integral of power over time, per node."""
+        core, unc, mem = mix
+        wl = synthetic_workload(
+            node_config=SD530,
+            core_share=core,
+            unc_share=unc,
+            mem_share=mem,
+            n_iterations=40,
+        )
+        r = run_workload(wl, seed=seed)
+        assert r.dc_energy_j == pytest.approx(
+            r.avg_dc_power_w * r.time_s * r.n_nodes, rel=1e-9
+        )
+        assert r.pck_energy_j < r.dc_energy_j
+
+    @given(share_mixes)
+    @settings(max_examples=6, deadline=None)
+    def test_policy_never_exceeds_guard_grossly(self, mix):
+        """Under the default config the measured time penalty stays
+        within cpu_th + unc_th + model slack for any workload shape."""
+        core, unc, mem = mix
+        wl = synthetic_workload(
+            node_config=SD530,
+            core_share=core,
+            unc_share=unc,
+            mem_share=mem,
+            n_iterations=120,
+        )
+        base = run_workload(wl, seed=1, noise_sigma=0.0)
+        managed = run_workload(wl, ear_config=EarConfig(), seed=1, noise_sigma=0.0)
+        penalty = managed.time_s / base.time_s - 1.0
+        assert penalty < 0.05 + 0.02 + 0.05  # thresholds + model slack
+
+    @given(share_mixes)
+    @settings(max_examples=6, deadline=None)
+    def test_policy_frequencies_within_hardware_range(self, mix):
+        core, unc, mem = mix
+        wl = synthetic_workload(
+            node_config=SD530,
+            core_share=core,
+            unc_share=unc,
+            mem_share=mem,
+            n_iterations=80,
+        )
+        r = run_workload(wl, ear_config=EarConfig(), seed=2)
+        assert 1.0 <= r.avg_cpu_freq_ghz <= 2.6
+        assert 1.2 - 1e-6 <= r.avg_imc_freq_ghz <= 2.4 + 1e-6
+
+
+class TestCalibrationProperty:
+    @given(
+        share_mixes,
+        st.floats(min_value=280.0, max_value=380.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_activity_solve_exact_when_representable(self, mix, power):
+        """Whenever calibration succeeds, the anchor power is exact."""
+        from dataclasses import replace
+
+        core, unc, mem = mix
+        p = replace(profile_from(mix), ref_dc_power_w=power, calibrate_power=True)
+        node = Node(SD530)
+        try:
+            cal = p.calibrate_activity(node)
+        except Exception:
+            return  # unrepresentable target: rejection is the contract
+        op = replace(
+            cal.operating_point(node, effective_core_ghz=2.4),
+            traffic_gbs=cal.ref_gbs,
+        )
+        assert node.power(op).dc_w == pytest.approx(power, rel=1e-6)

@@ -1,0 +1,81 @@
+"""The paper's application catalogue: anchors match Table V."""
+
+import pytest
+
+from repro.experiments.paper_data import TABLE5
+from repro.workloads.applications import (
+    afid,
+    bqcd,
+    bt_mz_d,
+    dumses,
+    gromacs_ion_channel,
+    gromacs_lignocellulose,
+    hpcg,
+    mpi_applications,
+    pop,
+)
+
+PAPER_LAYOUT = {
+    "BQCD": (4, 40),
+    "BT-MZ": (4, 160),
+    "GROMACS(I)": (4, 160),
+    "GROMACS(II)": (16, 640),
+    "HPCG": (4, 160),
+    "POP": (10, 384),
+    "DUMSES": (13, 512),
+    "AFiD": (15, 576),
+}
+
+
+class TestCatalogue:
+    def test_eight_configurations_in_paper_order(self):
+        names = [wl.name for wl in mpi_applications()]
+        assert names == list(PAPER_LAYOUT)
+
+    @pytest.mark.parametrize("workload", mpi_applications(), ids=lambda w: w.name)
+    def test_anchors_match_table5(self, workload):
+        expected = TABLE5[workload.name]
+        p = workload.main_phase
+        assert p.ref_cpi == pytest.approx(expected["cpi"], rel=0.05)
+        assert p.ref_gbs == pytest.approx(expected["gbs"], rel=0.05)
+        assert p.ref_dc_power_w == pytest.approx(expected["dc_power_w"], rel=0.02)
+        assert workload.total_ref_time_s == pytest.approx(expected["time_s"], rel=0.05)
+
+    @pytest.mark.parametrize("workload", mpi_applications(), ids=lambda w: w.name)
+    def test_cluster_layout_matches_paper(self, workload):
+        nodes, procs = PAPER_LAYOUT[workload.name]
+        assert workload.n_nodes == nodes
+        assert workload.n_processes == procs
+
+    @pytest.mark.parametrize("workload", mpi_applications(), ids=lambda w: w.name)
+    def test_all_apps_have_mpi_patterns(self, workload):
+        assert workload.main_phase.mpi_events
+
+
+class TestApplicationClasses:
+    def test_cpu_bound_class(self):
+        """The paper: BQCD, GROMACS x2, BT-MZ are CPU bound."""
+        for wl in (bqcd(), bt_mz_d(), gromacs_ion_channel(), gromacs_lignocellulose()):
+            assert wl.main_phase.s_core > 0.5, wl.name
+
+    def test_memory_bound_class(self):
+        """The paper: HPCG, POP, DUMSES, AFiD are memory bound."""
+        for wl in (hpcg(), pop(), dumses(), afid()):
+            p = wl.main_phase
+            assert p.s_unc + p.s_mem > 0.35, wl.name
+            assert p.uncore_demand > 0.9, wl.name
+
+    def test_hpcg_is_the_most_memory_bound(self):
+        shares = {
+            wl.name: wl.main_phase.s_unc + wl.main_phase.s_mem
+            for wl in mpi_applications()
+        }
+        assert max(shares, key=shares.get) == "HPCG"
+
+    def test_gromacs_scaling_reduces_hw_follow(self):
+        """640 ranks spend more time in MPI than 160: the UFS monitor
+        sees less busy a socket (1.45 vs 2.04 GHz in Table VI)."""
+        assert (
+            gromacs_lignocellulose().main_phase.hw_follow_factor
+            < gromacs_ion_channel().main_phase.hw_follow_factor
+        )

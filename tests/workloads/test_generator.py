@@ -1,0 +1,96 @@
+"""Synthetic workload generator and the training corpus."""
+
+import pytest
+
+from repro.hw.node import GPU_NODE, SD530
+from repro.workloads.generator import (
+    synthetic_profile,
+    synthetic_workload,
+    training_corpus,
+)
+
+
+class TestSyntheticProfile:
+    def test_cpi_tracks_stall_share(self):
+        low = synthetic_profile(
+            name="low", node_config=SD530, core_share=0.95, unc_share=0.03, mem_share=0.02
+        )
+        high = synthetic_profile(
+            name="high", node_config=SD530, core_share=0.2, unc_share=0.2, mem_share=0.6
+        )
+        assert high.ref_cpi > low.ref_cpi
+
+    def test_traffic_proportional_to_stall(self):
+        """The property that makes EAR's (CPI, TPI) basis exact."""
+        quarter = synthetic_profile(
+            name="q", node_config=SD530, core_share=0.75, unc_share=0.0625, mem_share=0.1875
+        )
+        half = synthetic_profile(
+            name="h", node_config=SD530, core_share=0.5, unc_share=0.125, mem_share=0.375
+        )
+        assert half.ref_gbs == pytest.approx(2 * quarter.ref_gbs, rel=1e-6)
+
+    def test_spin_profile_single_core(self):
+        p = synthetic_profile(
+            name="spin",
+            node_config=GPU_NODE,
+            core_share=0.02,
+            unc_share=0.01,
+            mem_share=0.01,
+            spin=True,
+        )
+        assert p.n_active_cores == 1
+        assert p.hw_active_fraction == pytest.approx(1.0 / 32.0)
+
+    def test_shares_validated(self):
+        with pytest.raises(ValueError):
+            synthetic_profile(
+                name="bad", node_config=SD530, core_share=0.8, unc_share=0.2, mem_share=0.2
+            )
+
+    def test_memory_rows_keep_uncore_demand(self):
+        p = synthetic_profile(
+            name="mem", node_config=SD530, core_share=0.2, unc_share=0.2, mem_share=0.6
+        )
+        assert p.uncore_demand > 0.8
+
+
+class TestTrainingCorpus:
+    def test_deterministic(self):
+        a = training_corpus(SD530)
+        b = training_corpus(SD530)
+        assert [p.name for p in a] == [p.name for p in b]
+        assert [p.ref_cpi for p in a] == [p.ref_cpi for p in b]
+
+    def test_spans_boundedness_space(self):
+        corpus = training_corpus(SD530)
+        cpis = [p.ref_cpi for p in corpus]
+        assert min(cpis) < 0.4  # below every real kernel
+        assert max(cpis) > 2.8  # beyond HPCG territory
+
+    def test_gpu_corpus_includes_spin_profiles(self):
+        corpus = training_corpus(GPU_NODE)
+        spins = [p for p in corpus if p.n_active_cores == 1]
+        assert len(spins) >= 4
+
+    def test_sd530_corpus_has_no_spin_profiles(self):
+        corpus = training_corpus(SD530)
+        assert all(p.n_active_cores is None for p in corpus)
+
+    def test_no_avx_rows(self):
+        """AVX behaviour is the model's job, not the regression's."""
+        assert all(p.vpi == 0.0 for p in training_corpus(SD530))
+
+    def test_off_family_variants_present(self):
+        names = [p.name for p in training_corpus(SD530)]
+        assert any(".base" in n for n in names)
+        assert any(".act" in n for n in names)
+
+
+class TestSyntheticWorkload:
+    def test_builds_runnable_workload(self):
+        wl = synthetic_workload(
+            node_config=SD530, core_share=0.8, unc_share=0.1, mem_share=0.05
+        )
+        assert wl.total_ref_time_s > 0
+        assert wl.phases[0][1] == 120

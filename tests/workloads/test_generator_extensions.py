@@ -1,0 +1,95 @@
+"""Communication-intensity and multi-phase workload generators."""
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.hw.node import SD530
+from repro.sim.engine import run_workload
+from repro.workloads.generator import (
+    alternating_phases_workload,
+    communication_workload,
+)
+
+
+class TestCommunicationWorkload:
+    def test_comm_fraction_reduces_compute_share(self):
+        lo = communication_workload(comm_fraction=0.1, node_config=SD530)
+        hi = communication_workload(comm_fraction=0.7, node_config=SD530)
+        assert hi.main_phase.s_fixed > lo.main_phase.s_fixed
+        assert hi.main_phase.s_core < lo.main_phase.s_core
+
+    def test_spinning_ranks_look_idle_to_ufs(self):
+        hi = communication_workload(comm_fraction=0.7, node_config=SD530)
+        assert hi.main_phase.hw_active_fraction < 0.5
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            communication_workload(comm_fraction=1.0, node_config=SD530)
+
+    def test_eufs_benefit_grows_with_comm_intensity(self):
+        """The future-work answer: the more time an application spends
+        in MPI, the more uncore the explicit policy can reclaim."""
+        savings = {}
+        for cf in (0.0, 0.6):
+            wl = communication_workload(
+                comm_fraction=cf, node_config=SD530, n_nodes=1, n_iterations=150
+            )
+            base = run_workload(wl, seed=1)
+            eu = run_workload(wl, ear_config=EarConfig(), seed=1)
+            savings[cf] = 1 - eu.dc_energy_j / base.dc_energy_j
+        assert savings[0.6] > savings[0.0] + 0.01
+
+    def test_comm_time_is_frequency_invariant(self):
+        wl = communication_workload(
+            comm_fraction=0.8, node_config=SD530, n_nodes=1, n_iterations=60
+        )
+        base = run_workload(wl, seed=1, noise_sigma=0.0)
+        slow = run_workload(wl, seed=1, noise_sigma=0.0, pin_cpu_ghz=1.2)
+        # 80 % of the time is MPI: halving the clock costs < 25 %
+        assert slow.time_s / base.time_s < 1.25
+
+
+class TestAlternatingPhases:
+    def test_structure(self):
+        wl = alternating_phases_workload(node_config=SD530, n_blocks=2)
+        assert len(wl.phases) == 4
+        names = [p.name for p, _ in wl.phases]
+        assert names == ["alt.compute", "alt.memory"] * 2
+
+    def test_invalid_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            alternating_phases_workload(node_config=SD530, n_blocks=0)
+
+    def test_policy_adapts_across_phases(self):
+        """EARL must re-select when the phase flips: the CPU target has
+        to visit both the nominal (compute) and a reduced (memory)
+        frequency within one run."""
+        wl = alternating_phases_workload(
+            node_config=SD530, n_blocks=2, iterations_per_block=50
+        )
+        r = run_workload(wl, ear_config=EarConfig(), seed=1)
+        cpu_targets = {
+            round(d.freqs.cpu_ghz, 1) for d in r.decisions if d.freqs is not None
+        }
+        assert 2.4 in cpu_targets
+        assert any(t <= 2.2 for t in cpu_targets)
+
+    def test_phase_change_triggers_revalidation(self):
+        from repro.ear.earl import EarlState
+
+        # blocks long enough that the descent stabilises before the flip
+        wl = alternating_phases_workload(
+            node_config=SD530, n_blocks=2, iterations_per_block=220
+        )
+        r = run_workload(wl, ear_config=EarConfig(), seed=1)
+        # at least one validate round must have failed (policy re-ran
+        # after the machine had stabilised)
+        stable_then_policy = False
+        seen_stable = False
+        for d in r.decisions:
+            if d.earl_state is EarlState.VALIDATE_POLICY:
+                seen_stable = True
+            elif seen_stable and d.earl_state is EarlState.NODE_POLICY:
+                stable_then_policy = True
+                break
+        assert stable_then_policy

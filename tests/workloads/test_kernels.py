@@ -1,0 +1,77 @@
+"""The paper's kernel catalogue: anchors match Table II."""
+
+import pytest
+
+from repro.experiments.paper_data import TABLE2
+from repro.hw.node import GPU_NODE, SD530
+from repro.workloads.kernels import (
+    bt_cuda_d,
+    bt_mz_c_mpi,
+    bt_mz_c_openmp,
+    dgemm_mkl,
+    lu_cuda_d,
+    lu_d_mpi,
+    single_node_kernels,
+    sp_mz_c_openmp,
+)
+
+
+class TestCatalogue:
+    def test_five_kernels_in_paper_order(self):
+        names = [wl.name for wl in single_node_kernels()]
+        assert names == ["BT-MZ.C", "SP-MZ.C", "BT.CUDA.D", "LU.CUDA.D", "DGEMM"]
+
+    @pytest.mark.parametrize("workload", single_node_kernels(), ids=lambda w: w.name)
+    def test_anchors_match_table2(self, workload):
+        expected = TABLE2[workload.name]
+        p = workload.main_phase
+        assert p.ref_cpi == pytest.approx(expected["cpi"], rel=0.05)
+        assert p.ref_gbs == pytest.approx(expected["gbs"], rel=0.05)
+        assert p.ref_dc_power_w == pytest.approx(expected["dc_power_w"], rel=0.02)
+        assert workload.total_ref_time_s == pytest.approx(expected["time_s"], rel=0.05)
+
+    def test_single_node_kernels_use_one_node(self):
+        for wl in single_node_kernels():
+            assert wl.n_nodes == 1
+
+
+class TestKernelClasses:
+    def test_openmp_kernels_are_cpu_bound(self):
+        for wl in (bt_mz_c_openmp(), sp_mz_c_openmp()):
+            assert wl.main_phase.s_core > 0.7
+            assert wl.node_config is SD530
+
+    def test_cuda_kernels_offload(self):
+        for wl in (bt_cuda_d(), lu_cuda_d()):
+            p = wl.main_phase
+            assert p.gpus_busy == 1
+            assert p.n_active_cores == 1
+            assert p.s_fixed > 0.9  # GPU time dominates
+            assert wl.node_config.gpus
+
+    def test_lu_cuda_polls_the_uncore(self):
+        """LU's busy-wait polls memory: the HW UFS monitor stays busy."""
+        assert lu_cuda_d().main_phase.uncore_demand == 1.0
+        assert bt_cuda_d().main_phase.uncore_demand == 0.0
+
+    def test_dgemm_is_pure_avx512(self):
+        assert dgemm_mkl().main_phase.vpi == 1.0
+
+
+class TestMotivationKernels:
+    def test_bt_mz_mpi_layout(self):
+        wl = bt_mz_c_mpi()
+        assert wl.n_nodes == 4
+        assert wl.n_processes == 160
+        assert wl.main_phase.mpi_events  # drives DynAIS
+
+    def test_lu_mpi_layout(self):
+        wl = lu_d_mpi()
+        assert wl.n_nodes == 2
+        assert wl.n_processes == 2
+
+    def test_lu_more_memory_bound_than_bt(self):
+        lu = lu_d_mpi().main_phase
+        bt = bt_mz_c_mpi().main_phase
+        assert lu.s_unc + lu.s_mem > bt.s_unc + bt.s_mem
+        assert lu.ref_cpi > bt.ref_cpi

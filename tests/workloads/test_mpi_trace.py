@@ -1,0 +1,52 @@
+"""MPI event-pattern synthesis."""
+
+import pytest
+
+from repro.workloads.mpi_trace import (
+    MpiCall,
+    allreduce_pattern,
+    event,
+    pencil_pattern,
+    stencil_pattern,
+)
+
+
+class TestEventEncoding:
+    def test_call_type_recoverable(self):
+        assert event(MpiCall.SEND, 0) // 1000 == MpiCall.SEND
+
+    def test_argument_hash_distinguishes_calls(self):
+        assert event(MpiCall.ISEND, 0) != event(MpiCall.ISEND, 1)
+
+    def test_negative_hash_rejected(self):
+        with pytest.raises(ValueError):
+            event(MpiCall.SEND, -1)
+
+
+class TestPatterns:
+    def test_stencil_shape(self):
+        p = stencil_pattern(4)
+        # 2 events per neighbour + waitall + allreduce
+        assert len(p) == 10
+
+    def test_stencil_without_reduce(self):
+        assert len(stencil_pattern(4, with_reduce=False)) == 9
+
+    def test_allreduce_shape(self):
+        assert len(allreduce_pattern(2)) == 8
+
+    def test_pencil_shape(self):
+        assert len(pencil_pattern()) == 4
+
+    def test_patterns_are_distinct(self):
+        assert stencil_pattern(4) != allreduce_pattern(2)
+        assert stencil_pattern(2) != stencil_pattern(3)
+
+    def test_patterns_deterministic(self):
+        assert pencil_pattern() == pencil_pattern()
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            stencil_pattern(0)
+        with pytest.raises(ValueError):
+            allreduce_pattern(0)

@@ -1,0 +1,163 @@
+"""Phase profiles: the analytic time model and calibration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareError
+from repro.hw.dram import DDR4_2400_12DIMM
+from repro.hw.node import SD530, Node
+from repro.workloads.phase import PhaseProfile
+
+
+def profile(**overrides) -> PhaseProfile:
+    kwargs = dict(
+        name="test.phase",
+        ref_iteration_s=0.5,
+        ref_cpi=0.6,
+        ref_gbs=30.0,
+        ref_dc_power_w=320.0,
+        s_core=0.7,
+        s_unc=0.1,
+        s_mem=0.1,
+    )
+    kwargs.update(overrides)
+    return PhaseProfile(**kwargs)
+
+
+def t(p, f_core=2.4, f_unc=2.4):
+    return p.iteration_time_s(
+        f_core_ghz=f_core,
+        f_uncore_ghz=f_unc,
+        ref_core_ghz=2.4,
+        ref_uncore_ghz=2.4,
+        dram=DDR4_2400_12DIMM,
+    )
+
+
+class TestTimeModel:
+    def test_anchor_point_reproduced(self):
+        assert t(profile()) == pytest.approx(0.5)
+
+    def test_core_share_scales_with_core_clock(self):
+        p = profile(s_core=1.0, s_unc=0.0, s_mem=0.0)
+        assert t(p, f_core=1.2) == pytest.approx(1.0)
+
+    def test_fixed_share_is_frequency_invariant(self):
+        p = profile(s_core=0.0, s_unc=0.0, s_mem=0.0)
+        assert t(p, f_core=1.2, f_unc=1.2) == pytest.approx(0.5)
+
+    def test_uncore_share_scales_with_uncore_clock(self):
+        p = profile(s_core=0.0, s_unc=1.0, s_mem=0.0)
+        assert t(p, f_unc=1.2) == pytest.approx(1.0)
+
+    def test_mem_share_follows_bandwidth_curve(self):
+        p = profile(s_core=0.0, s_unc=0.0, s_mem=1.0)
+        ratio = DDR4_2400_12DIMM.bandwidth_scale(2.4) / DDR4_2400_12DIMM.bandwidth_scale(1.2)
+        assert t(p, f_unc=1.2) == pytest.approx(0.5 * ratio)
+
+    @given(
+        st.floats(min_value=1.0, max_value=2.4),
+        st.floats(min_value=1.2, max_value=2.4),
+    )
+    @settings(max_examples=50)
+    def test_time_never_below_anchor(self, f_core, f_unc):
+        """Lowering either clock can only slow the iteration down."""
+        assert t(profile(), f_core=f_core, f_unc=f_unc) >= 0.5 - 1e-9
+
+    @given(st.floats(min_value=1.0, max_value=2.3))
+    @settings(max_examples=50)
+    def test_monotone_in_core_clock(self, f):
+        p = profile()
+        assert t(p, f_core=f) > t(p, f_core=f + 0.1)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(HardwareError):
+            t(profile(), f_core=0.0)
+
+
+class TestDerivedCounters:
+    def test_bytes_per_iteration(self):
+        assert profile().bytes_per_iteration() == pytest.approx(15e9)
+
+    def test_instructions_from_cpi_anchor(self):
+        p = profile()
+        instr = p.instructions_per_iteration(ref_core_ghz=2.4, n_cores=40)
+        cycles = 0.5 * 2.4e9 * 40
+        assert instr == pytest.approx(cycles / 0.6)
+
+    def test_partial_occupancy(self):
+        p = profile(n_active_cores=1)
+        instr_1 = p.instructions_per_iteration(ref_core_ghz=2.4, n_cores=40)
+        instr_40 = profile().instructions_per_iteration(ref_core_ghz=2.4, n_cores=40)
+        assert instr_1 == pytest.approx(instr_40 / 40)
+
+
+class TestValidation:
+    def test_shares_must_not_exceed_one(self):
+        with pytest.raises(HardwareError):
+            profile(s_core=0.8, s_unc=0.2, s_mem=0.2)
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(HardwareError):
+            profile(s_core=-0.1)
+
+    def test_vpi_range(self):
+        with pytest.raises(HardwareError):
+            profile(vpi=1.2)
+
+    def test_positive_anchor_required(self):
+        with pytest.raises(HardwareError):
+            profile(ref_iteration_s=0.0)
+
+    def test_s_fixed_derived(self):
+        assert profile().s_fixed == pytest.approx(0.1)
+
+
+class TestCalibration:
+    def test_calibrated_profile_hits_anchor_power(self):
+        node = Node(SD530)
+        p = profile().calibrate_activity(node)
+        from dataclasses import replace
+
+        op = replace(
+            p.operating_point(node, effective_core_ghz=2.4), traffic_gbs=p.ref_gbs
+        )
+        assert node.power(op).dc_w == pytest.approx(320.0, rel=1e-9)
+
+    def test_unreachable_power_raises(self):
+        node = Node(SD530)
+        with pytest.raises(HardwareError):
+            profile(ref_dc_power_w=5000.0).calibrate_activity(node)
+
+    def test_gpu_profile_calibrates_utilisation(self, gpu_node):
+        p = profile(
+            ref_dc_power_w=300.0,
+            n_active_cores=1,
+            gpus_busy=1,
+            s_core=0.01,
+            s_unc=0.01,
+            s_mem=0.0,
+            ref_gbs=0.1,
+        ).calibrate_activity(gpu_node)
+        assert 0.0 < p.gpu_utilisation <= 1.0
+
+
+class TestExecuteIteration:
+    def test_advances_node_and_returns_counters(self, node):
+        p = profile().calibrate_activity(node)
+        c = p.execute_iteration(node)
+        assert c.seconds == pytest.approx(0.5, rel=0.01)
+        assert node.elapsed_s == pytest.approx(c.seconds)
+        assert c.instructions > 0
+        assert c.cycles == pytest.approx(c.seconds * 2.4e9 * 40, rel=1e-6)
+
+    def test_noise_scales_time(self, node):
+        p = profile().calibrate_activity(node)
+        c = p.execute_iteration(node, noise=1.1)
+        assert c.seconds == pytest.approx(0.55, rel=0.01)
+
+    def test_avx_profile_runs_at_licence_clock(self, node):
+        p = profile(vpi=1.0).calibrate_activity(node)
+        c = p.execute_iteration(node)
+        assert c.cycles / c.seconds / 40 == pytest.approx(2.2e9, rel=1e-6)
