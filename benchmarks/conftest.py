@@ -6,9 +6,12 @@ with the paper's published numbers side by side, and writes the
 artefact under ``results/``.  ``REPRO_BENCH_SCALE`` (default 1.0) can
 shrink run lengths for smoke-testing the harness itself.
 
-In-process run caching (:mod:`repro.experiments.runner`) means shared
-baselines are executed once per session even though several benches
-need them.
+Execution goes through :mod:`repro.experiments.parallel`: shared
+baselines are executed once per session, every run is persisted to
+``results/.cache/`` (so a second full regeneration performs zero
+simulations), and cache misses fan out over ``REPRO_BENCH_JOBS``
+worker processes (default: all cores).  ``REPRO_BENCH_NO_CACHE=1``
+forces every simulation to execute.
 """
 
 from __future__ import annotations
@@ -18,7 +21,22 @@ import pathlib
 
 import pytest
 
+from repro.experiments.parallel import configure_defaults
+
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", os.cpu_count() or 1))
+
+
+def pytest_configure(config) -> None:
+    use_cache = os.environ.get("REPRO_BENCH_NO_CACHE", "") != "1"
+    configure_defaults(
+        jobs=bench_jobs(),
+        cache_dir=RESULTS_DIR / ".cache" if use_cache else None,
+        use_cache=use_cache,
+    )
 
 
 def bench_scale() -> float:

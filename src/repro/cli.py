@@ -15,6 +15,8 @@ produces.
 from __future__ import annotations
 
 import argparse
+import os
+import pathlib
 import sys
 
 from .ear.config import EarConfig
@@ -355,10 +357,41 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _default_cache_dir() -> pathlib.Path:
+    """Persistent run-cache location: ``$REPRO_CACHE_DIR`` or ``results/.cache``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return pathlib.Path(env) if env else pathlib.Path("results") / ".cache"
+
+
+def _configure_execution(args) -> None:
+    """Install the CLI's execution pool: worker count + persistent cache."""
+    from .experiments.parallel import configure_defaults
+
+    configure_defaults(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else _default_cache_dir(),
+        use_cache=not args.no_cache,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-ear",
         description="EAR explicit-UFS reproduction (CLUSTER 2021) on a simulated Skylake cluster",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for experiment execution (default 1 = serial; "
+        "0 = all cores)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent run cache (default: results/.cache, "
+        "override the location with REPRO_CACHE_DIR)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -411,6 +444,11 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.set_defaults(fn=_cmd_export)
 
     args = parser.parse_args(argv)
+    if args.jobs == 0:
+        args.jobs = os.cpu_count() or 1
+    if args.jobs < 0:
+        raise SystemExit("--jobs must be >= 0")
+    _configure_execution(args)
     return args.fn(args)
 
 

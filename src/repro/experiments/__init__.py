@@ -1,6 +1,15 @@
 """Experiment harness: regenerate every table and figure of the paper."""
 
 from .motivation import SweepPoint, UncoreSweep, figure1, uncore_sweep
+from .parallel import (
+    CACHE_FORMAT_VERSION,
+    CacheStats,
+    ExperimentPool,
+    RunCache,
+    RunRequest,
+    configure_defaults,
+    default_pool,
+)
 from .runner import (
     AveragedResult,
     Comparison,
@@ -33,6 +42,13 @@ from .export import rows_to_csv, series_to_csv, write_csv
 from .trace import descent_summary, render_timeline, settled_imc_max_ghz
 
 __all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "ExperimentPool",
+    "RunCache",
+    "RunRequest",
+    "configure_defaults",
+    "default_pool",
     "AveragedResult",
     "Comparison",
     "compare",

@@ -19,7 +19,8 @@ from ..workloads.applications import (
     hpcg,
     pop,
 )
-from .runner import DEFAULT_SEEDS, compare
+from .parallel import RunRequest
+from .runner import DEFAULT_SEEDS, _pool_for, compare
 
 __all__ = [
     "figure3_bqcd",
@@ -31,8 +32,27 @@ __all__ = [
 ]
 
 
-def _series(workload, configs, *, seeds, scale) -> list[dict]:
-    cmp_ = compare(workload, configs, seeds=seeds, scale=scale)
+def _prefetch(pairs, *, seeds, scale, jobs) -> None:
+    """Warm the run cache for several (workload, config) pairs at once.
+
+    Figures that compare multiple workloads or threshold settings
+    submit every run in one batch, so a ``jobs > 1`` pool fans the
+    whole figure out together.  Serial pools skip the extra pass.
+    """
+    pool = _pool_for(jobs)
+    if pool.jobs <= 1:
+        return
+    pool.run_many(
+        [
+            RunRequest(workload=wl, ear_config=cfg, seed=s, scale=scale)
+            for wl, cfg in pairs
+            for s in seeds
+        ]
+    )
+
+
+def _series(workload, configs, *, seeds, scale, jobs=None) -> list[dict]:
+    cmp_ = compare(workload, configs, seeds=seeds, scale=scale, jobs=jobs)
     return [
         {
             "config": name,
@@ -47,7 +67,7 @@ def _series(workload, configs, *, seeds, scale) -> list[dict]:
     ]
 
 
-def figure3_bqcd(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) -> list[dict]:
+def figure3_bqcd(*, seeds=DEFAULT_SEEDS, scale: float = 1.0, jobs: int | None = None) -> list[dict]:
     """Figure 3: BQCD — ME vs ME+eU at unc_policy_th 1 %, 2 %, 3 %.
 
     cpu_policy_th = 3 % throughout; the uncore threshold controls the
@@ -59,10 +79,10 @@ def figure3_bqcd(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) -> list[dict]:
         "me_eufs_2": EarConfig(cpu_policy_th=0.03, unc_policy_th=0.02),
         "me_eufs_3": EarConfig(cpu_policy_th=0.03, unc_policy_th=0.03),
     }
-    return _series(bqcd(), configs, seeds=seeds, scale=scale)
+    return _series(bqcd(), configs, seeds=seeds, scale=scale, jobs=jobs)
 
 
-def figure4_btmz(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) -> list[dict]:
+def figure4_btmz(*, seeds=DEFAULT_SEEDS, scale: float = 1.0, jobs: int | None = None) -> list[dict]:
     """Figure 4: BT-MZ — unc_policy_th 0 %, 1 %, 2 % at cpu_policy_th 3 %.
 
     The 0 % case shows the uncore can be lowered with no per-iteration
@@ -74,10 +94,10 @@ def figure4_btmz(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) -> list[dict]:
         "me_eufs_1": EarConfig(cpu_policy_th=0.03, unc_policy_th=0.01),
         "me_eufs_2": EarConfig(cpu_policy_th=0.03, unc_policy_th=0.02),
     }
-    return _series(bt_mz_d(), configs, seeds=seeds, scale=scale)
+    return _series(bt_mz_d(), configs, seeds=seeds, scale=scale, jobs=jobs)
 
 
-def figure5_gromacs1(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) -> dict[str, list[dict]]:
+def figure5_gromacs1(*, seeds=DEFAULT_SEEDS, scale: float = 1.0, jobs: int | None = None) -> dict[str, list[dict]]:
     """Figure 5: GROMACS(I) — HW-guided vs not-guided uncore search.
 
     At cpu_policy_th 3 % and 5 %: ME, ME+NG-U (search starts at the
@@ -85,20 +105,32 @@ def figure5_gromacs1(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) -> dict[str, li
     default).  Both explicit variants beat plain ME; the HW-guided one
     converges in far fewer signature windows.
     """
-    out = {}
-    for th in (0.03, 0.05):
-        configs = {
+    seeds = tuple(seeds)
+    wl = gromacs_ion_channel()
+    per_th = {
+        th: {
             "me": EarConfig(use_explicit_ufs=False, cpu_policy_th=th),
             "me_ngu": EarConfig(cpu_policy_th=th, unc_policy_th=0.02, hw_guided_imc=False),
             "me_eufs": EarConfig(cpu_policy_th=th, unc_policy_th=0.02),
         }
+        for th in (0.03, 0.05)
+    }
+    _prefetch(
+        [(wl, cfg) for configs in per_th.values() for cfg in configs.values()]
+        + [(wl, None)],
+        seeds=seeds,
+        scale=scale,
+        jobs=jobs,
+    )
+    out = {}
+    for th, configs in per_th.items():
         out[f"cpu_th_{int(th * 100)}"] = _series(
-            gromacs_ion_channel(), configs, seeds=seeds, scale=scale
+            wl, configs, seeds=seeds, scale=scale, jobs=jobs
         )
     return out
 
 
-def figure6_gromacs2(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) -> list[dict]:
+def figure6_gromacs2(*, seeds=DEFAULT_SEEDS, scale: float = 1.0, jobs: int | None = None) -> list[dict]:
     """Figure 6: GROMACS(II) — ME vs ME+eU at 5 %/2 %.
 
     The hardware already sinks the uncore for this comm-bound run; the
@@ -108,34 +140,64 @@ def figure6_gromacs2(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) -> list[dict]:
         "me": EarConfig(use_explicit_ufs=False, cpu_policy_th=0.05),
         "me_eufs": EarConfig(cpu_policy_th=0.05, unc_policy_th=0.02),
     }
-    return _series(gromacs_lignocellulose(), configs, seeds=seeds, scale=scale)
+    return _series(gromacs_lignocellulose(), configs, seeds=seeds, scale=scale, jobs=jobs)
 
 
-def figure7_hpcg_pop(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) -> dict[str, list[dict]]:
+def figure7_hpcg_pop(*, seeds=DEFAULT_SEEDS, scale: float = 1.0, jobs: int | None = None) -> dict[str, list[dict]]:
     """Figure 7: HPCG (a) and POP (b) — ME vs ME+eU at 5 %/2 %."""
+    seeds = tuple(seeds)
     configs = {
         "me": EarConfig(use_explicit_ufs=False, cpu_policy_th=0.05),
         "me_eufs": EarConfig(cpu_policy_th=0.05, unc_policy_th=0.02),
     }
+    workloads = {"HPCG": hpcg(), "POP": pop()}
+    _prefetch(
+        [
+            (wl, cfg)
+            for wl in workloads.values()
+            for cfg in (None, *configs.values())
+        ],
+        seeds=seeds,
+        scale=scale,
+        jobs=jobs,
+    )
     return {
-        "HPCG": _series(hpcg(), configs, seeds=seeds, scale=scale),
-        "POP": _series(pop(), configs, seeds=seeds, scale=scale),
+        key: _series(wl, configs, seeds=seeds, scale=scale, jobs=jobs)
+        for key, wl in workloads.items()
     }
 
 
-def figure8_dumses_afid(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) -> dict[str, list[dict]]:
+def figure8_dumses_afid(*, seeds=DEFAULT_SEEDS, scale: float = 1.0, jobs: int | None = None) -> dict[str, list[dict]]:
     """Figure 8: DUMSES (a) and AFiD (b) — cpu_policy_th 3 % and 5 %.
 
     Shows the two thresholds as the user's efficiency-vs-savings dial.
     """
+    seeds = tuple(seeds)
+    workloads = {"DUMSES": dumses(), "AFiD": afid()}
+
+    def configs_for(th: float) -> dict[str, EarConfig]:
+        return {
+            f"me_{int(th * 100)}": EarConfig(use_explicit_ufs=False, cpu_policy_th=th),
+            f"me_eufs_{int(th * 100)}": EarConfig(cpu_policy_th=th, unc_policy_th=0.02),
+        }
+
+    _prefetch(
+        [
+            (wl, cfg)
+            for wl in workloads.values()
+            for th in (0.03, 0.05)
+            for cfg in (None, *configs_for(th).values())
+        ],
+        seeds=seeds,
+        scale=scale,
+        jobs=jobs,
+    )
     out = {}
-    for wl_fn, key in ((dumses, "DUMSES"), (afid, "AFiD")):
+    for key, wl in workloads.items():
         series = []
         for th in (0.03, 0.05):
-            configs = {
-                f"me_{int(th * 100)}": EarConfig(use_explicit_ufs=False, cpu_policy_th=th),
-                f"me_eufs_{int(th * 100)}": EarConfig(cpu_policy_th=th, unc_policy_th=0.02),
-            }
-            series.extend(_series(wl_fn(), configs, seeds=seeds, scale=scale))
+            series.extend(
+                _series(wl, configs_for(th), seeds=seeds, scale=scale, jobs=jobs)
+            )
         out[key] = series
     return out

@@ -12,9 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..hw.units import ratio_to_ghz
-from ..sim.engine import run_workload
 from ..workloads.app import Workload
 from ..workloads.kernels import bt_mz_c_mpi, lu_d_mpi
+from .parallel import RunRequest
 
 __all__ = ["SweepPoint", "UncoreSweep", "uncore_sweep", "figure1"]
 
@@ -49,18 +49,39 @@ def uncore_sweep(
     scale: float = 1.0,
     min_ratio: int = 12,
     max_ratio: int = 24,
+    jobs: int | None = None,
 ) -> UncoreSweep:
     """Run the fixed-uncore sweep for one workload.
 
     The CPU clock is pinned at the policy-selected frequency for every
     run (including the reference), isolating the uncore's effect — the
-    paper's experimental design.
+    paper's experimental design.  The reference and every pinned point
+    are submitted to the execution pool as one batch, so a parallel
+    pool fans the whole sweep out at once; averaging happens per point
+    in seed order, keeping the numbers identical to a serial sweep.
     """
-    wl = workload if scale == 1.0 else workload.scaled_iterations(scale)
+    from .runner import _pool_for
 
-    def averaged(**kwargs):
-        runs = [run_workload(wl, seed=s, **kwargs) for s in seeds]
-        n = len(runs)
+    seeds = tuple(seeds)
+    pool = _pool_for(jobs)
+    uncore_ghzs = [ratio_to_ghz(r) for r in range(max_ratio, min_ratio - 1, -1)]
+    requests = [
+        RunRequest(
+            workload=workload,
+            ear_config=None,
+            seed=s,
+            scale=scale,
+            pin_cpu_ghz=cpu_ghz,
+            pin_uncore_ghz=f_unc,
+        )
+        for f_unc in [None, *uncore_ghzs]
+        for s in seeds
+    ]
+    results = pool.run_many(requests)
+    n = len(seeds)
+    groups = [results[i : i + n] for i in range(0, len(results), n)]
+
+    def averaged(runs):
         return (
             sum(r.time_s for r in runs) / n,
             sum(r.avg_dc_power_w for r in runs) / n,
@@ -69,11 +90,10 @@ def uncore_sweep(
             sum(r.avg_imc_freq_ghz for r in runs) / n,
         )
 
-    ref_t, ref_p, ref_e, ref_gbs, ref_imc = averaged(pin_cpu_ghz=cpu_ghz)
+    ref_t, ref_p, ref_e, ref_gbs, ref_imc = averaged(groups[0])
     points = []
-    for ratio in range(max_ratio, min_ratio - 1, -1):
-        f_unc = ratio_to_ghz(ratio)
-        t, p, e, gbs, imc = averaged(pin_cpu_ghz=cpu_ghz, pin_uncore_ghz=f_unc)
+    for f_unc, group in zip(uncore_ghzs, groups[1:]):
+        t, p, e, gbs, imc = averaged(group)
         points.append(
             SweepPoint(
                 uncore_ghz=f_unc,
@@ -85,20 +105,26 @@ def uncore_sweep(
             )
         )
     return UncoreSweep(
-        workload=wl.name,
+        workload=workload.name,
         cpu_ghz=cpu_ghz,
         hw_reference_imc_ghz=ref_imc,
         points=tuple(points),
     )
 
 
-def figure1(*, seeds=(1, 2, 3), scale: float = 1.0) -> dict[str, UncoreSweep]:
+def figure1(
+    *, seeds=(1, 2, 3), scale: float = 1.0, jobs: int | None = None
+) -> dict[str, UncoreSweep]:
     """Figure 1(a): BT-MZ and 1(b): LU fixed-uncore sweeps.
 
     CPU frequencies are the ones the policy chose in the Table I runs:
     nominal for BT-MZ, one P-state down for LU.
     """
     return {
-        "BT-MZ": uncore_sweep(bt_mz_c_mpi(), cpu_ghz=2.4, seeds=seeds, scale=scale),
-        "LU": uncore_sweep(lu_d_mpi(), cpu_ghz=2.3, seeds=seeds, scale=scale),
+        "BT-MZ": uncore_sweep(
+            bt_mz_c_mpi(), cpu_ghz=2.4, seeds=seeds, scale=scale, jobs=jobs
+        ),
+        "LU": uncore_sweep(
+            lu_d_mpi(), cpu_ghz=2.3, seeds=seeds, scale=scale, jobs=jobs
+        ),
     }

@@ -1,0 +1,453 @@
+"""Parallel experiment execution with a persistent run cache.
+
+The paper's methodology multiplies work: every table and figure
+averages three seeded runs per configuration per workload, and a full
+regeneration touches hundreds of (workload, config, seed, scale)
+combinations — an embarrassingly parallel sweep.  This module provides
+the execution layer behind :func:`repro.experiments.runner.run_averaged`
+and :func:`repro.experiments.runner.compare`:
+
+:class:`RunRequest`
+    One simulation job, content-addressed.  The cache key is a SHA-256
+    hash of the workload spec, the EAR configuration fields, the seed,
+    the scale, the pin/noise parameters and a cache-format version —
+    display names (``config_name``) are deliberately *not* part of the
+    key or the cached value, so the same physical run requested under
+    two different names shares one cache entry and is stamped with the
+    requester's name on retrieval.
+
+:class:`RunCache`
+    Two-layer result cache: an in-process dict in front of an optional
+    on-disk store (``results/.cache/`` by convention).  Disk entries
+    are versioned; a format bump invalidates them wholesale.
+
+:class:`ExperimentPool`
+    Fans a batch of requests out over ``concurrent.futures``
+    ``ProcessPoolExecutor`` workers and merges the results
+    deterministically: outputs are ordered by submission key,
+    independent of completion order, so averaged numbers are
+    bit-identical to a serial run of the same seeds.
+
+All simulation stochasticity flows from the per-run seed, so executing
+a request in a worker process yields exactly the bytes a serial
+execution would.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from ..ear.config import EarConfig
+from ..sim.engine import DEFAULT_NOISE_SIGMA, run_workload
+from ..sim.result import RunResult
+from ..workloads.app import Workload
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "ExperimentPool",
+    "RunCache",
+    "RunRequest",
+    "configure_defaults",
+    "default_pool",
+]
+
+#: Bump when the simulation model or the result layout changes in a way
+#: that makes previously persisted runs incomparable.  Part of every
+#: cache key, and verified again on disk load.
+CACHE_FORMAT_VERSION = 1
+
+
+# -- content hashing ---------------------------------------------------------
+
+
+def _canonical(obj):
+    """Reduce a value to a JSON-serialisable canonical form.
+
+    Dataclasses flatten to their compared fields (``compare=False``
+    fields like ``Workload._calibrated`` are execution details, not
+    identity); floats go through ``repr`` for exact round-tripping.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+            if f.compare
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(x) for x in obj]
+    if isinstance(obj, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, float):
+        return repr(obj)
+    if obj is None or isinstance(obj, (str, int, bool)):
+        return obj
+    return repr(obj)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One content-addressed simulation job.
+
+    ``workload`` is the *unscaled* workload; ``scale`` is applied at
+    execution time so the key stays stable across callers that scale
+    eagerly vs. lazily.
+    """
+
+    workload: Workload
+    ear_config: EarConfig | None
+    seed: int
+    scale: float = 1.0
+    pin_cpu_ghz: float | None = None
+    pin_uncore_ghz: float | None = None
+    noise_sigma: float = DEFAULT_NOISE_SIGMA
+    node_speed_spread: float = 0.0
+
+    def key(self) -> str:
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "workload": _canonical(self.workload),
+            "config": _canonical(self.ear_config),
+            "seed": self.seed,
+            "scale": repr(self.scale),
+            "pin_cpu_ghz": _canonical(self.pin_cpu_ghz),
+            "pin_uncore_ghz": _canonical(self.pin_uncore_ghz),
+            "noise_sigma": repr(self.noise_sigma),
+            "node_speed_spread": repr(self.node_speed_spread),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def execute(self) -> RunResult:
+        wl = (
+            self.workload
+            if self.scale == 1.0
+            else self.workload.scaled_iterations(self.scale)
+        )
+        return run_workload(
+            wl,
+            ear_config=self.ear_config,
+            seed=self.seed,
+            noise_sigma=self.noise_sigma,
+            pin_cpu_ghz=self.pin_cpu_ghz,
+            pin_uncore_ghz=self.pin_uncore_ghz,
+            node_speed_spread=self.node_speed_spread,
+        )
+
+
+def _execute_request(item: tuple[str, RunRequest]) -> tuple[str, RunResult]:
+    """Module-level worker entry point (must be picklable)."""
+    key, request = item
+    return key, request.execute()
+
+
+# -- the cache ---------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Observability counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    stores: int = 0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.disk_hits = self.stores = 0
+
+
+class RunCache:
+    """Two-layer (memory + optional disk) store of :class:`RunResult`.
+
+    ``directory=None`` keeps the cache purely in-process — the unit-test
+    default.  With a directory, every stored run is pickled to
+    ``<key>.run`` together with the format version, atomically
+    (tempfile + rename), and survives across processes and sessions.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        *,
+        version: int = CACHE_FORMAT_VERSION,
+    ) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self.version = version
+        self.stats = CacheStats()
+        self._memory: dict[str, RunResult] = {}
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, key: str) -> RunResult | None:
+        result = self._memory.get(key)
+        if result is not None:
+            self.stats.hits += 1
+            return result
+        result = self._load_disk(key)
+        if result is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._memory[key] = result
+            return result
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, result: RunResult) -> None:
+        self._memory[key] = result
+        self.stats.stores += 1
+        if self.directory is not None:
+            self._store_disk(key, result)
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop the in-memory layer; with ``disk=True`` also the files."""
+        self._memory.clear()
+        if disk and self.directory is not None and self.directory.exists():
+            for path in self.directory.glob("*.run"):
+                path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- disk layer ----------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.run"
+
+    def _load_disk(self, key: str) -> RunResult | None:
+        if self.directory is None:
+            return None
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                version, result = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # corrupt or foreign file: treat as a miss and drop it
+            path.unlink(missing_ok=True)
+            return None
+        if version != self.version or not isinstance(result, RunResult):
+            path.unlink(missing_ok=True)
+            return None
+        return result
+
+    def _store_disk(self, key: str, result: RunResult) -> None:
+        assert self.directory is not None
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump((self.version, result), fh)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+
+
+# -- the pool ----------------------------------------------------------------
+
+
+@dataclass
+class PoolStats:
+    """What the pool actually did (vs. what the cache absorbed)."""
+
+    simulations: int = 0
+    batches: int = 0
+
+    def reset(self) -> None:
+        self.simulations = self.batches = 0
+
+
+class ExperimentPool:
+    """Executes batches of :class:`RunRequest` with caching + fan-out.
+
+    ``jobs`` is the worker-process count: 1 (the default) executes
+    in-process and spawns nothing; higher values fan each batch's cache
+    misses out over a ``ProcessPoolExecutor``.  Results always come
+    back ordered by submission, so any reduction over them (averaging,
+    comparison) is bit-identical to the serial execution.
+    """
+
+    def __init__(
+        self, *, jobs: int | None = None, cache: RunCache | None = None
+    ) -> None:
+        self.jobs = max(1, int(jobs)) if jobs else 1
+        self.cache = cache
+        self.stats = PoolStats()
+        #: memo of assembled AveragedResult objects so repeated identical
+        #: requests return the same object (cheap identity-based reuse
+        #: by callers that build several tables in one session).
+        self._averaged_memo: dict[tuple, object] = {}
+
+    # -- execution -----------------------------------------------------------
+
+    def run_many(self, requests: Sequence[RunRequest]) -> tuple[RunResult, ...]:
+        """Execute a batch; return results in submission order.
+
+        Duplicate requests inside one batch execute once.  Cache misses
+        run concurrently when ``jobs > 1``.
+        """
+        keyed = [(req.key(), req) for req in requests]
+        results: dict[str, RunResult] = {}
+        pending: dict[str, RunRequest] = {}
+        for key, req in keyed:
+            if key in results or key in pending:
+                continue
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                results[key] = cached
+            else:
+                pending[key] = req
+        if pending:
+            self.stats.batches += 1
+            self.stats.simulations += len(pending)
+            for key, result in self._execute(pending):
+                results[key] = result
+                if self.cache is not None:
+                    self.cache.put(key, result)
+        return tuple(results[key] for key, _ in keyed)
+
+    def _execute(
+        self, pending: Mapping[str, RunRequest]
+    ) -> Iterable[tuple[str, RunResult]]:
+        items = list(pending.items())
+        if self.jobs <= 1 or len(items) <= 1:
+            return [_execute_request(item) for item in items]
+        workers = min(self.jobs, len(items))
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            return list(executor.map(_execute_request, items))
+
+    # -- high-level operations ----------------------------------------------
+
+    def run_averaged(
+        self,
+        workload: Workload,
+        config: EarConfig | None,
+        *,
+        config_name: str = "",
+        seeds: Iterable[int],
+        scale: float = 1.0,
+    ):
+        """Run one configuration once per seed and average.
+
+        The cached runs carry no display name; ``config_name`` is
+        stamped on the assembled :class:`AveragedResult` at retrieval,
+        so a cache warmed under one name never leaks it to another
+        requester — the staleness bug of the old module-global cache.
+        """
+        from .runner import AveragedResult
+
+        seeds = tuple(seeds)
+        requests = [
+            RunRequest(workload=workload, ear_config=config, seed=s, scale=scale)
+            for s in seeds
+        ]
+        memo_key = (tuple(r.key() for r in requests), config_name)
+        memoed = self._averaged_memo.get(memo_key)
+        if memoed is not None:
+            return memoed
+        runs = self.run_many(requests)
+        avg = AveragedResult.from_runs(workload.name, config_name, runs)
+        self._averaged_memo[memo_key] = avg
+        return avg
+
+    def compare(
+        self,
+        workload: Workload,
+        configs: Mapping[str, EarConfig | None],
+        *,
+        seeds: Iterable[int],
+        scale: float = 1.0,
+    ):
+        """Evaluate several configurations against the ``none`` reference.
+
+        All (config, seed) runs are submitted as *one* batch so the
+        whole comparison saturates the worker pool, instead of
+        parallelising only within one configuration at a time.
+        """
+        from .runner import Comparison
+
+        seeds = tuple(seeds)
+        if "none" not in configs:
+            configs = {"none": None, **configs}
+        # one flat batch warms the cache for every configuration...
+        self.run_many(
+            [
+                RunRequest(workload=workload, ear_config=cfg, seed=s, scale=scale)
+                for cfg in configs.values()
+                for s in seeds
+            ]
+        )
+        # ...then per-config assembly is pure cache hits.
+        reference = self.run_averaged(
+            workload, configs["none"], config_name="none", seeds=seeds, scale=scale
+        )
+        out = {}
+        for name, cfg in configs.items():
+            if name == "none":
+                continue
+            result = self.run_averaged(
+                workload, cfg, config_name=name, seeds=seeds, scale=scale
+            )
+            out[name] = Comparison(
+                workload=workload.name,
+                config_name=name,
+                reference=reference,
+                result=result,
+            )
+        return out
+
+    # -- maintenance ---------------------------------------------------------
+
+    def clear(self, *, disk: bool = False) -> None:
+        """Forget memoised averages and the cache's memory layer."""
+        self._averaged_memo.clear()
+        if self.cache is not None:
+            self.cache.clear(disk=disk)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        if self.cache is not None:
+            self.cache.stats.reset()
+
+
+# -- process-default pool ----------------------------------------------------
+
+_default_pool = ExperimentPool(jobs=1, cache=RunCache())
+
+
+def default_pool() -> ExperimentPool:
+    """The pool behind :func:`repro.experiments.runner.run_averaged`."""
+    return _default_pool
+
+
+def configure_defaults(
+    *,
+    jobs: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    use_cache: bool = True,
+) -> ExperimentPool:
+    """Replace the process-default pool (CLI / benchmark harness hook).
+
+    ``jobs=None`` keeps serial in-process execution; ``cache_dir=None``
+    keeps the cache memory-only; ``use_cache=False`` disables caching
+    entirely (every request simulates).
+    """
+    global _default_pool
+    cache = RunCache(cache_dir) if use_cache else None
+    _default_pool = ExperimentPool(jobs=jobs, cache=cache)
+    return _default_pool

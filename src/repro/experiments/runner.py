@@ -6,9 +6,13 @@ fair comparison, all the executions for each application have been done
 using the same set of nodes" — here, the same node *configuration* and
 matched seeds.
 
-Results are cached in-process keyed by (workload, configuration, seeds,
-scale) so one harness invocation that builds several tables does not
-re-run shared baselines.
+Execution and caching live in :mod:`repro.experiments.parallel`: runs
+are content-addressed (workload spec, configuration fields, seed,
+scale — *not* display names), served from a two-layer memory/disk
+cache, and cache misses fan out over worker processes when the default
+pool is configured with ``jobs > 1``.  The functions here are thin,
+signature-stable wrappers over that pool, so one harness invocation
+that builds several tables does not re-run shared baselines.
 """
 
 from __future__ import annotations
@@ -16,9 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..ear.config import EarConfig
-from ..sim.engine import run_workload
 from ..sim.result import RunResult
 from ..workloads.app import Workload
+from .parallel import ExperimentPool, default_pool
 
 __all__ = [
     "AveragedResult",
@@ -130,16 +134,22 @@ def standard_configs(
     }
 
 
-_CACHE: dict[tuple, AveragedResult] = {}
+def clear_run_cache(*, disk: bool = False) -> None:
+    """Forget cached runs in the default pool (memory layer; optionally disk)."""
+    default_pool().clear(disk=disk)
 
 
-def clear_run_cache() -> None:
-    _CACHE.clear()
+def _pool_for(jobs: int | None) -> ExperimentPool:
+    """Resolve an execution pool for an explicit ``jobs`` override.
 
-
-def _cache_key(workload: Workload, config: EarConfig | None, seeds, scale) -> tuple:
-    cfg_key = config if config is None else tuple(sorted(vars(config).items()))
-    return (workload.name, workload.n_nodes, cfg_key, tuple(seeds), scale)
+    ``None`` (the common case) uses the process-default pool; an
+    explicit worker count gets an ephemeral pool that *shares* the
+    default pool's cache, so results stay visible either way.
+    """
+    pool = default_pool()
+    if jobs is None or jobs == pool.jobs:
+        return pool
+    return ExperimentPool(jobs=jobs, cache=pool.cache)
 
 
 def run_averaged(
@@ -149,21 +159,18 @@ def run_averaged(
     config_name: str = "",
     seeds=DEFAULT_SEEDS,
     scale: float = 1.0,
+    jobs: int | None = None,
 ) -> AveragedResult:
     """Run one configuration ``len(seeds)`` times and average.
 
     ``scale`` shrinks iteration counts (tests use 0.2-0.5 to stay fast;
-    the benchmark harness runs at full length).
+    the benchmark harness runs at full length).  ``seeds`` may be any
+    iterable (it is normalised to a tuple once, so generators work).
+    ``jobs`` overrides the default pool's worker count for this call.
     """
-    key = _cache_key(workload, config, seeds, scale)
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
-    wl = workload if scale == 1.0 else workload.scaled_iterations(scale)
-    runs = tuple(run_workload(wl, ear_config=config, seed=s) for s in seeds)
-    avg = AveragedResult.from_runs(workload.name, config_name, runs)
-    _CACHE[key] = avg
-    return avg
+    return _pool_for(jobs).run_averaged(
+        workload, config, config_name=config_name, seeds=tuple(seeds), scale=scale
+    )
 
 
 def compare(
@@ -172,24 +179,13 @@ def compare(
     *,
     seeds=DEFAULT_SEEDS,
     scale: float = 1.0,
+    jobs: int | None = None,
 ) -> dict[str, Comparison]:
-    """Evaluate several configurations against the ``none`` reference."""
-    if "none" not in configs:
-        configs = {"none": None, **configs}
-    reference = run_averaged(
-        workload, configs["none"], config_name="none", seeds=seeds, scale=scale
+    """Evaluate several configurations against the ``none`` reference.
+
+    All (config, seed) runs are submitted to the pool as one batch, so
+    with ``jobs > 1`` the whole comparison fans out at once.
+    """
+    return _pool_for(jobs).compare(
+        workload, configs, seeds=tuple(seeds), scale=scale
     )
-    out: dict[str, Comparison] = {}
-    for name, cfg in configs.items():
-        if name == "none":
-            continue
-        result = run_averaged(
-            workload, cfg, config_name=name, seeds=seeds, scale=scale
-        )
-        out[name] = Comparison(
-            workload=workload.name,
-            config_name=name,
-            reference=reference,
-            result=result,
-        )
-    return out

@@ -11,7 +11,14 @@ from __future__ import annotations
 from ..ear.config import EarConfig
 from ..workloads.applications import mpi_applications
 from ..workloads.kernels import bt_mz_c_mpi, lu_d_mpi, single_node_kernels
-from .runner import DEFAULT_SEEDS, compare, run_averaged, standard_configs
+from .parallel import RunRequest
+from .runner import (
+    DEFAULT_SEEDS,
+    _pool_for,
+    compare,
+    run_averaged,
+    standard_configs,
+)
 
 __all__ = [
     "table1_kernel_metrics",
@@ -34,16 +41,47 @@ def app_thresholds(name: str) -> float:
     return 0.03 if name == "BQCD" else 0.05
 
 
-def table1_kernel_metrics(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) -> list[dict]:
+def _prefetch(pairs, *, seeds, scale, jobs) -> None:
+    """Warm the run cache for every (workload, config) pair in one batch.
+
+    The table builders below iterate workloads serially; submitting all
+    their runs up front lets a ``jobs > 1`` pool fan the *whole table*
+    out instead of one workload at a time.  Serial pools skip this (the
+    per-call path would execute the identical runs anyway).
+    """
+    pool = _pool_for(jobs)
+    if pool.jobs <= 1:
+        return
+    pool.run_many(
+        [
+            RunRequest(workload=wl, ear_config=cfg, seed=s, scale=scale)
+            for wl, cfg in pairs
+            for s in seeds
+        ]
+    )
+
+
+def table1_kernel_metrics(
+    *, seeds=DEFAULT_SEEDS, scale: float = 1.0, jobs: int | None = None
+) -> list[dict]:
     """Table I: BT-MZ.C / LU.D under min_energy with hardware UFS."""
+    seeds = tuple(seeds)
+    kernels = (bt_mz_c_mpi(), lu_d_mpi())
+    _prefetch(
+        [(wl, EarConfig(use_explicit_ufs=False)) for wl in kernels],
+        seeds=seeds,
+        scale=scale,
+        jobs=jobs,
+    )
     rows = []
-    for wl in (bt_mz_c_mpi(), lu_d_mpi()):
+    for wl in kernels:
         me = run_averaged(
             wl,
             EarConfig(use_explicit_ufs=False),
             config_name="me",
             seeds=seeds,
             scale=scale,
+            jobs=jobs,
         )
         run = me.runs[0]
         rows.append(
@@ -58,11 +96,18 @@ def table1_kernel_metrics(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) -> list[di
     return rows
 
 
-def table2_kernel_characteristics(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) -> list[dict]:
+def table2_kernel_characteristics(
+    *, seeds=DEFAULT_SEEDS, scale: float = 1.0, jobs: int | None = None
+) -> list[dict]:
     """Table II: kernels at nominal frequency — time, CPI, GB/s, power."""
+    seeds = tuple(seeds)
+    kernels = list(single_node_kernels())
+    _prefetch([(wl, None) for wl in kernels], seeds=seeds, scale=scale, jobs=jobs)
     rows = []
-    for wl in single_node_kernels():
-        base = run_averaged(wl, None, config_name="none", seeds=seeds, scale=scale)
+    for wl in kernels:
+        base = run_averaged(
+            wl, None, config_name="none", seeds=seeds, scale=scale, jobs=jobs
+        )
         run = base.runs[0]
         rows.append(
             {
@@ -76,11 +121,21 @@ def table2_kernel_characteristics(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) ->
     return rows
 
 
-def table3_kernel_savings(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) -> list[dict]:
+def table3_kernel_savings(
+    *, seeds=DEFAULT_SEEDS, scale: float = 1.0, jobs: int | None = None
+) -> list[dict]:
     """Table III: kernel time penalty / power saving / energy saving."""
+    seeds = tuple(seeds)
+    kernels = list(single_node_kernels())
+    _prefetch(
+        [(wl, cfg) for wl in kernels for cfg in standard_configs().values()],
+        seeds=seeds,
+        scale=scale,
+        jobs=jobs,
+    )
     rows = []
-    for wl in single_node_kernels():
-        cmp_ = compare(wl, standard_configs(), seeds=seeds, scale=scale)
+    for wl in kernels:
+        cmp_ = compare(wl, standard_configs(), seeds=seeds, scale=scale, jobs=jobs)
         row = {"kernel": wl.name}
         for cfg in ("me", "me_eufs"):
             c = cmp_[cfg]
@@ -93,25 +148,42 @@ def table3_kernel_savings(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) -> list[di
     return rows
 
 
-def table4_kernel_frequencies(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) -> list[dict]:
+def table4_kernel_frequencies(
+    *, seeds=DEFAULT_SEEDS, scale: float = 1.0, jobs: int | None = None
+) -> list[dict]:
     """Table IV: kernel average CPU and IMC frequencies per config."""
+    seeds = tuple(seeds)
+    kernels = list(single_node_kernels())
+    _prefetch(
+        [(wl, cfg) for wl in kernels for cfg in standard_configs().values()],
+        seeds=seeds,
+        scale=scale,
+        jobs=jobs,
+    )
     rows = []
-    for wl in single_node_kernels():
+    for wl in kernels:
         row = {"kernel": wl.name}
         for name, cfg in standard_configs().items():
-            avg = run_averaged(wl, cfg, config_name=name, seeds=seeds, scale=scale)
+            avg = run_averaged(
+                wl, cfg, config_name=name, seeds=seeds, scale=scale, jobs=jobs
+            )
             row[name] = {"cpu": avg.avg_cpu_freq_ghz, "imc": avg.avg_imc_freq_ghz}
         rows.append(row)
     return rows
 
 
 def table5_application_characteristics(
-    *, seeds=DEFAULT_SEEDS, scale: float = 1.0
+    *, seeds=DEFAULT_SEEDS, scale: float = 1.0, jobs: int | None = None
 ) -> list[dict]:
     """Table V: application characteristics at nominal frequency."""
+    seeds = tuple(seeds)
+    apps = list(mpi_applications())
+    _prefetch([(wl, None) for wl in apps], seeds=seeds, scale=scale, jobs=jobs)
     rows = []
-    for wl in mpi_applications():
-        base = run_averaged(wl, None, config_name="none", seeds=seeds, scale=scale)
+    for wl in apps:
+        base = run_averaged(
+            wl, None, config_name="none", seeds=seeds, scale=scale, jobs=jobs
+        )
         run = base.runs[0]
         rows.append(
             {
@@ -126,32 +198,61 @@ def table5_application_characteristics(
 
 
 def table6_application_frequencies(
-    *, seeds=DEFAULT_SEEDS, scale: float = 1.0
+    *, seeds=DEFAULT_SEEDS, scale: float = 1.0, jobs: int | None = None
 ) -> list[dict]:
     """Table VI: application average CPU and IMC frequencies per config."""
+    seeds = tuple(seeds)
+    apps = list(mpi_applications())
+    _prefetch(
+        [
+            (wl, cfg)
+            for wl in apps
+            for cfg in standard_configs(cpu_policy_th=app_thresholds(wl.name)).values()
+        ],
+        seeds=seeds,
+        scale=scale,
+        jobs=jobs,
+    )
     rows = []
-    for wl in mpi_applications():
+    for wl in apps:
         row = {"application": wl.name}
         th = app_thresholds(wl.name)
         for name, cfg in standard_configs(cpu_policy_th=th).items():
-            avg = run_averaged(wl, cfg, config_name=name, seeds=seeds, scale=scale)
+            avg = run_averaged(
+                wl, cfg, config_name=name, seeds=seeds, scale=scale, jobs=jobs
+            )
             row[name] = {"cpu": avg.avg_cpu_freq_ghz, "imc": avg.avg_imc_freq_ghz}
         rows.append(row)
     return rows
 
 
-def table7_dc_vs_pck(*, seeds=DEFAULT_SEEDS, scale: float = 1.0) -> list[dict]:
+def table7_dc_vs_pck(
+    *, seeds=DEFAULT_SEEDS, scale: float = 1.0, jobs: int | None = None
+) -> list[dict]:
     """Table VII: DC-node vs RAPL-package power savings under ME+eU.
 
     The paper's point: the package is a non-constant fraction of node
     power, so judging policies on RAPL PCK savings overstates them.
     """
+    seeds = tuple(seeds)
+    apps = [wl for wl in mpi_applications() if wl.name != "GROMACS(I)"]
+    _prefetch(
+        [
+            (wl, cfg)
+            for wl in apps
+            for cfg in standard_configs(cpu_policy_th=app_thresholds(wl.name)).values()
+        ],
+        seeds=seeds,
+        scale=scale,
+        jobs=jobs,
+    )
     rows = []
-    for wl in mpi_applications():
-        if wl.name == "GROMACS(I)":
-            continue  # the paper's Table VII lists GROMACS(II) only
+    for wl in apps:
+        # the paper's Table VII lists GROMACS(II) only
         th = app_thresholds(wl.name)
-        cmp_ = compare(wl, standard_configs(cpu_policy_th=th), seeds=seeds, scale=scale)
+        cmp_ = compare(
+            wl, standard_configs(cpu_policy_th=th), seeds=seeds, scale=scale, jobs=jobs
+        )
         c = cmp_["me_eufs"]
         rows.append(
             {

@@ -79,7 +79,9 @@ class SimulationEngine:
             raise ExperimentError("noise sigma cannot be negative")
         if not 0.0 <= node_speed_spread < 0.3:
             raise ExperimentError("node_speed_spread must be in [0, 0.3)")
-        if ear_config is not None and (pin_cpu_ghz or pin_uncore_ghz):
+        if ear_config is not None and (
+            pin_cpu_ghz is not None or pin_uncore_ghz is not None
+        ):
             raise ExperimentError("cannot pin frequencies under an EAR policy")
         self.workload = workload.calibrated()
         self.ear_config = ear_config

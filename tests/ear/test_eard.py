@@ -5,7 +5,6 @@ import pytest
 from repro.ear.eard import Eard
 from repro.ear.policies import NodeFreqs
 from repro.errors import MsrPermissionError
-from repro.hw.node import SD530, Node
 
 
 @pytest.fixture()

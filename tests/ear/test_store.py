@@ -6,7 +6,6 @@ import pytest
 
 from repro.ear.models import (
     load_coefficients,
-    make_model,
     save_coefficients,
     steady_state_signature,
 )

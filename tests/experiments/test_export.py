@@ -3,8 +3,6 @@
 import csv
 import io
 
-import pytest
-
 from repro.experiments.export import rows_to_csv, series_to_csv, write_csv
 
 

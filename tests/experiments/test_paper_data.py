@@ -1,7 +1,5 @@
 """Consistency of the transcribed paper data with the workload catalogue."""
 
-import pytest
-
 from repro.experiments import paper_data
 from repro.workloads.applications import mpi_applications
 from repro.workloads.kernels import single_node_kernels

@@ -1,7 +1,5 @@
 """Report rendering helpers."""
 
-import pytest
-
 from repro.experiments.report import (
     format_figure_series,
     format_table,

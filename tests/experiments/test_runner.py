@@ -10,7 +10,6 @@ from repro.experiments.runner import (
     run_averaged,
     standard_configs,
 )
-from tests.conftest import make_fast_workload
 
 
 @pytest.fixture(autouse=True)
@@ -55,6 +54,39 @@ class TestCaching:
         b = run_averaged(fast_workload, None, seeds=(1,), scale=0.3)
         assert a is not b
         assert a.time_s == b.time_s  # same seeds -> same numbers
+
+
+class TestCachingRegressions:
+    def test_config_name_not_stale_across_requesters(self, fast_workload):
+        """Same (workload, config, seeds, scale) under two names must not
+        return the first requester's name from the cache."""
+        a = run_averaged(
+            fast_workload, None, config_name="baseline", seeds=(1,), scale=0.3
+        )
+        b = run_averaged(
+            fast_workload, None, config_name="reference", seeds=(1,), scale=0.3
+        )
+        assert a.config_name == "baseline"
+        assert b.config_name == "reference"
+        assert a.time_s == b.time_s  # still the same physical runs
+
+    def test_generator_seeds_are_not_consumed(self, fast_workload):
+        """A generator passed as ``seeds`` used to be eaten by the cache
+        key and the run loop then saw it empty."""
+        avg = run_averaged(fast_workload, None, seeds=iter((1, 2)), scale=0.3)
+        assert avg.n_runs == 2
+        explicit = run_averaged(fast_workload, None, seeds=(1, 2), scale=0.3)
+        assert avg.time_s == explicit.time_s
+
+    def test_jobs_override_matches_default_pool(self, fast_workload):
+        serial = run_averaged(fast_workload, None, seeds=(1, 2), scale=0.3)
+        clear_run_cache()
+        parallel = run_averaged(
+            fast_workload, None, seeds=(1, 2), scale=0.3, jobs=2
+        )
+        assert serial is not parallel
+        assert serial.time_s == parallel.time_s
+        assert serial.dc_energy_j == parallel.dc_energy_j
 
 
 class TestComparison:

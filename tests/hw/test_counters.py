@@ -5,7 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import SignatureError
-from repro.hw.counters import CounterBank, CounterSnapshot
+from repro.hw.counters import CounterBank
 from repro.workloads.phase import IterationCounters
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import FrequencyError, MsrPermissionError
 from repro.hw.cpu import Socket
-from repro.hw.msr import MSR_UNCORE_RATIO_LIMIT, UncoreRatioLimit
+from repro.hw.msr import UncoreRatioLimit
 from repro.hw.pstates import XEON_6148
 
 

@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.ear.config import EarConfig
-from repro.hw.node import SD530, Node
-from repro.sim.engine import SimulationEngine, run_workload
+from repro.sim.engine import SimulationEngine
 from tests.conftest import make_fast_workload
 
 

@@ -1,7 +1,5 @@
 """Hardware UFS controller: the paper-calibrated behaviours."""
 
-import pytest
-
 from repro.hw.ufs import UfsController, UfsInputs
 
 CTL = UfsController()

@@ -1,7 +1,5 @@
 """Units and conversions."""
 
-import math
-
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

@@ -109,6 +109,13 @@ class TestPinning:
                 fast_workload, ear_config=EarConfig(), pin_cpu_ghz=2.0
             )
 
+    @pytest.mark.parametrize("pin", ["pin_cpu_ghz", "pin_uncore_ghz"])
+    def test_zero_pin_still_exclusive_with_policy(self, fast_workload, pin):
+        """A 0.0 pin is *set* (and invalid), not unset: the guard must
+        not be fooled by falsy-but-not-None values."""
+        with pytest.raises(ExperimentError, match="cannot pin"):
+            SimulationEngine(fast_workload, ear_config=EarConfig(), **{pin: 0.0})
+
 
 class TestTrace:
     def test_frequency_trace_recording(self, fast_workload):

@@ -3,6 +3,17 @@
 import pytest
 
 from repro.cli import main
+from repro.experiments import parallel
+
+
+@pytest.fixture(autouse=True)
+def _isolated_execution(tmp_path, monkeypatch):
+    """Point the CLI's persistent cache at a temp dir and restore the
+    process-default pool afterwards (``main`` reconfigures it)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    saved = parallel.default_pool()
+    yield
+    parallel._default_pool = saved
 
 
 class TestList:
@@ -101,3 +112,28 @@ class TestTimelineAndCampaign:
         assert "BQCD" in out
         # the tight budget must escalate at some point
         assert "WARNING" in out or "PANIC" in out
+
+
+class TestExecutionFlags:
+    def test_jobs_flag_parallel_run(self, capsys):
+        assert main(["--jobs", "2", "run", "-w", "BT-MZ.C", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "me_eufs" in out
+        assert parallel.default_pool().jobs == 2
+
+    def test_no_cache_disables_caching(self, capsys):
+        assert main(["--no-cache", "run", "-w", "BT-MZ.C", "-p", "me", "--scale", "0.2"]) == 0
+        assert parallel.default_pool().cache is None
+
+    def test_warm_disk_cache_skips_simulations(self, capsys):
+        args = ["run", "-w", "BT-MZ.C", "-p", "me", "--scale", "0.2"]
+        assert main(args) == 0
+        first = parallel.default_pool().stats.simulations
+        assert first > 0
+        assert main(args) == 0  # fresh pool, same cache dir
+        assert parallel.default_pool().stats.simulations == 0
+        assert parallel.default_pool().cache.stats.disk_hits > 0
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "-3", "list"])

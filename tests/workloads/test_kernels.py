@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments.paper_data import TABLE2
-from repro.hw.node import GPU_NODE, SD530
+from repro.hw.node import SD530
 from repro.workloads.kernels import (
     bt_cuda_d,
     bt_mz_c_mpi,
