@@ -7,6 +7,7 @@ Subcommands::
     repro-ear table 3                   # regenerate a paper table
     repro-ear figure 4                  # regenerate a paper figure
     repro-ear sweep -w BT-MZ.C.mpi      # fixed-uncore motivation sweep
+    repro-ear resilience -w BT-MZ.C     # fault-intensity robustness sweep
 
 Everything prints the same ASCII artefacts the benchmark harness
 produces.
@@ -357,6 +358,67 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_resilience(args) -> int:
+    from .experiments.resilience import DEFAULT_INTENSITIES, resilience_sweep
+
+    wl = _find_workload(args.workload)
+    configs = standard_configs(cpu_policy_th=args.cpu_th, unc_policy_th=args.unc_th)
+    if args.policy not in configs or args.policy == "none":
+        raise SystemExit(
+            f"unknown policy config {args.policy!r}; use "
+            f"{sorted(k for k in configs if k != 'none')}"
+        )
+    if args.intensities:
+        try:
+            intensities = tuple(float(x) for x in args.intensities.split(","))
+        except ValueError:
+            raise SystemExit(f"bad --intensities {args.intensities!r}; use e.g. 0,0.5,1,2")
+    else:
+        intensities = DEFAULT_INTENSITIES
+    sweep = resilience_sweep(
+        wl,
+        configs[args.policy],
+        config_name=args.policy,
+        intensities=intensities,
+        scale=args.scale,
+    )
+    rows = []
+    for p in sweep.points:
+        h = p.health
+        rows.append(
+            [
+                f"{p.intensity:.2f}",
+                str(h.faults_injected),
+                str(h.samples_rejected + h.windows_rejected),
+                str(h.windows_stalled),
+                str(h.msr_retries),
+                str(h.watchdog_restores),
+                f"{h.degraded_s:.0f}s",
+                pct(p.time_penalty),
+                pct(p.energy_saving),
+            ]
+        )
+    print(
+        format_table(
+            f"{wl.name}: {args.policy} under fault injection "
+            f"(savings vs clean no-policy reference)",
+            [
+                "intensity",
+                "faults",
+                "rejected",
+                "stalled",
+                "retries",
+                "watchdog",
+                "degraded",
+                "time pen",
+                "energy save",
+            ],
+            rows,
+        )
+    )
+    return 0
+
+
 def _default_cache_dir() -> pathlib.Path:
     """Persistent run-cache location: ``$REPRO_CACHE_DIR`` or ``results/.cache``."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -420,6 +482,21 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("--cpu-ghz", type=float, default=2.4, dest="cpu_ghz")
     p_sweep.add_argument("--scale", type=float, default=1.0)
     p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_res = sub.add_parser(
+        "resilience", help="fault-injection sweep: graceful-degradation table"
+    )
+    p_res.add_argument("-w", "--workload", required=True)
+    p_res.add_argument("-p", "--policy", default="me_eufs", help="me|me_eufs")
+    p_res.add_argument(
+        "--intensities",
+        default=None,
+        help="comma-separated fault-intensity multipliers (default 0,0.5,1,2,4)",
+    )
+    p_res.add_argument("--cpu-th", type=float, default=0.05, dest="cpu_th")
+    p_res.add_argument("--unc-th", type=float, default=0.02, dest="unc_th")
+    p_res.add_argument("--scale", type=float, default=1.0)
+    p_res.set_defaults(fn=_cmd_resilience)
 
     p_tl = sub.add_parser("timeline", help="ASCII frequency timeline of one run")
     p_tl.add_argument("-w", "--workload", required=True)

@@ -58,6 +58,15 @@ class EarConfig:
         would revert on the first sub-resolution fluctuation.
     min_cpu_freq_ghz:
         Floor for the DVFS search (sysadmin-set in ear.conf).
+    watchdog_window_limit:
+        Consecutive bad measurement windows (stalled energy counter or
+        rejected signature) after which EARL's watchdog restores the
+        policy defaults and marks the node degraded.
+    stalled_poll_limit:
+        Consecutive failed energy polls (the 1 Hz counter not
+        publishing) on a window past its minimum length before the
+        window is declared stalled and fed to the watchdog, instead of
+        being retried silently forever.
     use_avx512_model:
         Use the paper's AVX512-aware projection model; off = the
         default model from the 2020 EAR paper (for the ablation).
@@ -74,6 +83,8 @@ class EarConfig:
     signature_change_th: float = 0.15
     guard_epsilon: float = 0.005
     min_cpu_freq_ghz: float = 1.0
+    watchdog_window_limit: int = 3
+    stalled_poll_limit: int = 25
     use_avx512_model: bool = True
     #: sysadmin default ceiling for the uncore (ear.conf-style); None =
     #: the silicon maximum.  A conservative site cap is the scenario in
@@ -101,6 +112,10 @@ class EarConfig:
             raise ConfigError("guard_epsilon must be in [0, 0.05]")
         if not 0 <= self.default_pstate_offset <= 8:
             raise ConfigError("default_pstate_offset must be in [0, 8]")
+        if self.watchdog_window_limit < 1:
+            raise ConfigError("watchdog_window_limit must be >= 1")
+        if self.stalled_poll_limit < 1:
+            raise ConfigError("stalled_poll_limit must be >= 1")
 
     def with_overrides(self, **kwargs) -> "EarConfig":
         """Copy with some settings replaced (job-level overrides)."""

@@ -7,18 +7,39 @@ and IPMI reads.  The simulation keeps the same split — only EARD ever
 passes ``privileged=True`` to the MSR layer, so a policy bug can never
 write hardware state directly (the :class:`~repro.errors.MsrPermissionError`
 tests pin this down).
+
+The daemon is hardened for unattended operation:
+
+* privileged MSR writes retry with bounded backoff on transient
+  failures and surface a ``degraded`` flag instead of crashing EARL;
+* package RAPL energy is accumulated from wrap-aware counter deltas
+  (the 32-bit counter wraps every ~22 minutes at 200 W — shorter than
+  the paper's application runs, so the raw sum under-reports);
+* sensor views average across sockets, matching how signatures are
+  defined per node.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from ..errors import MsrError, TransientMsrError
 from ..hw.msr import UncoreRatioLimit
 from ..hw.node import Node
+from ..hw.rapl import RaplCounter
 from ..hw.units import ghz_to_ratio
 from .policies.api import NodeFreqs
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.faults import FaultInjector, HealthMonitor
+
 __all__ = ["EnergyReading", "Eard"]
+
+#: MSR write attempts per apply (1 initial + retries).  Injected fault
+#: bursts are at most ``FaultPlan.msr_failure_burst`` consecutive
+#: attempts, so any retry budget above the burst recovers.
+DEFAULT_MSR_WRITE_ATTEMPTS = 5
 
 
 @dataclass(frozen=True)
@@ -37,19 +58,70 @@ class EnergyReading:
 class Eard:
     """Privileged node-control daemon."""
 
-    def __init__(self, node: Node) -> None:
+    def __init__(
+        self,
+        node: Node,
+        *,
+        injector: "FaultInjector | None" = None,
+        health: "HealthMonitor | None" = None,
+        msr_write_attempts: int = DEFAULT_MSR_WRITE_ATTEMPTS,
+    ) -> None:
         self.node = node
+        self.injector = injector
+        if health is None:
+            from ..sim.faults import HealthMonitor
+
+            health = HealthMonitor()
+        self.health = health
+        self.msr_write_attempts = max(1, msr_write_attempts)
+        #: True after an apply exhausted its retries: the hardware may
+        #: still be running the previous selection.
+        self.degraded = False
         #: silicon uncore range, read from the MSR at daemon start-up
         #: (the paper: "the available uncore frequency range ... can be
         #: read from this MSR register after the boot").
         limits = node.sockets[0].msr.read_uncore_limits()
         self.imc_max_ghz = limits.max_ghz
         self.imc_min_ghz = limits.min_ghz
+        # wrap-aware package-energy accumulation: remember the raw
+        # register values and integrate deltas on every poll.
+        self._rapl_last_raw = [c.raw() for c in node.rapl.pck]
+        self._rapl_acc_j = 0.0
 
     # -- frequency control -----------------------------------------------
 
-    def apply_freqs(self, freqs: NodeFreqs) -> None:
-        """Apply a policy decision to the hardware (privileged writes)."""
+    def apply_freqs(self, freqs: NodeFreqs) -> bool:
+        """Apply a policy decision to the hardware (privileged writes).
+
+        Transient MSR failures are retried up to ``msr_write_attempts``
+        times (the simulation collapses the exponential backoff between
+        attempts to zero simulated time); on exhaustion the daemon keeps
+        the previous hardware state, raises nothing, and reports the
+        problem through ``degraded`` / the health record.  Returns True
+        when the write landed.
+        """
+        last_error: MsrError | None = None
+        for attempt in range(self.msr_write_attempts):
+            try:
+                self._privileged_apply(freqs)
+            except TransientMsrError as err:
+                last_error = err
+                if attempt > 0:
+                    self.health.msr_retries += 1
+                continue
+            if attempt > 0:
+                self.health.msr_retries += 1
+            self.degraded = False
+            return True
+        assert last_error is not None
+        self.degraded = True
+        self.health.msr_apply_failures += 1
+        return False
+
+    def _privileged_apply(self, freqs: NodeFreqs) -> None:
+        """One write attempt for both frequency scopes (may raise)."""
+        if self.injector is not None:
+            self.injector.check_msr_write()
         self.node.set_core_freq(freqs.cpu_ghz, privileged=True)
         self.node.set_uncore_limits(
             UncoreRatioLimit(
@@ -59,9 +131,9 @@ class Eard:
             privileged=True,
         )
 
-    def restore_defaults(self, freqs: NodeFreqs) -> None:
+    def restore_defaults(self, freqs: NodeFreqs) -> bool:
         """Apply the policy's safe defaults (same mechanism)."""
-        self.apply_freqs(freqs)
+        return self.apply_freqs(freqs)
 
     def set_pkg_power_limit(self, watts: float | None) -> None:
         """Arm (or disable) the RAPL package power cap — EAR's node
@@ -81,14 +153,37 @@ class Eard:
 
     def read_dc_energy(self) -> EnergyReading:
         """Query the Node Manager DC energy counter."""
-        return EnergyReading(
+        reading = EnergyReading(
             joules=self.node.dc_meter.read_joules(),
             timestamp_s=self.node.dc_meter.read_timestamp_s(),
         )
+        if self.injector is not None:
+            reading = self.injector.filter_energy_reading(reading)
+        return reading
+
+    def poll_rapl(self) -> None:
+        """Accumulate wrap-aware package-energy deltas since the last poll.
+
+        EARL drives this once per measurement window (>= 10 s), far
+        below the ~22 min wrap period, so the at-most-one-wrap
+        assumption of :meth:`RaplCounter.delta_joules` holds.
+        """
+        for i, counter in enumerate(self.node.rapl.pck):
+            raw = counter.raw()
+            self._rapl_acc_j += RaplCounter.delta_joules(
+                self._rapl_last_raw[i], raw, counter.unit_j
+            )
+            self._rapl_last_raw[i] = raw
 
     def read_rapl_pck_joules(self) -> float:
-        """Sum of package RAPL counters (wrap-prone raw view)."""
-        return self.node.rapl.pck_joules_total()
+        """Wrap-aware accumulated package energy since daemon start.
+
+        Unlike the raw register sum (which under-reports by one full
+        wrap per ~22 minutes at 200 W), the accumulated deltas stay
+        correct over arbitrarily long runs.
+        """
+        self.poll_rapl()
+        return self._rapl_acc_j
 
     def current_cpu_target_ghz(self) -> float:
         return self.node.core_target_ghz
@@ -98,10 +193,16 @@ class Eard:
 
         Differs from the programmed target under AVX-512 licence
         throttling; the energy models must project *from* this state.
+        Averaged over the sockets that have accounted busy time, since
+        signatures are defined per node, not per socket.
         """
-        ghz = self.node.sockets[0].last_effective_ghz
-        return ghz if ghz > 0 else self.node.core_target_ghz
+        values = [s.last_effective_ghz for s in self.node.sockets if s.last_effective_ghz > 0]
+        if not values:
+            return self.node.core_target_ghz
+        return sum(values) / len(values)
 
     def current_imc_freq_ghz(self) -> float:
-        """The uncore frequency the HW control loop is running right now."""
-        return self.node.uncore_freq_ghz
+        """The uncore frequency the HW control loop is running right now
+        (averaged over sockets)."""
+        sockets = self.node.sockets
+        return sum(s.uncore.freq_ghz for s in sockets) / len(sockets)

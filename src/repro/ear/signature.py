@@ -10,7 +10,8 @@ the average CPU/IMC frequencies the evaluation tables report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import math
+from dataclasses import dataclass, fields, replace
 
 from ..errors import SignatureError
 from ..hw.counters import CounterSnapshot
@@ -42,6 +43,13 @@ class Signature:
     iterations: int = 1
 
     def __post_init__(self) -> None:
+        # NaN compares False against every bound below, so corrupted
+        # counter reads must be caught explicitly before feeding a
+        # policy: every metric has to be a finite number.
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if not math.isfinite(value):
+                raise SignatureError(f"{f.name} is not finite: {value!r}")
         if self.iteration_time_s <= 0:
             raise SignatureError("iteration time must be positive")
         if self.dc_power_w <= 0:

@@ -16,6 +16,7 @@ __all__ = [
     "HardwareError",
     "MsrError",
     "MsrPermissionError",
+    "TransientMsrError",
     "UnknownMsrError",
     "FrequencyError",
     "EarError",
@@ -50,6 +51,15 @@ class MsrPermissionError(MsrError):
 
 class UnknownMsrError(MsrError):
     """The MSR address is not implemented by this simulated CPU."""
+
+
+class TransientMsrError(MsrError):
+    """An MSR access failed transiently (bus contention, SMM excursion).
+
+    Unlike the permission/unknown-address errors, a transient failure is
+    retryable: EARD's apply path retries a bounded number of times before
+    declaring itself degraded.
+    """
 
 
 class FrequencyError(HardwareError):

@@ -10,6 +10,12 @@ from .parallel import (
     configure_defaults,
     default_pool,
 )
+from .resilience import (
+    ResiliencePoint,
+    ResilienceSweep,
+    reference_fault_plan,
+    resilience_sweep,
+)
 from .runner import (
     AveragedResult,
     Comparison,
@@ -55,6 +61,10 @@ __all__ = [
     "run_averaged",
     "standard_configs",
     "clear_run_cache",
+    "ResiliencePoint",
+    "ResilienceSweep",
+    "reference_fault_plan",
+    "resilience_sweep",
     "app_thresholds",
     "SweepPoint",
     "UncoreSweep",

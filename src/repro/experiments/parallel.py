@@ -48,6 +48,7 @@ from typing import Iterable, Mapping, Sequence
 
 from ..ear.config import EarConfig
 from ..sim.engine import DEFAULT_NOISE_SIGMA, run_workload
+from ..sim.faults import FaultPlan
 from ..sim.result import RunResult
 from ..workloads.app import Workload
 
@@ -64,7 +65,9 @@ __all__ = [
 #: Bump when the simulation model or the result layout changes in a way
 #: that makes previously persisted runs incomparable.  Part of every
 #: cache key, and verified again on disk load.
-CACHE_FORMAT_VERSION = 1
+#: v2: NodeResult grew the NodeHealth record and requests carry a fault
+#: plan, so v1 pickles no longer match the result layout.
+CACHE_FORMAT_VERSION = 2
 
 
 # -- content hashing ---------------------------------------------------------
@@ -111,8 +114,17 @@ class RunRequest:
     pin_uncore_ghz: float | None = None
     noise_sigma: float = DEFAULT_NOISE_SIGMA
     node_speed_spread: float = 0.0
+    #: fault regime of the run; part of the cache key, so a cached
+    #: clean run is never returned for a faulted request (or vice
+    #: versa).  An all-zero (disabled) plan is canonicalised to None so
+    #: it shares the clean run's cache entry, which it is bit-identical
+    #: to by construction.
+    fault_plan: FaultPlan | None = None
 
     def key(self) -> str:
+        plan = self.fault_plan
+        if plan is not None and not plan.enabled:
+            plan = None
         payload = {
             "version": CACHE_FORMAT_VERSION,
             "workload": _canonical(self.workload),
@@ -123,6 +135,7 @@ class RunRequest:
             "pin_uncore_ghz": _canonical(self.pin_uncore_ghz),
             "noise_sigma": repr(self.noise_sigma),
             "node_speed_spread": repr(self.node_speed_spread),
+            "fault_plan": _canonical(plan),
         }
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
@@ -141,6 +154,7 @@ class RunRequest:
             pin_cpu_ghz=self.pin_cpu_ghz,
             pin_uncore_ghz=self.pin_uncore_ghz,
             node_speed_spread=self.node_speed_spread,
+            fault_plan=self.fault_plan,
         )
 
 

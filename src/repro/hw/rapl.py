@@ -55,6 +55,19 @@ class RaplCounter:
         """Energy represented by the current (wrapped) register value."""
         return self._raw * self.unit_j
 
+    def inject_raw_jump(self, ticks: int) -> None:
+        """Jump the raw register by ``ticks`` without energy semantics.
+
+        Fault-injection hook: models counter corruption (SMM excursion,
+        firmware hiccup) that makes the register leap — typically by
+        nearly a full wrap, so a naive raw-sum reader goes *backwards*
+        while a wrap-aware delta reader absorbs one bounded spurious
+        increment.  Never called on the clean path.
+        """
+        if ticks < 0:
+            raise HardwareError("raw jump cannot be negative")
+        self._raw = (self._raw + ticks) % _WRAP
+
     @staticmethod
     def delta_joules(before_raw: int, after_raw: int, unit_j: float = SKL_ENERGY_UNIT_J) -> float:
         """Wrap-aware energy difference between two raw reads.

@@ -2,6 +2,7 @@
 
 from ..hw.counters import CounterBank, CounterSnapshot
 from .engine import DEFAULT_NOISE_SIGMA, SimulationEngine, run_workload
+from .faults import FaultInjector, FaultPlan, HealthMonitor, NodeHealth
 from .result import FrequencySample, NodeResult, RunResult
 
 __all__ = [
@@ -10,6 +11,10 @@ __all__ = [
     "SimulationEngine",
     "run_workload",
     "DEFAULT_NOISE_SIGMA",
+    "FaultInjector",
+    "FaultPlan",
+    "HealthMonitor",
+    "NodeHealth",
     "FrequencySample",
     "NodeResult",
     "RunResult",

@@ -38,6 +38,7 @@ from ..hw.counters import CounterBank
 from ..hw.node import Cluster, Node
 from ..workloads.app import Workload
 from ..workloads.phase import PhaseProfile
+from .faults import FaultInjector, FaultPlan, HealthMonitor
 from .result import FrequencySample, NodeResult, RunResult
 
 __all__ = ["SimulationEngine", "run_workload"]
@@ -64,6 +65,7 @@ class SimulationEngine:
         pin_cpu_ghz: float | None = None,
         pin_uncore_ghz: float | None = None,
         node_speed_spread: float = 0.0,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         """``pin_cpu_ghz``/``pin_uncore_ghz`` fix frequencies for the whole
         run (the motivation study's fixed-uncore sweeps, section II of the
@@ -74,6 +76,12 @@ class SimulationEngine:
         a fixed multiplicative slowdown factor drawn once per run, so
         the same node is the straggler at every barrier — the realistic
         worst case for bulk-synchronous codes.
+
+        ``fault_plan`` arms the deterministic fault-injection layer
+        (:mod:`repro.sim.faults`): each node gets an injector seeded
+        from ``(plan.seed, seed, node_id)``, independent of the
+        iteration-noise RNG, so the clean-path result is bit-identical
+        with and without an all-zero plan.
         """
         if noise_sigma < 0:
             raise ExperimentError("noise sigma cannot be negative")
@@ -102,10 +110,26 @@ class SimulationEngine:
                     privileged=True,
                 )
         self.banks = {node.node_id: CounterBank() for node in self.cluster}
+        self.fault_plan = fault_plan
+        self.monitors = {node.node_id: HealthMonitor() for node in self.cluster}
+        self.injectors: dict[int, FaultInjector] = {}
+        if fault_plan is not None and fault_plan.enabled:
+            for node in self.cluster:
+                self.injectors[node.node_id] = FaultInjector(
+                    fault_plan,
+                    run_seed=seed,
+                    node_id=node.node_id,
+                    health=self.monitors[node.node_id],
+                )
         self.earls: dict[int, Earl] = {}
         if ear_config is not None:
             for node in self.cluster:
-                self.earls[node.node_id] = Earl(Eard(node), ear_config)
+                eard = Eard(
+                    node,
+                    injector=self.injectors.get(node.node_id),
+                    health=self.monitors[node.node_id],
+                )
+                self.earls[node.node_id] = Earl(eard, ear_config)
         self._rng = np.random.default_rng(seed)
         # static heterogeneity: slowdown factors >= 1, fixed for the run
         if node_speed_spread > 0:
@@ -131,7 +155,14 @@ class SimulationEngine:
         noises = self._iteration_noise(len(self.cluster)) * self._node_slowdown
         counters = {}
         for node, noise in zip(self.cluster, noises):
-            counters[node.node_id] = profile.execute_iteration(node, noise=noise)
+            injector = self.injectors.get(node.node_id)
+            clamp = None
+            if injector is not None:
+                injector.on_iteration_start(node)
+                clamp = injector.throttle_clamp_ghz(node.elapsed_s)
+            counters[node.node_id] = profile.execute_iteration(
+                node, noise=noise, clamp_ghz=clamp
+            )
         t_wall = max(c.seconds for c in counters.values())
         for node in self.cluster:
             c = counters[node.node_id]
@@ -141,7 +172,11 @@ class SimulationEngine:
             self.banks[node.node_id].add_iteration(c, wall_seconds=t_wall)
             earl = self.earls.get(node.node_id)
             if earl is not None:
-                earl.on_iteration(c, profile.mpi_events, t_wall)
+                injector = self.injectors.get(node.node_id)
+                # corruption hits only EARL's *read* of the counters;
+                # the engine's ground-truth bank above stays exact.
+                seen = c if injector is None else injector.corrupt_counters(c)
+                earl.on_iteration(seen, profile.mpi_events, t_wall)
         self._time_s += t_wall
         if self.record_trace:
             node0 = self.cluster.nodes[0]
@@ -176,6 +211,8 @@ class SimulationEngine:
         nodes = []
         for node in self.cluster:
             snap = self.banks[node.node_id].snapshot()
+            monitor = self.monitors[node.node_id]
+            monitor.finish(node.elapsed_s)
             nodes.append(
                 NodeResult(
                     node_id=node.node_id,
@@ -185,6 +222,7 @@ class SimulationEngine:
                     avg_imc_freq_ghz=node.average_imc_freq_ghz(),
                     cpi=snap.cpi if snap.instructions > 0 else 0.0,
                     gbs=snap.gbs,
+                    health=monitor.snapshot(),
                 )
             )
         nodes = tuple(nodes)
@@ -213,6 +251,7 @@ def run_workload(
     pin_cpu_ghz: float | None = None,
     pin_uncore_ghz: float | None = None,
     node_speed_spread: float = 0.0,
+    fault_plan: FaultPlan | None = None,
 ) -> RunResult:
     """Convenience wrapper: build an engine and run it once."""
     return SimulationEngine(
@@ -224,4 +263,5 @@ def run_workload(
         pin_cpu_ghz=pin_cpu_ghz,
         pin_uncore_ghz=pin_uncore_ghz,
         node_speed_spread=node_speed_spread,
+        fault_plan=fault_plan,
     ).run()

@@ -13,6 +13,7 @@ from dataclasses import asdict, dataclass, field
 
 from ..ear.earl import PolicyDecision
 from ..ear.signature import Signature
+from .faults import NodeHealth
 
 __all__ = ["NodeResult", "RunResult", "FrequencySample"]
 
@@ -38,6 +39,9 @@ class NodeResult:
     #: whole-run aggregate counters (the paper's per-kernel CPI / GB/s).
     cpi: float = 0.0
     gbs: float = 0.0
+    #: robustness record: faults injected and how the runtime reacted
+    #: (all-zero on a clean run).
+    health: NodeHealth | None = None
 
 
 @dataclass(frozen=True)
@@ -89,6 +93,11 @@ class RunResult:
         return sum(n.avg_imc_freq_ghz for n in self.nodes) / len(self.nodes)
 
     @property
+    def health(self) -> NodeHealth:
+        """Job-level robustness record: node healths summed."""
+        return NodeHealth.merge([n.health for n in self.nodes if n.health is not None])
+
+    @property
     def cpi(self) -> float:
         """Run-aggregate CPI averaged over nodes."""
         return sum(n.cpi for n in self.nodes) / len(self.nodes)
@@ -113,6 +122,7 @@ class RunResult:
             "avg_dc_power_w": self.avg_dc_power_w,
             "avg_cpu_freq_ghz": self.avg_cpu_freq_ghz,
             "avg_imc_freq_ghz": self.avg_imc_freq_ghz,
+            "health": asdict(self.health),
             "nodes": [asdict(n) for n in self.nodes],
             "signatures": [asdict(s) for s in self.signatures],
             "decisions": [

@@ -191,7 +191,7 @@ class PhaseProfile:
         )
 
     def execute_iteration(
-        self, node: Node, *, noise: float = 1.0
+        self, node: Node, *, noise: float = 1.0, clamp_ghz: float | None = None
     ) -> IterationCounters:
         """Run one iteration on a node: advance sensors, return counters.
 
@@ -199,9 +199,16 @@ class PhaseProfile:
         first (its 10 ms period is far below iteration durations), then
         time and traffic follow from the current frequencies, after the
         RAPL package power limit (if armed) has throttled the cores.
+
+        ``clamp_ghz`` caps the sustained core clock below the programmed
+        target for this iteration — a thermal-throttle event (PROCHOT),
+        injected by the fault layer; the programmed MSR state is
+        untouched, exactly like real thermal throttling.
         """
         ref_core_ghz = self._reference_effective_ghz(node)
         eff_ghz = node.sockets[0].effective_freq_ghz(self.vpi)
+        if clamp_ghz is not None:
+            eff_ghz = min(eff_ghz, clamp_ghz)
         op = self.operating_point(node, effective_core_ghz=eff_ghz)
         node.run_ufs(op)
         f_unc = node.uncore_freq_ghz

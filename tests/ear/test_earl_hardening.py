@@ -1,0 +1,242 @@
+"""EARL degradation ladder: stalls, watchdog, policy containment.
+
+Complements ``test_earl.py`` (the clean-path state machine) with the
+failure paths: each rung of the ladder documented in
+:mod:`repro.ear.earl` gets a direct test.
+"""
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.ear.eard import Eard, EnergyReading
+from repro.ear.earl import Earl, EarlState
+from repro.ear.policies.api import NodeFreqs, PolicyPlugin, PolicyState
+from repro.errors import PolicyError
+from repro.hw.node import SD530, Node
+from repro.sim.faults import FaultInjector, FaultPlan, HealthMonitor
+from repro.workloads.generator import synthetic_profile
+
+
+@pytest.fixture()
+def profile(node):
+    return synthetic_profile(
+        name="hardening.test",
+        node_config=SD530,
+        core_share=0.88,
+        unc_share=0.06,
+        mem_share=0.04,
+        iteration_s=0.5,
+    ).calibrate_activity(node)
+
+
+def make_earl(node: Node, *, injector=None, policy=None, **cfg_overrides) -> Earl:
+    health = HealthMonitor()
+    eard = Eard(node, injector=injector, health=health)
+    return Earl(eard, EarConfig(**cfg_overrides), policy=policy)
+
+
+def run_iterations(earl: Earl, node: Node, profile, n: int):
+    for _ in range(n):
+        counters = profile.execute_iteration(node)
+        earl.on_iteration(counters, profile.mpi_events, counters.seconds)
+
+
+def stalled_injector(node_id: int = 0) -> FaultInjector:
+    """A meter that latches its first reading and never publishes again."""
+    plan = FaultPlan(meter_stall_rate=1.0, meter_stall_reads=10**9)
+    return FaultInjector(plan, run_seed=0, node_id=node_id, health=HealthMonitor())
+
+
+class TestIngressRejection:
+    """Rung 1: implausible counter samples never reach the window."""
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"instructions": math.nan},
+            {"cycles": 0.0},
+            {"instructions": -1e9},
+            {"seconds": math.inf},
+            {"bytes_transferred": -1.0},
+        ],
+    )
+    def test_bad_sample_rejected_and_counted(self, node, profile, mutation):
+        earl = make_earl(node)
+        counters = replace(profile.execute_iteration(node), **mutation)
+        earl.on_iteration(counters, profile.mpi_events, counters.seconds)
+        assert earl.health.samples_rejected == 1
+        assert earl.bank.snapshot().instructions == 0.0  # never entered
+
+    def test_clean_sample_accepted(self, node, profile):
+        earl = make_earl(node)
+        counters = profile.execute_iteration(node)
+        earl.on_iteration(counters, profile.mpi_events, counters.seconds)
+        assert earl.health.samples_rejected == 0
+        assert earl.bank.snapshot().instructions > 0
+
+
+class TestStallDetection:
+    """Rungs 3+4: a dead meter no longer spins the window forever."""
+
+    def test_stalled_meter_counted_and_watchdog_fires(self, node, profile):
+        earl = make_earl(
+            node,
+            injector=stalled_injector(),
+            stalled_poll_limit=5,
+            watchdog_window_limit=2,
+        )
+        run_iterations(earl, node, profile, 300)
+        health = earl.health
+        assert earl.signatures == []  # no energy, no signature
+        assert health.windows_stalled >= 2
+        assert health.watchdog_restores == 1
+        assert earl.degraded
+
+    def test_watchdog_restores_policy_defaults(self, node, profile):
+        earl = make_earl(
+            node,
+            injector=stalled_injector(),
+            stalled_poll_limit=5,
+            watchdog_window_limit=2,
+        )
+        run_iterations(earl, node, profile, 300)
+        defaults = earl.policy.default_freqs()
+        assert node.core_target_ghz == pytest.approx(defaults.cpu_ghz)
+        limits = node.sockets[0].msr.read_uncore_limits()
+        assert limits.max_ghz == pytest.approx(defaults.imc_max_ghz)
+
+    def test_meter_recovery_exits_degraded(self, node, profile):
+        """Once the meter publishes again, a good window clears the
+        watchdog and closes the degraded span."""
+        earl = make_earl(node, stalled_poll_limit=5, watchdog_window_limit=2)
+        real_read = earl.eard.read_dc_energy
+        frozen = real_read()
+        stalled = {"on": True}
+        earl.eard.read_dc_energy = lambda: frozen if stalled["on"] else real_read()
+        run_iterations(earl, node, profile, 150)
+        assert earl.degraded
+        assert earl.health.watchdog_restores == 1
+        stalled["on"] = False
+        run_iterations(earl, node, profile, 100)
+        assert not earl.degraded
+        assert earl.signatures  # windows flow again
+        earl.on_app_end()
+        assert earl.health.snapshot().degraded_s > 0.0
+
+    def test_transient_meter_lag_does_not_stall(self, node, profile):
+        """The 1 Hz counter's normal publication lag stays below the
+        stall limit: zero stalled windows on a clean run."""
+        earl = make_earl(node)
+        run_iterations(earl, node, profile, 300)
+        assert earl.health.windows_stalled == 0
+        assert earl.health.watchdog_restores == 0
+        assert not earl.degraded
+
+
+class TestWindowRejection:
+    """Rung 2: a window whose signature cannot be built is dropped."""
+
+    def test_bad_signature_counted_then_watchdog(self, node, profile):
+        earl = make_earl(node, watchdog_window_limit=2)
+        # a broken frequency sensor makes every signature non-finite
+        earl.eard.current_effective_cpu_ghz = lambda: math.nan
+        run_iterations(earl, node, profile, 150)
+        assert earl.health.windows_rejected >= 2
+        assert earl.health.watchdog_restores == 1
+        assert earl.degraded
+        assert earl.signatures == []
+
+
+class ExplodingPolicy(PolicyPlugin):
+    """Applies one decision, then raises on the next window."""
+
+    applies_frequencies = True
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.resets = 0
+
+    def node_policy(self, sig):
+        self.calls += 1
+        if self.calls >= 2:
+            raise PolicyError("policy logic exploded")
+        return PolicyState.CONTINUE, NodeFreqs(
+            cpu_ghz=2.0, imc_max_ghz=2.0, imc_min_ghz=1.2
+        )
+
+    def validate(self, sig) -> bool:
+        return True
+
+    def default_freqs(self) -> NodeFreqs:
+        return NodeFreqs(cpu_ghz=2.4, imc_max_ghz=2.4, imc_min_ghz=1.2)
+
+    def reset(self) -> None:
+        self.resets += 1
+
+
+class TestPolicyContainment:
+    """Rung 5: a crashing policy is disabled, not fatal."""
+
+    def test_policy_error_contained(self, node, profile):
+        earl = make_earl(node, policy=ExplodingPolicy())
+        run_iterations(earl, node, profile, 300)
+        assert earl.health.policy_failures == 1
+        assert earl.degraded
+        # fell back to the policy's declared defaults
+        assert node.core_target_ghz == pytest.approx(2.4)
+        # ... and signatures keep flowing for monitoring
+        assert len(earl.signatures) > 2
+
+    def test_disabled_policy_never_called_again(self, node, profile):
+        policy = ExplodingPolicy()
+        earl = make_earl(node, policy=policy)
+        run_iterations(earl, node, profile, 300)
+        assert policy.calls == 2  # one good call + the exploding one
+
+    def test_on_app_end_failure_is_absorbed(self, node, profile):
+        earl = make_earl(node)
+        earl.policy.on_app_end = lambda: (_ for _ in ()).throw(PolicyError("bye"))
+        run_iterations(earl, node, profile, 60)
+        earl.on_app_end()  # must not raise
+        assert earl.health.policy_failures == 1
+
+
+class TestValidatePolicyFailure:
+    """The Code-1 VALIDATE_POLICY failure path: restore defaults,
+    reset the policy, fall back to NODE_POLICY."""
+
+    def _stabilised_earl(self, node, profile):
+        earl = make_earl(node)
+        run_iterations(earl, node, profile, 300)
+        assert earl.state is EarlState.VALIDATE_POLICY
+        return earl
+
+    def test_validate_failure_restores_defaults_and_resets(self, node, profile):
+        earl = self._stabilised_earl(node, profile)
+        restored = []
+        earl.policy.validate = lambda sig: False
+        earl.eard.restore_defaults = lambda freqs: restored.append(freqs) or True
+        resets = []
+        original_reset = earl.policy.reset
+        earl.policy.reset = lambda: resets.append(True) or original_reset()
+        run_iterations(earl, node, profile, 30)  # >= one more window
+        assert restored, "defaults were not restored on validate failure"
+        assert restored[0] == earl.policy.default_freqs()
+        assert resets, "policy state was not reset on validate failure"
+
+    def test_validate_failure_falls_back_to_node_policy(self, node, profile):
+        earl = self._stabilised_earl(node, profile)
+        earl.policy.validate = lambda sig: False
+        n_before = len(earl.decisions)
+        run_iterations(earl, node, profile, 60)  # >= two windows
+        new = earl.decisions[n_before:]
+        # a validate decision (policy_state None) followed by a fresh
+        # NODE_POLICY decision: the state machine went back around
+        assert any(d.earl_state is EarlState.VALIDATE_POLICY for d in new)
+        assert any(
+            d.earl_state is EarlState.NODE_POLICY and d.policy_state is not None
+            for d in new
+        )

@@ -1,0 +1,103 @@
+"""The resilience experiment and the fault plan's place in the cache key."""
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.experiments.parallel import ExperimentPool, RunCache, RunRequest
+from repro.experiments.resilience import reference_fault_plan, resilience_sweep
+from repro.sim.faults import FaultPlan
+from tests.conftest import make_fast_workload
+
+PLAN = FaultPlan(seed=1, counter_corruption_rate=0.5, msr_failure_rate=0.5)
+
+
+def request(plan=None, **overrides):
+    kwargs = dict(
+        workload=make_fast_workload(),
+        ear_config=EarConfig(),
+        seed=1,
+        fault_plan=plan,
+    )
+    kwargs.update(overrides)
+    return RunRequest(**kwargs)
+
+
+class TestCacheKey:
+    def test_fault_plan_changes_the_key(self):
+        assert request().key() != request(PLAN).key()
+
+    def test_different_plans_different_keys(self):
+        other = FaultPlan(seed=2, counter_corruption_rate=0.5, msr_failure_rate=0.5)
+        assert request(PLAN).key() != request(other).key()
+        assert request(PLAN).key() != request(PLAN.scaled(2.0)).key()
+
+    def test_disabled_plan_shares_the_clean_key(self):
+        # an all-zero plan is bit-identical to no plan, so it may (and
+        # should) reuse the clean run's cache entry
+        assert request(FaultPlan()).key() == request().key()
+
+    def test_cached_clean_run_never_serves_a_faulted_request(self):
+        pool = ExperimentPool(jobs=1, cache=RunCache())
+        (clean,) = pool.run_many([request()])
+        assert pool.stats.simulations == 1
+        assert clean.health.clean
+        (faulted,) = pool.run_many([request(PLAN)])
+        assert pool.stats.simulations == 2, "faulted request hit the clean cache"
+        assert faulted.health.faults_injected > 0
+        assert faulted != clean
+        # and the converse: a clean request after the faulted one is a hit
+        (clean_again,) = pool.run_many([request()])
+        assert pool.stats.simulations == 2
+        assert clean_again == clean
+
+    def test_faulted_results_survive_the_disk_cache(self, tmp_path):
+        cache = RunCache(tmp_path)
+        req = request(PLAN)
+        pool = ExperimentPool(jobs=1, cache=cache)
+        (first,) = pool.run_many([req])
+        fresh = ExperimentPool(jobs=1, cache=RunCache(tmp_path))
+        (reloaded,) = fresh.run_many([req])
+        assert fresh.stats.simulations == 0
+        assert reloaded == first
+        assert reloaded.health == first.health
+
+
+class TestReferencePlan:
+    def test_reference_plan_covers_every_channel(self):
+        plan = reference_fault_plan()
+        assert plan.enabled
+        assert plan.meter_stall_rate > 0
+        assert plan.meter_dropout_rate > 0
+        assert plan.counter_corruption_rate > 0
+        assert plan.msr_failure_rate > 0
+        assert plan.rapl_wrap_rate > 0
+        assert plan.throttle_rate > 0
+
+
+class TestResilienceSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return resilience_sweep(
+            make_fast_workload(),
+            EarConfig(),
+            intensities=(0.0, 2.0),
+            seeds=(1,),
+        )
+
+    def test_sweep_shape(self, sweep):
+        assert sweep.config_name == "me_eufs"
+        assert [p.intensity for p in sweep.points] == [0.0, 2.0]
+        assert all(p.n_runs == 1 for p in sweep.points)
+
+    def test_intensity_zero_is_the_clean_comparison(self, sweep):
+        clean = sweep.points[0]
+        assert clean.health.clean
+        # the paper's standard me_eufs-vs-none comparison on this
+        # workload: modest penalty, positive energy saving
+        assert -0.05 < clean.time_penalty < 0.15
+        assert clean.energy_saving > 0.0
+
+    def test_faulted_point_reports_health(self, sweep):
+        faulted = sweep.points[1]
+        assert faulted.health.faults_injected > 0
+        assert not faulted.health.clean

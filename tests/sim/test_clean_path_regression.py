@@ -1,0 +1,99 @@
+"""Clean-path regression: the fault layer must cost *nothing* when off.
+
+The numbers below were captured from the tree immediately before the
+fault-injection layer landed.  Every comparison is exact (``==``, not
+approx): with no fault plan — or an all-zero one — the refactor must be
+bit-identical, not merely statistically equivalent.  Any drift here
+means the clean path now takes extra RNG draws or changed arithmetic.
+"""
+
+from repro.ear.config import EarConfig
+from repro.hw.node import SD530
+from repro.sim import run_workload
+from repro.sim.engine import SimulationEngine
+from repro.sim.faults import FaultPlan
+from repro.workloads.generator import synthetic_workload
+
+
+def golden_a():
+    return synthetic_workload(
+        name="golden-a",
+        node_config=SD530,
+        core_share=0.85,
+        unc_share=0.06,
+        mem_share=0.05,
+        n_nodes=2,
+        n_iterations=150,
+    )
+
+
+def golden_m():
+    return synthetic_workload(
+        name="golden-m",
+        node_config=SD530,
+        core_share=0.12,
+        unc_share=0.2,
+        mem_share=0.6,
+        n_nodes=1,
+        n_iterations=150,
+    )
+
+
+class TestGoldenNumbers:
+    def test_no_policy_run_unchanged(self):
+        r = run_workload(golden_a(), seed=7)
+        assert r.time_s == 75.08021888026748
+        assert r.dc_energy_j == 48020.82796409208
+        assert r.avg_cpu_freq_ghz == 2.380799999999999
+        assert r.avg_imc_freq_ghz == 2.4
+
+    def test_me_eufs_run_unchanged(self):
+        r = run_workload(golden_a(), ear_config=EarConfig(), seed=7)
+        assert r.time_s == 75.92402289522796
+        assert r.dc_energy_j == 46774.318850211464
+        assert r.avg_cpu_freq_ghz == 2.3808
+        assert r.avg_imc_freq_ghz == 2.1138663890418825
+        assert len(r.signatures) == 7
+        assert len(r.decisions) == 7
+
+    def test_me_without_eufs_run_unchanged(self):
+        r = run_workload(
+            golden_a(), ear_config=EarConfig(use_explicit_ufs=False), seed=7
+        )
+        assert r.time_s == 75.08021888026748
+        assert r.dc_energy_j == 48020.82796409208
+        assert len(r.signatures) == 7
+
+    def test_memory_bound_run_unchanged(self):
+        r = run_workload(golden_m(), ear_config=EarConfig(), seed=3)
+        assert r.time_s == 77.11119046967409
+        assert r.dc_energy_j == 27310.988096826568
+        assert r.avg_cpu_freq_ghz == 2.1314352516087585
+        assert r.avg_imc_freq_ghz == 2.315758922722863
+        assert len(r.signatures) == 7
+
+
+class TestDisabledPlanIdentity:
+    def test_zero_plan_bit_identical_to_no_plan(self):
+        base = run_workload(golden_a(), ear_config=EarConfig(), seed=7)
+        zero = run_workload(
+            golden_a(), ear_config=EarConfig(), seed=7, fault_plan=FaultPlan()
+        )
+        assert zero == base  # full structural equality, signatures included
+
+    def test_clean_run_health_is_clean(self):
+        r = run_workload(golden_a(), ear_config=EarConfig(), seed=7)
+        assert r.health.clean
+        assert r.health.faults_injected == 0
+        assert r.health.degraded_s == 0.0
+        for n in r.nodes:
+            assert n.health is not None and n.health.clean
+
+    def test_disabled_plan_builds_no_injectors(self):
+        for plan in (None, FaultPlan()):
+            engine = SimulationEngine(
+                golden_a(), ear_config=EarConfig(), seed=7, fault_plan=plan
+            )
+            assert engine.injectors == {}
+            for eard in (e.eard for e in engine.earls.values()):
+                assert eard.injector is None

@@ -1,0 +1,203 @@
+"""Unit tests for the fault-injection layer itself."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ExperimentError, TransientMsrError
+from repro.hw.node import SD530, Node
+from repro.hw.rapl import RaplCounter
+from repro.sim.faults import FaultInjector, FaultPlan, HealthMonitor, NodeHealth
+from repro.workloads.phase import IterationCounters
+
+
+def make_injector(plan: FaultPlan, *, run_seed: int = 7, node_id: int = 0):
+    health = HealthMonitor()
+    return FaultInjector(plan, run_seed=run_seed, node_id=node_id, health=health), health
+
+
+SAMPLE = IterationCounters(
+    seconds=0.5,
+    instructions=1e9,
+    cycles=2e9,
+    bytes_transferred=5e8,
+    avx512_instructions=0.0,
+)
+
+
+def counters_equal(a: IterationCounters, b: IterationCounters) -> bool:
+    """Field-wise equality that treats NaN == NaN (corruption injects NaN)."""
+    from dataclasses import astuple
+    from math import isnan
+
+    return all(
+        x == y or (isnan(x) and isnan(y))
+        for x, y in zip(astuple(a), astuple(b))
+    )
+
+
+class TestFaultPlan:
+    def test_default_plan_is_disabled(self):
+        assert not FaultPlan().enabled
+
+    def test_any_rate_enables(self):
+        assert FaultPlan(meter_stall_rate=0.01).enabled
+        assert FaultPlan(throttle_rate=0.01).enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"meter_stall_rate": -0.1},
+            {"counter_corruption_rate": 1.5},
+            {"meter_stall_reads": 0},
+            {"msr_failure_burst": 0},
+            {"throttle_duration_s": 0.0},
+            {"throttle_ghz": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ExperimentError):
+            FaultPlan(**kwargs)
+
+    def test_scaled_multiplies_and_clamps(self):
+        plan = FaultPlan(meter_stall_rate=0.4, msr_failure_rate=0.1)
+        double = plan.scaled(2.0)
+        assert double.meter_stall_rate == pytest.approx(0.8)
+        assert double.msr_failure_rate == pytest.approx(0.2)
+        assert plan.scaled(10.0).meter_stall_rate == 1.0
+        with pytest.raises(ExperimentError):
+            plan.scaled(-1.0)
+
+    def test_plan_is_picklable_and_hash_stable(self):
+        plan = FaultPlan(seed=3, counter_corruption_rate=0.2)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_schedule(self):
+        plan = FaultPlan(seed=5, counter_corruption_rate=0.3)
+        a, _ = make_injector(plan)
+        b, _ = make_injector(plan)
+        out_a = [a.corrupt_counters(SAMPLE) for _ in range(200)]
+        out_b = [b.corrupt_counters(SAMPLE) for _ in range(200)]
+        assert all(counters_equal(x, y) for x, y in zip(out_a, out_b))
+
+    def test_node_id_decorrelates(self):
+        plan = FaultPlan(seed=5, counter_corruption_rate=0.3)
+        a, _ = make_injector(plan, node_id=0)
+        b, _ = make_injector(plan, node_id=1)
+        out_a = [a.corrupt_counters(SAMPLE) for _ in range(200)]
+        out_b = [b.corrupt_counters(SAMPLE) for _ in range(200)]
+        assert not all(counters_equal(x, y) for x, y in zip(out_a, out_b))
+
+    def test_injector_survives_pickling(self):
+        plan = FaultPlan(seed=5, counter_corruption_rate=0.3)
+        a, _ = make_injector(plan)
+        b = pickle.loads(pickle.dumps(a))
+        out_a = [a.corrupt_counters(SAMPLE) for _ in range(50)]
+        out_b = [b.corrupt_counters(SAMPLE) for _ in range(50)]
+        assert all(counters_equal(x, y) for x, y in zip(out_a, out_b))
+
+
+class TestChannels:
+    def test_corruption_ledger_counts_events(self):
+        plan = FaultPlan(seed=1, counter_corruption_rate=1.0)
+        inj, health = make_injector(plan)
+        corrupted = [inj.corrupt_counters(SAMPLE) for _ in range(20)]
+        assert health.counter_corruptions == 20
+        assert all(c != SAMPLE for c in corrupted)
+
+    def test_meter_stall_returns_stale_reading(self):
+        from repro.ear.eard import EnergyReading
+
+        plan = FaultPlan(seed=1, meter_stall_rate=1.0, meter_stall_reads=3)
+        inj, health = make_injector(plan)
+        first = inj.filter_energy_reading(EnergyReading(joules=100.0, timestamp_s=1.0))
+        later = inj.filter_energy_reading(EnergyReading(joules=200.0, timestamp_s=2.0))
+        assert later == first  # stalled: the fresh value never surfaces
+        assert health.meter_stalls == 1
+
+    def test_meter_dropout_zeroes_energy(self):
+        from repro.ear.eard import EnergyReading
+
+        plan = FaultPlan(seed=1, meter_dropout_rate=1.0)
+        inj, health = make_injector(plan)
+        reading = inj.filter_energy_reading(EnergyReading(joules=100.0, timestamp_s=1.0))
+        assert reading.joules == 0.0
+        assert reading.timestamp_s == 1.0
+        assert health.meter_dropouts == 1
+
+    def test_msr_failure_bursts_then_recovers(self):
+        plan = FaultPlan(seed=1, msr_failure_rate=1.0, msr_failure_burst=1)
+        inj, health = make_injector(plan)
+        with pytest.raises(TransientMsrError):
+            inj.check_msr_write()
+        assert health.msr_failures_injected == 1
+
+    def test_wrap_storm_moves_raw_counters(self):
+        plan = FaultPlan(seed=1, rapl_wrap_rate=1.0)
+        inj, health = make_injector(plan)
+        node = Node(SD530)
+        before = [c.raw() for c in node.rapl.pck]
+        inj.on_iteration_start(node)
+        after = [c.raw() for c in node.rapl.pck]
+        assert health.rapl_wrap_storms == 1
+        assert all(a != b for a, b in zip(after, before))
+
+    def test_throttle_clamp_window(self):
+        plan = FaultPlan(seed=1, throttle_rate=1.0, throttle_duration_s=5.0, throttle_ghz=1.5)
+        inj, health = make_injector(plan)
+        node = Node(SD530)
+        inj.on_iteration_start(node)
+        assert health.throttle_events == 1
+        assert inj.throttle_clamp_ghz(0.0) == pytest.approx(1.5)
+        assert inj.throttle_clamp_ghz(4.9) == pytest.approx(1.5)
+        assert inj.throttle_clamp_ghz(5.1) is None
+
+
+class TestRaplInjectionHook:
+    def test_raw_jump_wraps_without_energy(self):
+        c = RaplCounter()
+        c.add_energy(100.0)
+        raw_before = c.raw()
+        c.inject_raw_jump((1 << 32) - 1)
+        assert c.raw() == (raw_before - 1) % (1 << 32)
+
+    def test_negative_jump_rejected(self):
+        from repro.errors import HardwareError
+
+        with pytest.raises(HardwareError):
+            RaplCounter().inject_raw_jump(-1)
+
+
+class TestNodeHealth:
+    def test_merge_sums_fields(self):
+        a = NodeHealth(meter_stalls=1, msr_retries=2, degraded_s=3.0)
+        b = NodeHealth(meter_stalls=4, watchdog_restores=1)
+        merged = NodeHealth.merge([a, b])
+        assert merged.meter_stalls == 5
+        assert merged.msr_retries == 2
+        assert merged.watchdog_restores == 1
+        assert merged.degraded_s == pytest.approx(3.0)
+
+    def test_merge_empty_is_clean(self):
+        assert NodeHealth.merge([]).clean
+
+    def test_faults_injected_totals_schedule_side(self):
+        h = NodeHealth(meter_stalls=1, counter_corruptions=2, throttle_events=3)
+        assert h.faults_injected == 6
+        assert not h.clean
+
+    def test_monitor_degraded_span_accounting(self):
+        m = HealthMonitor()
+        m.enter_degraded(10.0)
+        m.enter_degraded(12.0)  # idempotent: span start is kept
+        m.exit_degraded(25.0)
+        m.finish(30.0)  # no open span: no-op
+        assert m.snapshot().degraded_s == pytest.approx(15.0)
+
+    def test_monitor_finish_closes_open_span(self):
+        m = HealthMonitor()
+        m.enter_degraded(5.0)
+        m.finish(9.0)
+        assert m.snapshot().degraded_s == pytest.approx(4.0)
