@@ -8,6 +8,7 @@ Subcommands::
     repro-ear figure 4                  # regenerate a paper figure
     repro-ear sweep -w BT-MZ.C.mpi      # fixed-uncore motivation sweep
     repro-ear resilience -w BT-MZ.C     # fault-intensity robustness sweep
+    repro-ear telemetry -w BT-MZ.C      # event timelines from a telemetry run
 
 Everything prints the same ASCII artefacts the benchmark harness
 produces.
@@ -272,11 +273,85 @@ def _cmd_timeline(args) -> int:
     cfg = EarConfig(
         policy=args.policy, cpu_policy_th=args.cpu_th, unc_policy_th=args.unc_th
     )
-    result = run_workload(wl, ear_config=cfg, seed=1, record_trace=True)
-    print(render_timeline(result))
+    # node 0 renders from the engine trace; other nodes only exist in
+    # the per-node telemetry stream.
+    result = run_workload(
+        wl, ear_config=cfg, seed=1, record_trace=True, telemetry=args.node > 0
+    )
+    try:
+        print(render_timeline(result, node=args.node))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     settled = settled_imc_max_ghz(result)
     if settled is not None:
         print(f"  settled uncore ceiling: {settled:.1f} GHz")
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    from .experiments.parallel import RunRequest, default_pool
+    from .experiments.resilience import reference_fault_plan
+    from .telemetry import (
+        events_to_jsonl,
+        metrics_to_prometheus,
+        render_degradation_ladder,
+        render_descent_timeline,
+        stage_timing_summary,
+    )
+
+    wl = _find_workload(args.workload)
+    configs = standard_configs(cpu_policy_th=args.cpu_th, unc_policy_th=args.unc_th)
+    if args.policy not in configs:
+        raise SystemExit(f"unknown config {args.policy!r}; use {sorted(configs)}")
+    plan = (
+        reference_fault_plan().scaled(args.fault_intensity)
+        if args.fault_intensity > 0
+        else None
+    )
+    request = RunRequest(
+        workload=wl,
+        ear_config=configs[args.policy],
+        seed=args.seed,
+        scale=args.scale,
+        fault_plan=plan,
+        telemetry=True,
+    )
+    # through the pool: a cached telemetry run is reused, a cached
+    # telemetry-free run is upgraded in place.
+    (result,) = default_pool().run_many([request])
+    try:
+        print(render_descent_timeline(result, node=args.node))
+        print()
+        print(render_degradation_ladder(result, node=args.node))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    rows = stage_timing_summary(result)
+    if rows:
+        print(
+            "\n"
+            + format_table(
+                f"{wl.name}: stage timing",
+                ["node", "name", "count", "total (s)", "mean (s)"],
+                [
+                    [
+                        str(r["node"]),
+                        r["name"],
+                        str(r["count"]),
+                        f"{r['total_s']:.2f}",
+                        f"{r['mean_s']:.3f}",
+                    ]
+                    for r in rows
+                ],
+            )
+        )
+    if args.jsonl:
+        path = pathlib.Path(args.jsonl)
+        path.write_text(events_to_jsonl(result))
+        print(f"wrote {len(result.events)} events to {path}")
+    if args.metrics:
+        path = pathlib.Path(args.metrics)
+        path.write_text(metrics_to_prometheus(result))
+        print(f"wrote metrics to {path}")
     return 0
 
 
@@ -504,7 +579,36 @@ def main(argv: list[str] | None = None) -> int:
     p_tl.add_argument("--cpu-th", type=float, default=0.05, dest="cpu_th")
     p_tl.add_argument("--unc-th", type=float, default=0.02, dest="unc_th")
     p_tl.add_argument("--scale", type=float, default=1.0)
+    p_tl.add_argument(
+        "--node", type=int, default=0, help="node to render (default 0)"
+    )
     p_tl.set_defaults(fn=_cmd_timeline)
+
+    p_tel = sub.add_parser(
+        "telemetry",
+        help="policy-descent + degradation-ladder timelines from a telemetry run",
+    )
+    p_tel.add_argument("-w", "--workload", required=True)
+    p_tel.add_argument("-p", "--policy", default="me_eufs", help="none|me|me_eufs")
+    p_tel.add_argument("--seed", type=int, default=1)
+    p_tel.add_argument("--scale", type=float, default=1.0)
+    p_tel.add_argument(
+        "--node", type=int, default=0, help="node to render (default 0)"
+    )
+    p_tel.add_argument(
+        "--fault-intensity",
+        type=float,
+        default=0.0,
+        dest="fault_intensity",
+        help="scale the reference fault regime onto the run (default 0 = clean)",
+    )
+    p_tel.add_argument("--cpu-th", type=float, default=0.05, dest="cpu_th")
+    p_tel.add_argument("--unc-th", type=float, default=0.02, dest="unc_th")
+    p_tel.add_argument("--jsonl", default=None, help="write the event stream as JSONL")
+    p_tel.add_argument(
+        "--metrics", default=None, help="write Prometheus-style text metrics"
+    )
+    p_tel.set_defaults(fn=_cmd_telemetry)
 
     p_cmp = sub.add_parser(
         "campaign", help="run the application list under EARGM budget control"

@@ -29,6 +29,7 @@ from ..hw.msr import UncoreRatioLimit
 from ..hw.node import Node
 from ..hw.rapl import RaplCounter
 from ..hw.units import ghz_to_ratio
+from ..telemetry.recorder import NULL_RECORDER, Recorder
 from .policies.api import NodeFreqs
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -65,9 +66,12 @@ class Eard:
         injector: "FaultInjector | None" = None,
         health: "HealthMonitor | None" = None,
         msr_write_attempts: int = DEFAULT_MSR_WRITE_ATTEMPTS,
+        telemetry: Recorder = NULL_RECORDER,
     ) -> None:
         self.node = node
         self.injector = injector
+        #: shared event sink (EARL and the policy read it off the daemon).
+        self.telemetry = telemetry
         if health is None:
             from ..sim.faults import HealthMonitor
 
@@ -112,10 +116,24 @@ class Eard:
             if attempt > 0:
                 self.health.msr_retries += 1
             self.degraded = False
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "eard",
+                    "apply",
+                    cpu_ghz=freqs.cpu_ghz,
+                    imc_max_ghz=freqs.imc_max_ghz,
+                    imc_min_ghz=freqs.imc_min_ghz,
+                    attempts=attempt + 1,
+                )
+                self.telemetry.counter("eard.applies")
             return True
         assert last_error is not None
         self.degraded = True
         self.health.msr_apply_failures += 1
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "eard", "apply_failed", attempts=self.msr_write_attempts
+            )
         return False
 
     def _privileged_apply(self, freqs: NodeFreqs) -> None:
@@ -174,6 +192,8 @@ class Eard:
                 self._rapl_last_raw[i], raw, counter.unit_j
             )
             self._rapl_last_raw[i] = raw
+        if self.telemetry.enabled:
+            self.telemetry.gauge("eard.rapl_pck_joules", self._rapl_acc_j)
 
     def read_rapl_pck_joules(self) -> float:
         """Wrap-aware accumulated package energy since daemon start.

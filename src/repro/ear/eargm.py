@@ -15,17 +15,26 @@ from dataclasses import dataclass
 from enum import Enum, auto
 
 from ..errors import ConfigError
+from ..telemetry.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["WarningLevel", "EargmConfig", "Eargm"]
 
 
 class WarningLevel(Enum):
-    """Budget status, graded like EAR's eargm warnings."""
+    """Budget status, graded like EAR's eargm warnings.
+
+    The first three levels grade the *pro-rated* pace (consumption vs.
+    the elapsed share of the horizon); PANIC is reserved for absolute
+    exhaustion of the budget.  A front-loaded job can overshoot its
+    pace by a lot seconds into the horizon while barely denting the
+    absolute budget — that is WARNING2 territory (cap the defaults),
+    not a panic.
+    """
 
     OK = auto()
-    WARNING1 = auto()  # >= 85 % of budget consumed (pro-rated)
-    WARNING2 = auto()  # >= 95 %
-    PANIC = auto()  # budget exceeded
+    WARNING1 = auto()  # >= 85 % of the pro-rated budget consumed
+    WARNING2 = auto()  # >= 95 % of pace, or past it entirely
+    PANIC = auto()  # the absolute budget is exhausted
 
 
 @dataclass(frozen=True)
@@ -47,10 +56,14 @@ class EargmConfig:
 class Eargm:
     """Cluster energy-budget controller."""
 
-    def __init__(self, config: EargmConfig) -> None:
+    def __init__(
+        self, config: EargmConfig, *, telemetry: Recorder = NULL_RECORDER
+    ) -> None:
         self.config = config
+        self.telemetry = telemetry
         self._consumed_j = 0.0
         self._elapsed_s = 0.0
+        self._last_level = WarningLevel.OK
 
     def report(self, energy_j: float, seconds: float) -> WarningLevel:
         """Feed one accounting interval; get the current warning level."""
@@ -58,17 +71,35 @@ class Eargm:
             raise ConfigError("cannot report negative energy/time")
         self._consumed_j += energy_j
         self._elapsed_s += seconds
-        return self.level()
+        level = self.level()
+        if level is not self._last_level:
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "eargm",
+                    "level_change",
+                    time_s=self._elapsed_s,
+                    level=level.name,
+                    previous=self._last_level.name,
+                    consumed_j=self._consumed_j,
+                )
+            self._last_level = level
+        return level
 
     def level(self) -> WarningLevel:
-        """Pro-rated budget check: consumption vs. the elapsed share."""
+        """Graded budget check.
+
+        PANIC only when the *absolute* budget is exhausted — a job that
+        merely runs ahead of the pro-rated pace (ratio >= 1) seconds
+        into the horizon still has virtually the whole budget left, so
+        pace overshoot grades as WARNING2, the strongest non-panic
+        reaction (a two-P-state default cap).
+        """
+        if self._consumed_j > self.config.budget_j:
+            return WarningLevel.PANIC
         elapsed_share = min(self._elapsed_s / self.config.horizon_s, 1.0)
         if elapsed_share <= 0:
             return WarningLevel.OK
-        allowed = self.config.budget_j * max(elapsed_share, 1e-9)
-        ratio = self._consumed_j / allowed
-        if self._consumed_j > self.config.budget_j or ratio >= 1.0:
-            return WarningLevel.PANIC
+        ratio = self._consumed_j / (self.config.budget_j * elapsed_share)
         if ratio >= self.config.warning2:
             return WarningLevel.WARNING2
         if ratio >= self.config.warning1:

@@ -93,6 +93,8 @@ class Earl:
         self.config = config
         #: shared robustness tally (injector / EARD / EARL sides).
         self.health = eard.health
+        #: shared event sink (same recorder as the daemon's).
+        self.telemetry = eard.telemetry
         node_config = eard.node.config
         self.model = model if model is not None else make_model(node_config, config)
         ctx = PolicyContext(
@@ -101,6 +103,7 @@ class Earl:
             model=self.model,
             imc_max_ghz=eard.imc_max_ghz,
             imc_min_ghz=eard.imc_min_ghz,
+            telemetry=self.telemetry,
         )
         self.policy = policy if policy is not None else create_policy(config.policy, ctx)
         self.dynais = Dynais()
@@ -145,6 +148,10 @@ class Earl:
         ):
             self._watchdog_tripped = True
             self.health.watchdog_restores += 1
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "earl", "watchdog_trip", bad_windows=self._bad_windows
+                )
             self.health.enter_degraded(self.eard.node.elapsed_s)
             self._restore_safe_defaults()
             # the policy's iterative state refers to measurements taken
@@ -156,12 +163,16 @@ class Earl:
         self._bad_windows = 0
         if self._watchdog_tripped:
             self._watchdog_tripped = False
+            if self.telemetry.enabled:
+                self.telemetry.event("earl", "watchdog_clear")
             self.health.exit_degraded(self.eard.node.elapsed_s)
 
     def _disable_policy(self) -> None:
         """Rung 5: contain a policy/model crash for the rest of the job."""
         self._policy_disabled = True
         self.health.policy_failures += 1
+        if self.telemetry.enabled:
+            self.telemetry.event("earl", "policy_disabled")
         self.health.enter_degraded(self.eard.node.elapsed_s)
         try:
             self._restore_safe_defaults()
@@ -214,6 +225,9 @@ class Earl:
         """
         if not self._counters_plausible(counters, wall_seconds):
             self.health.samples_rejected += 1
+            if self.telemetry.enabled:
+                self.telemetry.event("earl", "sample_rejected")
+                self.telemetry.counter("earl.samples_rejected")
             return
         self.bank.add_iteration(counters, wall_seconds=wall_seconds)
         if mpi_events:
@@ -243,6 +257,12 @@ class Earl:
             if self._stalled_polls >= self.config.stalled_poll_limit:
                 self._stalled_polls = 0
                 self.health.windows_stalled += 1
+                if self.telemetry.enabled:
+                    self.telemetry.event(
+                        "earl",
+                        "window_stalled",
+                        polls=self.config.stalled_poll_limit,
+                    )
                 self._note_bad_window()
                 self._reset_window()
             return
@@ -257,10 +277,23 @@ class Earl:
             )
         except SignatureError:
             self.health.windows_rejected += 1
+            if self.telemetry.enabled:
+                self.telemetry.event("earl", "window_rejected")
             self._note_bad_window()
             self._reset_window()
             return
         self._note_good_window()
+        if self.telemetry.enabled:
+            self.telemetry.observe("earl.window_s", window.seconds)
+            self.telemetry.event(
+                "earl",
+                "signature",
+                cpi=sig.cpi,
+                gbs=sig.gbs,
+                dc_power_w=sig.dc_power_w,
+                avg_cpu_freq_ghz=sig.avg_cpu_freq_ghz,
+                avg_imc_freq_ghz=sig.avg_imc_freq_ghz,
+            )
         if not self._policy_disabled:
             try:
                 self._state_new_signature(sig)
@@ -295,6 +328,18 @@ class Earl:
                 self.eard.apply_freqs(freqs)
             if policy_state is PolicyState.READY:
                 self.state = EarlState.VALIDATE_POLICY
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "earl",
+                    "decision",
+                    earl_state=EarlState.NODE_POLICY.name,
+                    policy_state=policy_state.name,
+                    cpu_ghz=freqs.cpu_ghz,
+                    imc_max_ghz=freqs.imc_max_ghz,
+                    cpi=sig.cpi,
+                    gbs=sig.gbs,
+                    dc_power_w=sig.dc_power_w,
+                )
             self.decisions.append(
                 PolicyDecision(
                     at_s=now,
@@ -306,6 +351,20 @@ class Earl:
             )
             return
         ok = self.policy.validate(sig)
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "earl",
+                "decision",
+                earl_state=EarlState.VALIDATE_POLICY.name,
+                policy_state=None,
+                cpu_ghz=None,
+                imc_max_ghz=None,
+                cpi=sig.cpi,
+                gbs=sig.gbs,
+                dc_power_w=sig.dc_power_w,
+            )
+            if not ok:
+                self.telemetry.event("earl", "validate_failed")
         if not ok:
             self.state = EarlState.NODE_POLICY
             defaults = self.policy.default_freqs()

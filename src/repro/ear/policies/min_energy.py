@@ -70,6 +70,7 @@ class MinEnergyPolicy(PolicyPlugin):
         self.cfg = ctx.config
         self.pstates = ctx.pstates
         self.model = ctx.model
+        self.telemetry = ctx.telemetry
         self._stage = Stage.CPU_FREQ_SEL
         self._current_ps = self.default_pstate
         self._selected_cpu_ghz = self.pstates.freq_of(self.default_pstate)
@@ -83,6 +84,14 @@ class MinEnergyPolicy(PolicyPlugin):
     @property
     def stage(self) -> Stage:
         return self._stage
+
+    def _enter_stage(self, stage: Stage) -> None:
+        """Move the state machine, announcing the transition."""
+        if stage is self._stage:
+            return
+        self._stage = stage
+        if self.telemetry.enabled:
+            self.telemetry.event("policy", "stage", stage=stage.name)
 
     @property
     def default_pstate(self) -> int:
@@ -103,7 +112,7 @@ class MinEnergyPolicy(PolicyPlugin):
         )
 
     def reset(self) -> None:
-        self._stage = Stage.CPU_FREQ_SEL
+        self._enter_stage(Stage.CPU_FREQ_SEL)
         self._current_ps = self.default_pstate
         self._selected_cpu_ghz = self.pstates.freq_of(self.default_pstate)
         self._imc_max_ghz = self.default_freqs().imc_max_ghz
@@ -138,6 +147,13 @@ class MinEnergyPolicy(PolicyPlugin):
     def _cpu_freq_sel(self, sig: Signature) -> tuple[PolicyState, NodeFreqs]:
         best_ps = self._select_cpu_pstate(sig)
         self._selected_cpu_ghz = self.pstates.freq_of(best_ps)
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "policy",
+                "cpu_select",
+                pstate=best_ps,
+                cpu_ghz=self._selected_cpu_ghz,
+            )
         default_ps = self.default_pstate
         defaults = self.default_freqs()
         freqs = NodeFreqs(
@@ -151,7 +167,7 @@ class MinEnergyPolicy(PolicyPlugin):
         if not self.cfg.use_explicit_ufs:
             # Classic min_energy_to_solution ("ME" in the evaluation).
             self._decision_sig = sig
-            self._stage = Stage.STABLE
+            self._enter_stage(Stage.STABLE)
             return PolicyState.READY, freqs
 
         if best_ps == default_ps and was_at == default_ps:
@@ -160,11 +176,11 @@ class MinEnergyPolicy(PolicyPlugin):
             # straight into IMC_FREQ_SEL).
             self._ref_cpi, self._ref_gbs = sig.cpi, sig.gbs
             self._decision_sig = sig
-            self._stage = Stage.IMC_FREQ_SEL
+            self._enter_stage(Stage.IMC_FREQ_SEL)
             self._imc_max_ghz = self._imc_search_start(sig)
             return self._imc_step_down(freqs)
 
-        self._stage = Stage.COMP_REF
+        self._enter_stage(Stage.COMP_REF)
         return PolicyState.CONTINUE, freqs
 
     def _select_cpu_pstate(self, sig: Signature) -> int:
@@ -194,7 +210,7 @@ class MinEnergyPolicy(PolicyPlugin):
     def _comp_ref(self, sig: Signature) -> tuple[PolicyState, NodeFreqs]:
         self._ref_cpi, self._ref_gbs = sig.cpi, sig.gbs
         self._decision_sig = sig
-        self._stage = Stage.IMC_FREQ_SEL
+        self._enter_stage(Stage.IMC_FREQ_SEL)
         self._imc_max_ghz = self._imc_search_start(sig)
         freqs = NodeFreqs(
             cpu_ghz=self._selected_cpu_ghz,
@@ -228,6 +244,13 @@ class MinEnergyPolicy(PolicyPlugin):
         # was measured at the currently applied P-state, so that state is
         # preserved across the reset for correct projections.
         if relative_change(self._ref_cpi, sig.cpi) > self.cfg.signature_change_th:
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "policy",
+                    "phase_change",
+                    cpi=sig.cpi,
+                    ref_cpi=self._ref_cpi,
+                )
             applied_ps = self._current_ps
             self.reset()
             self._current_ps = applied_ps
@@ -251,7 +274,17 @@ class MinEnergyPolicy(PolicyPlugin):
             self._imc_max_ghz = snap_ghz(
                 min(self._imc_max_ghz + self.cfg.imc_step_ghz, self.ctx.imc_max_ghz)
             )
-            self._stage = Stage.STABLE
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "policy",
+                    "imc_guard",
+                    cpi=sig.cpi,
+                    ref_cpi=self._ref_cpi,
+                    gbs=sig.gbs,
+                    ref_gbs=self._ref_gbs,
+                    settled_imc_max_ghz=self._imc_max_ghz,
+                )
+            self._enter_stage(Stage.STABLE)
             return PolicyState.READY, freqs.with_imc_max(self._imc_max_ghz)
         return self._imc_step_down(freqs)
 
@@ -259,9 +292,13 @@ class MinEnergyPolicy(PolicyPlugin):
         """Lower the max uncore limit one step, or settle at the floor."""
         next_max = snap_ghz(self._imc_max_ghz - self.cfg.imc_step_ghz)
         if next_max < self.ctx.imc_min_ghz - 1e-9:
-            self._stage = Stage.STABLE
+            self._enter_stage(Stage.STABLE)
             return PolicyState.READY, self._freqs_with_limits(freqs)
         self._imc_max_ghz = next_max
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "policy", "imc_step", imc_max_ghz=self._imc_max_ghz
+            )
         return PolicyState.CONTINUE, self._freqs_with_limits(freqs)
 
     def _freqs_with_limits(self, freqs: NodeFreqs) -> NodeFreqs:

@@ -14,6 +14,7 @@ from typing import Callable, Dict
 
 from ...errors import PolicyError
 from ...hw.pstates import PStateTable
+from ...telemetry.recorder import NULL_RECORDER, Recorder
 from ..config import EarConfig
 from ..models.default_model import EnergyModel
 from .api import PolicyPlugin
@@ -31,6 +32,9 @@ class PolicyContext:
     #: silicon uncore range, GHz (read from UNCORE_RATIO_LIMIT at boot).
     imc_max_ghz: float
     imc_min_ghz: float
+    #: structured event sink; the no-op NULL_RECORDER unless the engine
+    #: armed telemetry for this node.
+    telemetry: Recorder = NULL_RECORDER
 
 
 _FACTORIES: Dict[str, Callable[[PolicyContext], PolicyPlugin]] = {}

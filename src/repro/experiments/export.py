@@ -30,7 +30,14 @@ def _flatten(row: Mapping, prefix: str = "") -> dict:
 
 
 def rows_to_csv(rows: Sequence[Mapping]) -> str:
-    """Render a list of (possibly nested) row dicts as CSV text."""
+    """Render a list of (possibly nested) row dicts as CSV text.
+
+    The header is the *union* of every row's keys in stable
+    first-appearance order — never just the first row's keys, which
+    would silently drop columns that only appear later (e.g. health
+    fields present only on faulted rows).  Rows missing a column get an
+    empty cell.
+    """
     if not rows:
         return ""
     flat = [_flatten(r) for r in rows]
@@ -40,7 +47,7 @@ def rows_to_csv(rows: Sequence[Mapping]) -> str:
             if key not in fieldnames:
                 fieldnames.append(key)
     buf = io.StringIO()
-    writer = csv.DictWriter(buf, fieldnames=fieldnames)
+    writer = csv.DictWriter(buf, fieldnames=fieldnames, restval="")
     writer.writeheader()
     for row in flat:
         writer.writerow(row)

@@ -67,7 +67,9 @@ __all__ = [
 #: cache key, and verified again on disk load.
 #: v2: NodeResult grew the NodeHealth record and requests carry a fault
 #: plan, so v1 pickles no longer match the result layout.
-CACHE_FORMAT_VERSION = 2
+#: v3: NodeResult grew a telemetry snapshot and RunResult the hardware
+#: frequency ranges, so v2 pickles no longer match the result layout.
+CACHE_FORMAT_VERSION = 3
 
 
 # -- content hashing ---------------------------------------------------------
@@ -120,6 +122,13 @@ class RunRequest:
     #: it shares the clean run's cache entry, which it is bit-identical
     #: to by construction.
     fault_plan: FaultPlan | None = None
+    #: record structured telemetry events during the run.  Deliberately
+    #: ``compare=False`` and absent from :meth:`key`: recorders never
+    #: touch the physics, so a telemetry-bearing result *is* the plain
+    #: result plus extra observability — the two may share one cache
+    #: entry (the pool upgrades an entry in place when a telemetry
+    #: request misses on a telemetry-free cached run).
+    telemetry: bool = dataclasses.field(default=False, compare=False)
 
     def key(self) -> str:
         plan = self.fault_plan
@@ -155,6 +164,7 @@ class RunRequest:
             pin_uncore_ghz=self.pin_uncore_ghz,
             node_speed_spread=self.node_speed_spread,
             fault_plan=self.fault_plan,
+            telemetry=self.telemetry,
         )
 
 
@@ -319,10 +329,22 @@ class ExperimentPool:
         results: dict[str, RunResult] = {}
         pending: dict[str, RunRequest] = {}
         for key, req in keyed:
-            if key in results or key in pending:
+            # a telemetry-wanting duplicate upgrades an already-pending
+            # plain request: one execution serves both callers.
+            if key in pending:
+                if req.telemetry and not pending[key].telemetry:
+                    pending[key] = req
+                continue
+            if key in results:
+                if req.telemetry and not results[key].has_telemetry:
+                    pending[key] = req
+                    del results[key]
                 continue
             cached = self.cache.get(key) if self.cache is not None else None
-            if cached is not None:
+            if cached is not None and not (req.telemetry and not cached.has_telemetry):
+                # telemetry is not part of the key, so a telemetry
+                # request can hit a telemetry-free entry; re-run it and
+                # upgrade the entry in place (same physics, more info).
                 results[key] = cached
             else:
                 pending[key] = req

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from ..ear.config import EarConfig
 from ..sim.faults import FaultPlan, NodeHealth
+from ..telemetry import ladder_event_counts
 from ..workloads.app import Workload
 from .parallel import RunRequest
 from .runner import DEFAULT_SEEDS, _pool_for
@@ -62,6 +63,10 @@ class ResiliencePoint:
     #: node healths summed over nodes and seeds at this intensity.
     health: NodeHealth
     n_runs: int
+    #: degradation-ladder event tallies ("subsystem/kind", count) summed
+    #: over the runs at this intensity; empty unless the sweep executed
+    #: with ``telemetry=True``.
+    ladder_events: tuple[tuple[str, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -83,13 +88,18 @@ def resilience_sweep(
     scale: float = 1.0,
     jobs: int | None = None,
     base_plan: FaultPlan | None = None,
+    telemetry: bool = False,
 ) -> ResilienceSweep:
     """Sweep fault intensity; return savings vs the clean reference.
 
     All (intensity, seed) runs plus the clean baselines are submitted
     to the pool as one batch, so the sweep parallelises and caches like
     every other experiment.  ``base_plan`` overrides the reference
-    regime that the intensities scale.
+    regime that the intensities scale.  ``telemetry=True`` records the
+    structured event stream in every faulted run and reports per-point
+    degradation-ladder tallies (``ResiliencePoint.ladder_events``) —
+    each hardening reaction counted from the events themselves rather
+    than inferred from aggregate health numbers.
     """
     if config is None:
         config = EarConfig()
@@ -114,6 +124,7 @@ def resilience_sweep(
                 seed=s,
                 scale=scale,
                 fault_plan=plan_at(intensity),
+                telemetry=telemetry,
             )
             for s in seeds
         ]
@@ -134,6 +145,10 @@ def resilience_sweep(
         time_s = sum(r.time_s for r in runs) / len(runs)
         energy = sum(r.dc_energy_j for r in runs) / len(runs)
         power = sum(r.avg_dc_power_w for r in runs) / len(runs)
+        ladder: dict[str, int] = {}
+        for r in runs:
+            for name, count in ladder_event_counts(r):
+                ladder[name] = ladder.get(name, 0) + count
         points.append(
             ResiliencePoint(
                 intensity=intensity,
@@ -142,6 +157,7 @@ def resilience_sweep(
                 energy_saving=1.0 - energy / ref_energy,
                 health=NodeHealth.merge([r.health for r in runs]),
                 n_runs=len(runs),
+                ladder_events=tuple(sorted(ladder.items())),
             )
         )
     return ResilienceSweep(

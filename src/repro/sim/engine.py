@@ -36,6 +36,8 @@ from ..ear.earl import Earl
 from ..errors import ExperimentError
 from ..hw.counters import CounterBank
 from ..hw.node import Cluster, Node
+from ..hw.units import ratio_to_ghz
+from ..telemetry.recorder import NULL_RECORDER, EventRecorder, Recorder
 from ..workloads.app import Workload
 from ..workloads.phase import PhaseProfile
 from .faults import FaultInjector, FaultPlan, HealthMonitor
@@ -66,10 +68,17 @@ class SimulationEngine:
         pin_uncore_ghz: float | None = None,
         node_speed_spread: float = 0.0,
         fault_plan: FaultPlan | None = None,
+        telemetry: bool = False,
     ) -> None:
         """``pin_cpu_ghz``/``pin_uncore_ghz`` fix frequencies for the whole
         run (the motivation study's fixed-uncore sweeps, section II of the
         paper); they are mutually exclusive with an EAR configuration.
+
+        ``telemetry`` arms one :class:`~repro.telemetry.EventRecorder`
+        per node, threaded through EARD, EARL, the policy and the fault
+        injector; the default is the zero-cost ``NullRecorder``, so the
+        clean path stays bit-identical with telemetry off.  Recorders
+        draw no randomness, so physics is identical either way.
 
         ``node_speed_spread`` introduces static per-node performance
         heterogeneity (manufacturing/thermal variation): each node gets
@@ -112,6 +121,17 @@ class SimulationEngine:
         self.banks = {node.node_id: CounterBank() for node in self.cluster}
         self.fault_plan = fault_plan
         self.monitors = {node.node_id: HealthMonitor() for node in self.cluster}
+        self.telemetry_enabled = telemetry
+        self.recorders: dict[int, Recorder] = {}
+        for node in self.cluster:
+            if telemetry:
+                # clock bound to the node: every subsystem's events are
+                # stamped with that node's simulated elapsed time.
+                self.recorders[node.node_id] = EventRecorder(
+                    node=node.node_id, clock=(lambda n=node: n.elapsed_s)
+                )
+            else:
+                self.recorders[node.node_id] = NULL_RECORDER
         self.injectors: dict[int, FaultInjector] = {}
         if fault_plan is not None and fault_plan.enabled:
             for node in self.cluster:
@@ -120,6 +140,7 @@ class SimulationEngine:
                     run_seed=seed,
                     node_id=node.node_id,
                     health=self.monitors[node.node_id],
+                    telemetry=self.recorders[node.node_id],
                 )
         self.earls: dict[int, Earl] = {}
         if ear_config is not None:
@@ -128,6 +149,7 @@ class SimulationEngine:
                     node,
                     injector=self.injectors.get(node.node_id),
                     health=self.monitors[node.node_id],
+                    telemetry=self.recorders[node.node_id],
                 )
                 self.earls[node.node_id] = Earl(eard, ear_config)
         self._rng = np.random.default_rng(seed)
@@ -178,6 +200,16 @@ class SimulationEngine:
                 seen = c if injector is None else injector.corrupt_counters(c)
                 earl.on_iteration(seen, profile.mpi_events, t_wall)
         self._time_s += t_wall
+        if self.telemetry_enabled:
+            for node in self.cluster:
+                rec = self.recorders[node.node_id]
+                rec.observe("engine.iteration_s", t_wall)
+                rec.event(
+                    "engine",
+                    "freq_sample",
+                    cpu_target_ghz=node.core_target_ghz,
+                    imc_freq_ghz=node.uncore_freq_ghz,
+                )
         if self.record_trace:
             node0 = self.cluster.nodes[0]
             self._trace.append(
@@ -223,11 +255,13 @@ class SimulationEngine:
                     cpi=snap.cpi if snap.instructions > 0 else 0.0,
                     gbs=snap.gbs,
                     health=monitor.snapshot(),
+                    telemetry=self.recorders[node.node_id].snapshot(),
                 )
             )
         nodes = tuple(nodes)
         earl0 = self.earls.get(0)
         policy = "none" if self.ear_config is None else self.ear_config.policy
+        node_config = self.workload.node_config
         return RunResult(
             workload=self.workload.name,
             n_nodes=self.workload.n_nodes,
@@ -238,6 +272,14 @@ class SimulationEngine:
             signatures=tuple(earl0.signatures) if earl0 else (),
             decisions=tuple(earl0.decisions) if earl0 else (),
             freq_trace=tuple(self._trace),
+            cpu_freq_range_ghz=(
+                node_config.pstates.min_ghz,
+                node_config.pstates.turbo_ghz,
+            ),
+            imc_freq_range_ghz=(
+                ratio_to_ghz(node_config.uncore_min_ratio),
+                ratio_to_ghz(node_config.uncore_max_ratio),
+            ),
         )
 
 
@@ -252,6 +294,7 @@ def run_workload(
     pin_uncore_ghz: float | None = None,
     node_speed_spread: float = 0.0,
     fault_plan: FaultPlan | None = None,
+    telemetry: bool = False,
 ) -> RunResult:
     """Convenience wrapper: build an engine and run it once."""
     return SimulationEngine(
@@ -264,4 +307,5 @@ def run_workload(
         pin_uncore_ghz=pin_uncore_ghz,
         node_speed_spread=node_speed_spread,
         fault_plan=fault_plan,
+        telemetry=telemetry,
     ).run()

@@ -43,6 +43,7 @@ from dataclasses import dataclass, fields, replace
 import numpy as np
 
 from ..errors import ExperimentError, TransientMsrError
+from ..telemetry.recorder import NULL_RECORDER, Recorder
 from ..workloads.phase import IterationCounters
 
 __all__ = ["FaultPlan", "FaultInjector", "HealthMonitor", "NodeHealth"]
@@ -254,9 +255,13 @@ class FaultInjector:
         run_seed: int,
         node_id: int,
         health: HealthMonitor,
+        telemetry: Recorder = NULL_RECORDER,
     ) -> None:
         self.plan = plan
         self.health = health
+        #: event sink; never consulted for randomness, so arming it
+        #: cannot perturb the fault schedule.
+        self.telemetry = telemetry
         self._rng = np.random.default_rng(
             np.random.SeedSequence([plan.seed & 0xFFFFFFFF, run_seed & 0xFFFFFFFF, node_id])
         )
@@ -272,6 +277,8 @@ class FaultInjector:
         plan = self.plan
         if plan.rapl_wrap_rate > 0 and self._rng.random() < plan.rapl_wrap_rate:
             self.health.rapl_wrap_storms += 1
+            if self.telemetry.enabled:
+                self.telemetry.event("faults", "rapl_wrap_storm")
             for counter in node.rapl.pck:
                 counter.inject_raw_jump(_WRAP_STORM_TICKS)
         if (
@@ -281,6 +288,13 @@ class FaultInjector:
         ):
             self.health.throttle_events += 1
             self._throttle_until_s = node.elapsed_s + plan.throttle_duration_s
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "faults",
+                    "throttle_start",
+                    until_s=self._throttle_until_s,
+                    clamp_ghz=plan.throttle_ghz,
+                )
 
     def throttle_clamp_ghz(self, now_s: float) -> float | None:
         """Active thermal clamp for the iteration starting at ``now_s``."""
@@ -301,6 +315,8 @@ class FaultInjector:
             return counters
         self.health.counter_corruptions += 1
         mode = int(self._rng.integers(0, 3))
+        if self.telemetry.enabled:
+            self.telemetry.event("faults", "counter_corruption", mode=mode)
         if mode == 0:  # NaN burst: the PAPI read returned garbage
             return replace(counters, instructions=float("nan"), cycles=float("nan"))
         if mode == 1:  # zeroed sample: counters reset under us
@@ -323,11 +339,17 @@ class FaultInjector:
             return self._stale_reading if self._stale_reading is not None else reading
         if plan.meter_stall_rate > 0 and self._rng.random() < plan.meter_stall_rate:
             self.health.meter_stalls += 1
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "faults", "meter_stall", reads=plan.meter_stall_reads
+                )
             self._stalled_reads_left = plan.meter_stall_reads - 1
             self._stale_reading = reading
             return reading
         if plan.meter_dropout_rate > 0 and self._rng.random() < plan.meter_dropout_rate:
             self.health.meter_dropouts += 1
+            if self.telemetry.enabled:
+                self.telemetry.event("faults", "meter_dropout")
             return type(reading)(joules=0.0, timestamp_s=reading.timestamp_s)
         self._stale_reading = reading
         return reading
@@ -344,8 +366,12 @@ class FaultInjector:
         if self._msr_burst_left > 0:
             self._msr_burst_left -= 1
             self.health.msr_failures_injected += 1
+            if self.telemetry.enabled:
+                self.telemetry.event("faults", "msr_failure")
             raise TransientMsrError("injected transient MSR write failure")
         if plan.msr_failure_rate > 0 and self._rng.random() < plan.msr_failure_rate:
             self._msr_burst_left = int(self._rng.integers(1, plan.msr_failure_burst + 1)) - 1
             self.health.msr_failures_injected += 1
+            if self.telemetry.enabled:
+                self.telemetry.event("faults", "msr_failure")
             raise TransientMsrError("injected transient MSR write failure")

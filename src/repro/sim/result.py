@@ -13,6 +13,7 @@ from dataclasses import asdict, dataclass, field
 
 from ..ear.earl import PolicyDecision
 from ..ear.signature import Signature
+from ..telemetry.recorder import NodeTelemetry, TelemetryEvent, merge_events
 from .faults import NodeHealth
 
 __all__ = ["NodeResult", "RunResult", "FrequencySample"]
@@ -42,6 +43,9 @@ class NodeResult:
     #: robustness record: faults injected and how the runtime reacted
     #: (all-zero on a clean run).
     health: NodeHealth | None = None
+    #: structured telemetry snapshot (None when the run was executed
+    #: with the default NullRecorder).
+    telemetry: NodeTelemetry | None = None
 
 
 @dataclass(frozen=True)
@@ -59,6 +63,10 @@ class RunResult:
     signatures: tuple[Signature, ...] = ()
     decisions: tuple[PolicyDecision, ...] = ()
     freq_trace: tuple[FrequencySample, ...] = field(default=(), repr=False)
+    #: silicon frequency ranges of the run's node type — (lo, hi) GHz —
+    #: so renderers scale axes to the hardware, not to hardcoded bounds.
+    cpu_freq_range_ghz: tuple[float, float] | None = None
+    imc_freq_range_ghz: tuple[float, float] | None = None
 
     @property
     def dc_energy_j(self) -> float:
@@ -97,6 +105,18 @@ class RunResult:
         """Job-level robustness record: node healths summed."""
         return NodeHealth.merge([n.health for n in self.nodes if n.health is not None])
 
+    # -- telemetry ------------------------------------------------------
+
+    @property
+    def has_telemetry(self) -> bool:
+        """True when the run was executed with telemetry recording on."""
+        return any(n.telemetry is not None for n in self.nodes)
+
+    @property
+    def events(self) -> tuple[TelemetryEvent, ...]:
+        """All nodes' telemetry events merged into one timeline."""
+        return merge_events(n.telemetry for n in self.nodes if n.telemetry is not None)
+
     @property
     def cpi(self) -> float:
         """Run-aggregate CPI averaged over nodes."""
@@ -123,7 +143,14 @@ class RunResult:
             "avg_cpu_freq_ghz": self.avg_cpu_freq_ghz,
             "avg_imc_freq_ghz": self.avg_imc_freq_ghz,
             "health": asdict(self.health),
-            "nodes": [asdict(n) for n in self.nodes],
+            "cpu_freq_range_ghz": self.cpu_freq_range_ghz,
+            "imc_freq_range_ghz": self.imc_freq_range_ghz,
+            # per-node telemetry is exported once, merged, under "events"
+            "nodes": [
+                {k: v for k, v in asdict(n).items() if k != "telemetry"}
+                for n in self.nodes
+            ],
+            "events": [e.to_dict() for e in self.events],
             "signatures": [asdict(s) for s in self.signatures],
             "decisions": [
                 {

@@ -1,0 +1,59 @@
+"""Structured, seed-deterministic run telemetry.
+
+The observability spine of the simulated EAR stack: every subsystem
+(engine, EARL, EARD, policies, EARGM, fault injector) emits typed
+events, counters, gauges and timer observations through a
+:class:`~repro.telemetry.recorder.Recorder`.  The default recorder is
+the zero-cost :data:`~repro.telemetry.recorder.NULL_RECORDER`, so the
+clean simulation path stays bit-identical when telemetry is off.
+
+Layout
+------
+
+:mod:`repro.telemetry.recorder`
+    The event model (:class:`TelemetryEvent`), the recorder API and the
+    frozen per-node snapshot (:class:`NodeTelemetry`) that rides on
+    :class:`~repro.sim.result.NodeResult` across process boundaries.
+:mod:`repro.telemetry.exporters`
+    JSONL event logs, Prometheus-style text metrics and per-stage
+    timing summaries.
+:mod:`repro.telemetry.views`
+    Human-readable policy-descent and degradation-ladder timelines
+    (the ``repro-ear telemetry`` subcommand).
+"""
+
+from .exporters import (
+    events_to_jsonl,
+    metrics_to_prometheus,
+    stage_timing_summary,
+)
+from .recorder import (
+    NULL_RECORDER,
+    EventRecorder,
+    NodeTelemetry,
+    NullRecorder,
+    Recorder,
+    TelemetryEvent,
+)
+from .views import (
+    ladder_event_counts,
+    node_events,
+    render_degradation_ladder,
+    render_descent_timeline,
+)
+
+__all__ = [
+    "NULL_RECORDER",
+    "EventRecorder",
+    "NodeTelemetry",
+    "NullRecorder",
+    "Recorder",
+    "TelemetryEvent",
+    "events_to_jsonl",
+    "ladder_event_counts",
+    "metrics_to_prometheus",
+    "node_events",
+    "render_degradation_ladder",
+    "render_descent_timeline",
+    "stage_timing_summary",
+]

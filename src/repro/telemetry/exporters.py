@@ -1,0 +1,167 @@
+"""Telemetry exporters: JSONL event logs, Prometheus text metrics and
+per-stage timing summaries.
+
+All exporters accept either a :class:`~repro.sim.result.RunResult`
+(whose nodes carry :class:`~repro.telemetry.recorder.NodeTelemetry`
+snapshots) or the raw snapshots/events, so they work on anything the
+run cache returns.  Output is deterministic: metric families and labels
+are emitted in sorted order, events in timeline order.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from .recorder import NodeTelemetry, TelemetryEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.result import RunResult
+
+__all__ = ["events_to_jsonl", "metrics_to_prometheus", "stage_timing_summary"]
+
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _telemetries(source) -> list[NodeTelemetry]:
+    """Accept a RunResult, an iterable of NodeTelemetry, or one snapshot."""
+    if isinstance(source, NodeTelemetry):
+        return [source]
+    nodes = getattr(source, "nodes", None)
+    if nodes is not None:  # RunResult
+        return [n.telemetry for n in nodes if n.telemetry is not None]
+    return [t for t in source if t is not None]
+
+
+def _events(source) -> tuple[TelemetryEvent, ...]:
+    events = getattr(source, "events", None)
+    if events is not None and not isinstance(source, NodeTelemetry):
+        return tuple(events)  # RunResult.events (already merged)
+    from .recorder import merge_events
+
+    return merge_events(_telemetries(source))
+
+
+# -- JSONL event log ----------------------------------------------------------
+
+
+def events_to_jsonl(source) -> str:
+    """One compact JSON object per event, in timeline order.
+
+    The flat layout (payload keys inlined next to ``time_s``/``node``/
+    ``subsystem``/``kind``) grep-s and loads line-by-line — the shape
+    every structured-log pipeline expects.
+    """
+    lines = [
+        json.dumps(e.to_dict(), separators=(",", ":"), default=repr)
+        for e in _events(source)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- Prometheus-style text metrics -------------------------------------------
+
+
+def _metric_name(prefix: str, name: str) -> str:
+    return _METRIC_NAME_RE.sub("_", f"{prefix}_{name}")
+
+
+def metrics_to_prometheus(source, *, prefix: str = "repro") -> str:
+    """Counters, gauges and timers in Prometheus text exposition format.
+
+    Timers expand into ``*_count`` and ``*_seconds_total`` pairs, the
+    conventional summary encoding.  Every sample is labelled with its
+    node id.
+    """
+    telemetries = _telemetries(source)
+    counters: dict[str, list[tuple[int, float]]] = {}
+    gauges: dict[str, list[tuple[int, float]]] = {}
+    timers: dict[str, list[tuple[int, int, float]]] = {}
+    for t in telemetries:
+        for name, value in t.counters:
+            counters.setdefault(name, []).append((t.node, value))
+        for name, value in t.gauges:
+            gauges.setdefault(name, []).append((t.node, value))
+        for name, count, total in t.timers:
+            timers.setdefault(name, []).append((t.node, count, total))
+
+    out: list[str] = []
+
+    def emit(name: str, kind: str, samples: list[tuple[int, float]]) -> None:
+        out.append(f"# TYPE {name} {kind}")
+        for node, value in sorted(samples):
+            out.append(f'{name}{{node="{node}"}} {value:g}')
+
+    for name in sorted(counters):
+        emit(_metric_name(prefix, name), "counter", counters[name])
+    for name in sorted(gauges):
+        emit(_metric_name(prefix, name), "gauge", gauges[name])
+    for name in sorted(timers):
+        base = _metric_name(prefix, name)
+        emit(f"{base}_count", "counter", [(n, float(c)) for n, c, _ in timers[name]])
+        emit(f"{base}_seconds_total", "counter", [(n, s) for n, _, s in timers[name]])
+    return "\n".join(out) + ("\n" if out else "")
+
+
+# -- per-stage timing summary -------------------------------------------------
+
+
+def _stage_spans(
+    events: Sequence[TelemetryEvent], end_s: float
+) -> Iterable[tuple[int, str, float]]:
+    """Durations of policy stages per node, from ``policy/stage`` events."""
+    open_stage: dict[int, tuple[str, float]] = {}
+    for e in events:
+        if e.subsystem != "policy" or e.kind != "stage":
+            continue
+        prev = open_stage.get(e.node)
+        if prev is not None:
+            yield e.node, prev[0], max(0.0, e.time_s - prev[1])
+        open_stage[e.node] = (str(e.payload_dict.get("stage")), e.time_s)
+    for node, (stage, since) in open_stage.items():
+        yield node, stage, max(0.0, end_s - since)
+
+
+def stage_timing_summary(source, *, end_s: float | None = None) -> list[dict]:
+    """Rows of ``{node, name, count, total_s, mean_s}``.
+
+    Two families: recorder timers (``engine.iteration_s``,
+    ``earl.window_s``, ...) and policy-stage spans derived from the
+    ``policy/stage`` transition events (``stage.IMC_FREQ_SEL``, ...),
+    so the figure-2 state machine's time budget is visible per node.
+    """
+    telemetries = _telemetries(source)
+    events = _events(source)
+    if end_s is None:
+        end_s = getattr(source, "time_s", None)
+        if end_s is None:
+            end_s = max((e.time_s for e in events), default=0.0)
+    rows: list[dict] = []
+    for t in telemetries:
+        for name, count, total in t.timers:
+            rows.append(
+                {
+                    "node": t.node,
+                    "name": name,
+                    "count": count,
+                    "total_s": total,
+                    "mean_s": total / count if count else 0.0,
+                }
+            )
+    spans: dict[tuple[int, str], list[float]] = {}
+    for node, stage, dur in _stage_spans(events, end_s):
+        spans.setdefault((node, f"stage.{stage}"), []).append(dur)
+    for (node, name), durs in sorted(spans.items()):
+        total = sum(durs)
+        rows.append(
+            {
+                "node": node,
+                "name": name,
+                "count": len(durs),
+                "total_s": total,
+                "mean_s": total / len(durs),
+            }
+        )
+    rows.sort(key=lambda r: (r["node"], r["name"]))
+    return rows

@@ -1,0 +1,132 @@
+"""Human-readable timeline views over the telemetry event stream.
+
+These renderers back the ``repro-ear telemetry`` subcommand: given any
+run that carried telemetry (fresh or out of the run cache), they show
+the policy's explicit-UFS descent and the hardening ladder's reactions
+as annotated timelines — the figure-2 narrative and its failure-mode
+counterpart, straight from the events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .recorder import TelemetryEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.result import RunResult
+
+__all__ = [
+    "ladder_event_counts",
+    "node_events",
+    "render_degradation_ladder",
+    "render_descent_timeline",
+]
+
+#: ladder-relevant (subsystem, kind) pairs, mildest to most severe.
+_LADDER_KINDS = {
+    ("faults", "meter_stall"),
+    ("faults", "meter_dropout"),
+    ("faults", "counter_corruption"),
+    ("faults", "msr_failure"),
+    ("faults", "rapl_wrap_storm"),
+    ("faults", "throttle_start"),
+    ("earl", "sample_rejected"),
+    ("earl", "window_rejected"),
+    ("earl", "window_stalled"),
+    ("earl", "watchdog_trip"),
+    ("earl", "watchdog_clear"),
+    ("earl", "policy_disabled"),
+    ("eard", "apply_failed"),
+}
+
+_DESCENT_KINDS = {
+    ("policy", "stage"),
+    ("policy", "cpu_select"),
+    ("policy", "imc_step"),
+    ("policy", "imc_guard"),
+    ("policy", "phase_change"),
+    ("earl", "decision"),
+    ("earl", "validate_failed"),
+}
+
+
+def _check_node(result: "RunResult", node: int) -> None:
+    if not 0 <= node < result.n_nodes:
+        raise ValueError(
+            f"node {node} out of range for a {result.n_nodes}-node run"
+        )
+
+
+def node_events(result: "RunResult", node: int) -> tuple[TelemetryEvent, ...]:
+    """This node's event stream; raises if the run carried no telemetry."""
+    _check_node(result, node)
+    if not result.has_telemetry:
+        raise ValueError(
+            "run has no telemetry; execute it with telemetry=True "
+            "(repro-ear telemetry re-runs cached requests as needed)"
+        )
+    return tuple(e for e in result.events if e.node == node)
+
+
+def _fmt_payload(e: TelemetryEvent) -> str:
+    parts = []
+    for key, value in e.payload:
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.3f}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def _render(title: str, events: list[TelemetryEvent]) -> str:
+    lines = [title]
+    if not events:
+        lines.append("  (no events)")
+        return "\n".join(lines)
+    for e in events:
+        lines.append(
+            f"  {e.time_s:9.1f}s  {e.subsystem:>7}/{e.kind:<18} {_fmt_payload(e)}".rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_descent_timeline(result: "RunResult", *, node: int = 0) -> str:
+    """Policy-descent timeline: stage transitions, CPU selection, every
+    IMC step, guard trips and EARL decisions for one node."""
+    events = [
+        e for e in node_events(result, node) if (e.subsystem, e.kind) in _DESCENT_KINDS
+    ]
+    title = (
+        f"{result.workload}: node {node} policy descent "
+        f"(policy: {result.policy}, {len(events)} events)"
+    )
+    return _render(title, events)
+
+
+def ladder_event_counts(result: "RunResult") -> tuple[tuple[str, int], ...]:
+    """Degradation-ladder event tallies over *all* nodes of a run, as
+    sorted ``("subsystem/kind", count)`` pairs — the aggregate view the
+    resilience sweep reports per intensity point.  Empty for runs
+    without telemetry (callers treat that as "not recorded", not as
+    "no events")."""
+    if not result.has_telemetry:
+        return ()
+    counts: dict[str, int] = {}
+    for e in result.events:
+        if (e.subsystem, e.kind) in _LADDER_KINDS:
+            name = f"{e.subsystem}/{e.kind}"
+            counts[name] = counts.get(name, 0) + 1
+    return tuple(sorted(counts.items()))
+
+
+def render_degradation_ladder(result: "RunResult", *, node: int = 0) -> str:
+    """Degradation-ladder timeline: injected faults and every hardening
+    reaction (rejections, stalls, watchdog, policy containment)."""
+    all_events = node_events(result, node)
+    events = [e for e in all_events if (e.subsystem, e.kind) in _LADDER_KINDS]
+    title = (
+        f"{result.workload}: node {node} degradation ladder "
+        f"({len(events)} events)"
+    )
+    return _render(title, events)

@@ -26,14 +26,29 @@ class TestLevels:
         gm = make()
         assert gm.report(energy_j=96.0, seconds=10.0) is WarningLevel.WARNING2
 
-    def test_panic_when_over_pace(self):
+    def test_over_pace_is_warning2_not_panic(self):
+        # 150 % of the pro-rated pace but only 15 % of the absolute
+        # budget: the strongest graded reaction, not a panic.
         gm = make()
-        assert gm.report(energy_j=150.0, seconds=10.0) is WarningLevel.PANIC
+        assert gm.report(energy_j=150.0, seconds=10.0) is WarningLevel.WARNING2
+
+    def test_front_loaded_job_does_not_panic(self):
+        # Regression: a burst seconds into the horizon used to trip
+        # PANIC (pro-rated ratio >= 1) with >97 % of the budget left.
+        gm = make()
+        assert gm.report(energy_j=25.0, seconds=1.0) is WarningLevel.WARNING2
+        assert gm.recommended_max_pstate_offset() == 2
+        # settling back onto pace clears the warning entirely
+        assert gm.report(energy_j=25.0, seconds=89.0) is WarningLevel.OK
 
     def test_panic_when_budget_exhausted(self):
         gm = make()
         gm.report(energy_j=1100.0, seconds=100.0)
         assert gm.level() is WarningLevel.PANIC
+
+    def test_panic_on_absolute_exhaustion_even_mid_horizon(self):
+        gm = make()
+        assert gm.report(energy_j=1001.0, seconds=10.0) is WarningLevel.PANIC
 
     def test_graded_pstate_offsets(self):
         gm = make()

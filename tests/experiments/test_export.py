@@ -25,6 +25,21 @@ class TestRowsToCsv:
         header = text.splitlines()[0]
         assert header == "a,b"
 
+    def test_heterogeneous_rows_keep_late_columns(self):
+        """Regression pin: the header must be the union of all rows'
+        keys, not the first row's — resilience exports carry health
+        columns only on faulted rows, and a first-row-only header
+        would silently drop them."""
+        rows = [
+            {"intensity": 0.0, "energy_saving": 0.09},
+            {"intensity": 1.0, "energy_saving": 0.05, "health": {"faults": 12}},
+        ]
+        text = rows_to_csv(rows)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert text.splitlines()[0] == "intensity,energy_saving,health.faults"
+        assert parsed[0]["health.faults"] == ""  # missing cell, not a crash
+        assert parsed[1]["health.faults"] == "12"
+
     def test_empty(self):
         assert rows_to_csv([]) == ""
 

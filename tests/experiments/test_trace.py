@@ -77,3 +77,65 @@ class TestSettledCeiling:
         wl = make_fast_workload(n_iterations=30)
         result = run_workload(wl, seed=1)  # no policy
         assert settled_imc_max_ghz(result) is None
+
+
+@pytest.fixture(scope="module")
+def telemetry_run():
+    """A two-node run carrying per-node telemetry (and a node-0 trace)."""
+    wl = make_fast_workload(n_iterations=200, n_nodes=2)
+    return run_workload(
+        wl, ear_config=EarConfig(), seed=1, record_trace=True, telemetry=True
+    )
+
+
+class TestNodeParameter:
+    def test_header_names_the_node(self, traced_run):
+        assert "node 0" in render_timeline(traced_run)
+
+    def test_out_of_range_node_rejected(self, traced_run):
+        with pytest.raises(ValueError, match="out of range"):
+            render_timeline(traced_run, node=5)
+        with pytest.raises(ValueError, match="out of range"):
+            descent_summary(traced_run, node=-1)
+
+    def test_nonzero_node_requires_telemetry(self, telemetry_run):
+        # telemetry_run has it; a plain traced run does not
+        wl = make_fast_workload(n_iterations=30, n_nodes=2)
+        plain = run_workload(wl, ear_config=EarConfig(), seed=1, record_trace=True)
+        with pytest.raises(ValueError):
+            render_timeline(plain, node=1)
+        with pytest.raises(ValueError):
+            descent_summary(plain, node=1)
+
+    def test_nonzero_node_renders_from_telemetry(self, telemetry_run):
+        text = render_timeline(telemetry_run, node=1)
+        assert "node 1" in text
+        assert "cpu [" in text and "imc [" in text
+
+    def test_descent_rows_label_their_node(self, telemetry_run):
+        rows0 = descent_summary(telemetry_run, node=0)
+        rows1 = descent_summary(telemetry_run, node=1)
+        assert rows0 and all(r["node"] == 0 for r in rows0)
+        assert rows1 and all(r["node"] == 1 for r in rows1)
+        # telemetry-derived rows carry the same shape as decision rows
+        assert set(rows0[0]) == set(rows1[0])
+        assert rows1[0]["cpi"] > 0
+
+
+class TestAxisDerivation:
+    def test_axis_comes_from_hardware_ranges(self, traced_run):
+        # SD530: CPU P-states span 1.0-2.6 GHz, uncore 1.2-2.4 GHz
+        assert traced_run.cpu_freq_range_ghz == (1.0, 2.6)
+        assert traced_run.imc_freq_range_ghz == (1.2, 2.4)
+        text = render_timeline(traced_run)
+        assert "axis 1.0-2.6" in text
+        assert "axis 1.2-2.4" in text
+
+    def test_axis_falls_back_to_data_extent(self, traced_run):
+        import dataclasses
+
+        legacy = dataclasses.replace(
+            traced_run, cpu_freq_range_ghz=None, imc_freq_range_ghz=None
+        )
+        text = render_timeline(legacy)
+        assert "axis" in text  # renders, axis from the samples themselves

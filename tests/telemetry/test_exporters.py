@@ -1,0 +1,101 @@
+"""Exporter unit tests on hand-built snapshots (no simulation)."""
+
+import json
+
+from repro.telemetry.exporters import (
+    events_to_jsonl,
+    metrics_to_prometheus,
+    stage_timing_summary,
+)
+from repro.telemetry.recorder import EventRecorder, NodeTelemetry, TelemetryEvent
+
+
+def make_snapshot() -> NodeTelemetry:
+    rec = EventRecorder(node=0)
+    rec.event("policy", "stage", time_s=0.0, stage="CPU_FREQ_SEL")
+    rec.event("policy", "stage", time_s=10.0, stage="IMC_FREQ_SEL")
+    rec.event("policy", "imc_step", time_s=10.0, imc_max_ghz=2.3)
+    rec.counter("eard.applies", 3.0)
+    rec.gauge("eard.rapl_pck_joules", 123.5)
+    rec.observe("engine.iteration_s", 0.5)
+    rec.observe("engine.iteration_s", 0.7)
+    return rec.snapshot()
+
+
+class TestJsonl:
+    def test_one_json_object_per_event(self):
+        snap = make_snapshot()
+        lines = events_to_jsonl(snap).splitlines()
+        assert len(lines) == len(snap.events)
+        first = json.loads(lines[0])
+        assert first == {
+            "time_s": 0.0,
+            "node": 0,
+            "subsystem": "policy",
+            "kind": "stage",
+            "stage": "CPU_FREQ_SEL",
+        }
+
+    def test_payload_inlined(self):
+        rows = [json.loads(line) for line in events_to_jsonl(make_snapshot()).splitlines()]
+        step = [r for r in rows if r["kind"] == "imc_step"][0]
+        assert step["imc_max_ghz"] == 2.3
+
+    def test_empty(self):
+        assert events_to_jsonl(NodeTelemetry(node=0)) == ""
+
+
+class TestPrometheus:
+    def test_families_and_labels(self):
+        text = metrics_to_prometheus(make_snapshot())
+        assert "# TYPE repro_eard_applies counter" in text
+        assert 'repro_eard_applies{node="0"} 3' in text
+        assert "# TYPE repro_eard_rapl_pck_joules gauge" in text
+        assert 'repro_eard_rapl_pck_joules{node="0"} 123.5' in text
+
+    def test_timers_expand_to_count_and_total(self):
+        text = metrics_to_prometheus(make_snapshot())
+        assert 'repro_engine_iteration_s_count{node="0"} 2' in text
+        assert 'repro_engine_iteration_s_seconds_total{node="0"} 1.2' in text
+
+    def test_metric_names_sanitised(self):
+        rec = EventRecorder(node=0)
+        rec.counter("earl.samples-rejected")
+        text = metrics_to_prometheus(rec.snapshot())
+        assert "repro_earl_samples_rejected" in text
+
+    def test_multi_node_sorted(self):
+        a = EventRecorder(node=1)
+        a.counter("c")
+        b = EventRecorder(node=0)
+        b.counter("c")
+        text = metrics_to_prometheus([a.snapshot(), b.snapshot()])
+        assert text.index('node="0"') < text.index('node="1"')
+
+
+class TestStageTiming:
+    def test_timer_rows(self):
+        rows = stage_timing_summary(make_snapshot(), end_s=30.0)
+        timer = [r for r in rows if r["name"] == "engine.iteration_s"][0]
+        assert timer["count"] == 2
+        assert timer["mean_s"] == 0.6
+
+    def test_stage_spans_from_transition_events(self):
+        rows = stage_timing_summary(make_snapshot(), end_s=30.0)
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["stage.CPU_FREQ_SEL"]["total_s"] == 10.0
+        # the open IMC_FREQ_SEL span closes at end_s
+        assert by_name["stage.IMC_FREQ_SEL"]["total_s"] == 20.0
+
+    def test_events_only_input(self):
+        events = [
+            TelemetryEvent(
+                node=0, time_s=0.0, subsystem="policy", kind="stage",
+                payload=(("stage", "STABLE"),),
+            )
+        ]
+        snap = NodeTelemetry(node=0, events=tuple(events))
+        rows = stage_timing_summary(snap, end_s=5.0)
+        assert rows == [
+            {"node": 0, "name": "stage.STABLE", "count": 1, "total_s": 5.0, "mean_s": 5.0}
+        ]

@@ -1,0 +1,208 @@
+"""End-to-end telemetry guarantees.
+
+The four contracts the subsystem ships with:
+
+1. determinism — the same seed yields the identical event stream;
+2. zero-cost default — a run with telemetry on has bit-identical
+   physics to the same run with telemetry off;
+3. process transparency — snapshots survive the experiment pool's
+   worker processes and merge deterministically;
+4. cache neutrality — wanting telemetry never changes a request's
+   cache key, and the pool upgrades telemetry-free entries in place.
+"""
+
+import json
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.experiments.parallel import ExperimentPool, RunCache, RunRequest
+from repro.sim.engine import run_workload
+from repro.sim.faults import FaultPlan
+from repro.telemetry import ladder_event_counts, node_events
+from tests.conftest import make_fast_workload
+
+FAULT_PLAN = FaultPlan(
+    seed=7,
+    meter_stall_rate=0.05,
+    meter_dropout_rate=0.03,
+    counter_corruption_rate=0.08,
+    msr_failure_rate=0.08,
+    rapl_wrap_rate=0.03,
+    throttle_rate=0.02,
+)
+
+
+def run_once(*, telemetry: bool, fault_plan=None, n_iterations=200, seed=3):
+    wl = make_fast_workload(n_iterations=n_iterations)
+    return run_workload(
+        wl,
+        ear_config=EarConfig(),
+        seed=seed,
+        telemetry=telemetry,
+        fault_plan=fault_plan,
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_identical_event_stream(self):
+        a = run_once(telemetry=True, fault_plan=FAULT_PLAN)
+        b = run_once(telemetry=True, fault_plan=FAULT_PLAN)
+        assert a.events == b.events
+        assert [n.telemetry for n in a.nodes] == [n.telemetry for n in b.nodes]
+
+    def test_different_seed_different_stream(self):
+        a = run_once(telemetry=True, fault_plan=FAULT_PLAN, seed=3)
+        b = run_once(telemetry=True, fault_plan=FAULT_PLAN, seed=4)
+        assert a.events != b.events
+
+
+class TestCleanPathEquality:
+    def test_telemetry_does_not_perturb_physics(self):
+        on = run_once(telemetry=True)
+        off = run_once(telemetry=False)
+        assert on.time_s == off.time_s
+        assert on.dc_energy_j == off.dc_energy_j
+        assert on.pck_energy_j == off.pck_energy_j
+        assert on.avg_cpu_freq_ghz == off.avg_cpu_freq_ghz
+        assert on.avg_imc_freq_ghz == off.avg_imc_freq_ghz
+        assert on.decisions == off.decisions
+
+    def test_telemetry_does_not_perturb_fault_schedule(self):
+        on = run_once(telemetry=True, fault_plan=FAULT_PLAN)
+        off = run_once(telemetry=False, fault_plan=FAULT_PLAN)
+        assert on.health == off.health
+        assert on.time_s == off.time_s
+        assert on.dc_energy_j == off.dc_energy_j
+
+    def test_off_run_carries_no_telemetry(self):
+        off = run_once(telemetry=False)
+        assert not off.has_telemetry
+        assert off.events == ()
+        with pytest.raises(ValueError):
+            node_events(off, 0)
+
+
+class TestFaultedRunReplay:
+    """The JSONL export replays the run: every policy descent step and
+    every degradation-ladder reaction appears as an event."""
+
+    @pytest.fixture(scope="class")
+    def faulted(self):
+        return run_once(telemetry=True, fault_plan=FAULT_PLAN, n_iterations=300)
+
+    @pytest.fixture(scope="class")
+    def jsonl_rows(self, faulted):
+        from repro.telemetry import events_to_jsonl
+
+        return [json.loads(line) for line in events_to_jsonl(faulted).splitlines()]
+
+    def test_every_imc_descent_step_replayed(self, faulted, jsonl_rows):
+        # each CONTINUE decision during IMC descent lowers the ceiling by
+        # one 0.1 GHz step; the event stream must carry every one of them
+        decided = [
+            d.freqs.imc_max_ghz
+            for d in faulted.decisions
+            if d.policy_state is not None
+            and d.policy_state.name == "CONTINUE"
+            and d.freqs is not None
+        ]
+        stepped = [
+            r["imc_max_ghz"]
+            for r in jsonl_rows
+            if r["kind"] == "imc_step" and r["node"] == 0
+        ]
+        assert decided, "descent never started — workload/fixture drifted"
+        assert stepped == decided
+
+    def test_ladder_reactions_replayed_one_to_one(self, faulted, jsonl_rows):
+        h = faulted.health
+
+        def count(kind):
+            return sum(1 for r in jsonl_rows if r["kind"] == kind)
+
+        assert h.faults_injected > 0, "fault plan never fired"
+        assert count("meter_stall") == h.meter_stalls
+        assert count("meter_dropout") == h.meter_dropouts
+        assert count("counter_corruption") == h.counter_corruptions
+        assert count("msr_failure") == h.msr_failures_injected
+        assert count("rapl_wrap_storm") == h.rapl_wrap_storms
+        assert count("throttle_start") == h.throttle_events
+        assert count("sample_rejected") == h.samples_rejected
+        assert count("window_rejected") == h.windows_rejected
+        assert count("window_stalled") == h.windows_stalled
+        assert count("watchdog_trip") == h.watchdog_restores
+
+    def test_ladder_counts_view_matches(self, faulted, jsonl_rows):
+        counts = dict(ladder_event_counts(faulted))
+        total = sum(counts.values())
+        ladder_kinds = {
+            "meter_stall", "meter_dropout", "counter_corruption", "msr_failure",
+            "rapl_wrap_storm", "throttle_start", "sample_rejected",
+            "window_rejected", "window_stalled", "watchdog_trip",
+            "watchdog_clear", "policy_disabled", "apply_failed",
+        }
+        assert total == sum(1 for r in jsonl_rows if r["kind"] in ladder_kinds)
+
+
+class TestPoolIntegration:
+    def make_requests(self, *, telemetry: bool, seeds=(1, 2)):
+        wl = make_fast_workload(n_iterations=120)
+        return [
+            RunRequest(
+                workload=wl,
+                ear_config=EarConfig(),
+                seed=s,
+                telemetry=telemetry,
+                fault_plan=FAULT_PLAN,
+            )
+            for s in seeds
+        ]
+
+    def test_cache_key_invariant_under_telemetry(self):
+        plain, with_tel = (
+            self.make_requests(telemetry=False)[0],
+            self.make_requests(telemetry=True)[0],
+        )
+        assert plain.key() == with_tel.key()
+
+    def test_snapshots_survive_worker_processes(self):
+        pool = ExperimentPool(jobs=2, cache=RunCache())
+        results = pool.run_many(self.make_requests(telemetry=True))
+        assert len(results) == 2
+        assert all(r.has_telemetry for r in results)
+        assert all(len(r.events) > 0 for r in results)
+        # merged in submission order and identical to a serial execution
+        serial = [req.execute() for req in self.make_requests(telemetry=True)]
+        assert [r.events for r in results] == [r.events for r in serial]
+
+    def test_pool_upgrades_cached_plain_entry(self):
+        pool = ExperimentPool(jobs=1, cache=RunCache())
+        (plain,) = pool.run_many(self.make_requests(telemetry=False, seeds=(1,)))
+        assert not plain.has_telemetry
+        (upgraded,) = pool.run_many(self.make_requests(telemetry=True, seeds=(1,)))
+        assert upgraded.has_telemetry
+        assert upgraded.time_s == plain.time_s  # same physics, more info
+        # the cache entry now carries telemetry: a third request hits
+        sims_before = pool.stats.simulations
+        (hit,) = pool.run_many(self.make_requests(telemetry=True, seeds=(1,)))
+        assert pool.stats.simulations == sims_before
+        assert hit.has_telemetry
+
+    def test_plain_request_happily_reuses_telemetry_entry(self):
+        pool = ExperimentPool(jobs=1, cache=RunCache())
+        pool.run_many(self.make_requests(telemetry=True, seeds=(1,)))
+        sims_before = pool.stats.simulations
+        (result,) = pool.run_many(self.make_requests(telemetry=False, seeds=(1,)))
+        assert pool.stats.simulations == sims_before
+        assert result.has_telemetry  # superset info is fine
+
+    def test_mixed_batch_executes_once_with_telemetry(self):
+        pool = ExperimentPool(jobs=1, cache=RunCache())
+        reqs = self.make_requests(telemetry=False, seeds=(1,)) + self.make_requests(
+            telemetry=True, seeds=(1,)
+        )
+        results = pool.run_many(reqs)
+        assert pool.stats.simulations == 1
+        assert all(r.has_telemetry for r in results)
+        assert results[0] is results[1]

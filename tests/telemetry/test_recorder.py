@@ -1,0 +1,116 @@
+"""Recorder API unit tests: the event model, the null sink, snapshots."""
+
+import pickle
+
+import pytest
+
+from repro.telemetry.recorder import (
+    NULL_RECORDER,
+    EventRecorder,
+    NodeTelemetry,
+    NullRecorder,
+    TelemetryEvent,
+    merge_events,
+)
+
+
+class TestNullRecorder:
+    def test_disabled(self):
+        assert NULL_RECORDER.enabled is False
+
+    def test_all_hooks_are_noops(self):
+        rec = NullRecorder()
+        rec.event("earl", "decision", cpu_ghz=2.4)
+        rec.counter("x")
+        rec.gauge("y", 1.0)
+        rec.observe("z", 0.5)
+        assert rec.snapshot() is None
+
+
+class TestEventRecorder:
+    def test_enabled(self):
+        assert EventRecorder(node=0).enabled is True
+
+    def test_events_stamped_with_node_and_clock(self):
+        t = 0.0
+        rec = EventRecorder(node=3, clock=lambda: t)
+        rec.event("policy", "imc_step", imc_max_ghz=2.3)
+        t = 10.5
+        rec.event("policy", "imc_step", imc_max_ghz=2.2)
+        snap = rec.snapshot()
+        assert [e.time_s for e in snap.events] == [0.0, 10.5]
+        assert all(e.node == 3 for e in snap.events)
+
+    def test_explicit_time_overrides_clock(self):
+        rec = EventRecorder(node=0, clock=lambda: 99.0)
+        rec.event("eargm", "level_change", time_s=5.0, level="WARNING2")
+        assert rec.snapshot().events[0].time_s == 5.0
+
+    def test_payload_order_is_deterministic(self):
+        a = EventRecorder(node=0)
+        a.event("e", "k", b=1, a=2)
+        b = EventRecorder(node=0)
+        b.event("e", "k", b=1, a=2)
+        assert a.snapshot() == b.snapshot()
+
+    def test_counters_accumulate(self):
+        rec = EventRecorder(node=0)
+        rec.counter("earl.samples_rejected")
+        rec.counter("earl.samples_rejected", 2.0)
+        snap = rec.snapshot()
+        assert dict(snap.counters)["earl.samples_rejected"] == 3.0
+
+    def test_gauges_keep_last_value(self):
+        rec = EventRecorder(node=0)
+        rec.gauge("eard.rapl_pck_joules", 10.0)
+        rec.gauge("eard.rapl_pck_joules", 20.0)
+        assert dict(rec.snapshot().gauges)["eard.rapl_pck_joules"] == 20.0
+
+    def test_timers_count_and_sum(self):
+        rec = EventRecorder(node=0)
+        rec.observe("engine.iteration_s", 0.5)
+        rec.observe("engine.iteration_s", 1.5)
+        (name, count, total) = rec.snapshot().timers[0]
+        assert (name, count, total) == ("engine.iteration_s", 2, 2.0)
+
+
+class TestSnapshot:
+    def test_snapshot_is_frozen_and_picklable(self):
+        rec = EventRecorder(node=1)
+        rec.event("earl", "decision", cpu_ghz=2.4)
+        rec.counter("c")
+        snap = rec.snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+        with pytest.raises(Exception):
+            snap.node = 2
+
+    def test_event_to_dict_flattens_payload(self):
+        e = TelemetryEvent(
+            node=0, time_s=1.0, subsystem="policy", kind="imc_step",
+            payload=(("imc_max_ghz", 2.3),),
+        )
+        d = e.to_dict()
+        assert d["imc_max_ghz"] == 2.3
+        assert d["kind"] == "imc_step"
+        assert e.payload_dict == {"imc_max_ghz": 2.3}
+
+
+class TestMergeEvents:
+    def test_sorted_by_time_then_node(self):
+        a = NodeTelemetry(
+            node=1,
+            events=(
+                TelemetryEvent(node=1, time_s=5.0, subsystem="e", kind="k"),
+                TelemetryEvent(node=1, time_s=1.0, subsystem="e", kind="k"),
+            ),
+        )
+        b = NodeTelemetry(
+            node=0,
+            events=(TelemetryEvent(node=0, time_s=5.0, subsystem="e", kind="k"),),
+        )
+        merged = merge_events([a, b])
+        assert [(e.time_s, e.node) for e in merged] == [(1.0, 1), (5.0, 0), (5.0, 1)]
+
+    def test_empty(self):
+        assert merge_events([]) == ()
