@@ -9,6 +9,8 @@ Subcommands::
     repro-ear sweep -w BT-MZ.C.mpi      # fixed-uncore motivation sweep
     repro-ear resilience -w BT-MZ.C     # fault-intensity robustness sweep
     repro-ear telemetry -w BT-MZ.C      # event timelines from a telemetry run
+    repro-ear cluster --n-jobs 12       # cluster campaign: scheduler + EARDBD + EARGM
+    repro-ear eacct --db accounting.json  # query an exported accounting DB
 
 Everything prints the same ASCII artefacts the benchmark harness
 produces.
@@ -355,6 +357,114 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    import json
+
+    from .cluster import (
+        ClusterConfig,
+        EardbdConfig,
+        TraceConfig,
+        compare_cluster_policies,
+        generate_trace,
+        render_cluster_report,
+        render_comparison,
+    )
+    from .ear.eargm import EargmConfig
+    from .experiments.resilience import reference_fault_plan
+
+    trace = generate_trace(
+        TraceConfig(
+            n_jobs=args.n_jobs,
+            seed=args.seed,
+            mean_interarrival_s=args.interarrival_s,
+            burst_fraction=args.burst,
+            scale=args.scale,
+        )
+    )
+    eargm = (
+        EargmConfig(budget_j=args.budget_mj * 1e6, horizon_s=args.horizon_s)
+        if args.budget_mj is not None
+        else None
+    )
+    plan = (
+        reference_fault_plan().scaled(args.fault_intensity)
+        if args.fault_intensity > 0
+        else None
+    )
+    cluster = ClusterConfig(
+        n_nodes=args.nodes,
+        eargm=eargm,
+        eardbd=EardbdConfig(
+            flush_interval_s=args.flush_interval_s, buffer_limit=args.buffer_limit
+        ),
+        backfill=not args.no_backfill,
+        fault_plan=plan,
+        telemetry=True,
+    )
+    configs = standard_configs(cpu_policy_th=args.cpu_th, unc_policy_th=args.unc_th)
+    if args.policy == "compare":
+        names = {"none": None, "me": configs["me"], "me_eufs": configs["me_eufs"]}
+    elif args.policy in configs:
+        names = {args.policy: configs[args.policy]}
+    else:
+        raise SystemExit(
+            f"unknown policy {args.policy!r}; use none|me|me_eufs|compare"
+        )
+    campaigns = compare_cluster_policies(trace, cluster, names)
+    for name, campaign in campaigns.items():
+        print(render_cluster_report(campaign.report, jobs=not args.summary))
+        print()
+    if len(campaigns) > 1:
+        print(render_comparison(campaigns))
+    last = campaigns[list(campaigns)[-1]]
+    if args.accounting:
+        path = last.accounting.save(args.accounting)
+        print(f"wrote accounting DB ({last.accounting.node_rows()} node rows) to {path}")
+    if args.json:
+        pathlib.Path(args.json).write_text(
+            json.dumps({n: c.report.to_dict() for n, c in campaigns.items()}, indent=2)
+            + "\n"
+        )
+        print(f"wrote report JSON to {args.json}")
+    return 0
+
+
+def _cmd_eacct(args) -> int:
+    from .ear.accounting import AccountingDB
+
+    db = AccountingDB.load(args.db)
+    if args.job is not None:
+        records = [db.job(args.job)]
+    else:
+        records = db.jobs(workload=args.workload, policy=args.policy)
+    if args.as_json:
+        import json
+        from dataclasses import asdict
+
+        print(json.dumps([asdict(r) for r in records], indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [
+            str(r.job_id),
+            r.workload,
+            r.policy,
+            str(len(r.nodes)),
+            f"{r.seconds:.1f}",
+            f"{r.dc_energy_j / 1e6:.3f}",
+            f"{r.avg_node_power_w:.0f}",
+        ]
+        for r in records
+    ]
+    print(
+        format_table(
+            f"eacct: {len(records)} job(s), {db.total_energy_j(records) / 1e6:.2f} MJ",
+            ["job", "workload", "policy", "nodes", "seconds", "MJ", "W/node"],
+            rows,
+        )
+    )
+    return 0
+
+
 def _cmd_campaign(args) -> int:
     from .ear.eargm import Eargm, EargmConfig
     from .ear.manager import ClusterManager
@@ -380,6 +490,9 @@ def _cmd_campaign(args) -> int:
         f"\ncampaign: {manager.total_energy_j / 1e6:.1f} MJ consumed, "
         f"final level {eargm.level().name}"
     )
+    if args.accounting:
+        path = manager.accounting.save(args.accounting)
+        print(f"wrote accounting DB to {path}")
     return 0
 
 
@@ -616,7 +729,97 @@ def main(argv: list[str] | None = None) -> int:
     p_cmp.add_argument("--budget-mj", type=float, default=14.0, dest="budget_mj")
     p_cmp.add_argument("--horizon-s", type=float, default=4500.0, dest="horizon_s")
     p_cmp.add_argument("--scale", type=float, default=1.0)
+    p_cmp.add_argument(
+        "--accounting", default=None, help="export the accounting DB as JSON"
+    )
     p_cmp.set_defaults(fn=_cmd_campaign)
+
+    p_clu = sub.add_parser(
+        "cluster",
+        help="discrete-event cluster campaign: FCFS+backfill scheduler, "
+        "EARDBD aggregation, EARGM actuation",
+    )
+    p_clu.add_argument("--nodes", type=int, default=8)
+    p_clu.add_argument("--n-jobs", type=int, default=12, dest="n_jobs")
+    p_clu.add_argument("--seed", type=int, default=0, help="trace seed")
+    p_clu.add_argument(
+        "-p",
+        "--policy",
+        default="compare",
+        help="none|me|me_eufs|compare (default: compare all three)",
+    )
+    p_clu.add_argument(
+        "--interarrival-s",
+        type=float,
+        default=20.0,
+        dest="interarrival_s",
+        help="mean job inter-arrival time",
+    )
+    p_clu.add_argument(
+        "--burst",
+        type=float,
+        default=0.25,
+        help="fraction of jobs arriving together at t=0",
+    )
+    p_clu.add_argument("--scale", type=float, default=1.0)
+    p_clu.add_argument(
+        "--budget-mj",
+        type=float,
+        default=None,
+        dest="budget_mj",
+        help="EARGM energy budget (default: no budget control)",
+    )
+    p_clu.add_argument("--horizon-s", type=float, default=4500.0, dest="horizon_s")
+    p_clu.add_argument(
+        "--flush-interval-s",
+        type=float,
+        default=30.0,
+        dest="flush_interval_s",
+        help="EARDBD flush period in simulated seconds",
+    )
+    p_clu.add_argument(
+        "--buffer-limit",
+        type=int,
+        default=256,
+        dest="buffer_limit",
+        help="EARDBD buffered node reports before drops",
+    )
+    p_clu.add_argument(
+        "--no-backfill", action="store_true", help="pure FCFS (no backfill)"
+    )
+    p_clu.add_argument(
+        "--fault-intensity",
+        type=float,
+        default=0.0,
+        dest="fault_intensity",
+        help="scale the reference fault regime onto every job (default 0)",
+    )
+    p_clu.add_argument("--cpu-th", type=float, default=0.05, dest="cpu_th")
+    p_clu.add_argument("--unc-th", type=float, default=0.02, dest="unc_th")
+    p_clu.add_argument(
+        "--summary", action="store_true", help="omit the per-job table"
+    )
+    p_clu.add_argument(
+        "--accounting",
+        default=None,
+        help="export the last campaign's accounting DB as JSON (for eacct)",
+    )
+    p_clu.add_argument("--json", default=None, help="write the report(s) as JSON")
+    p_clu.set_defaults(fn=_cmd_cluster)
+
+    p_acc = sub.add_parser(
+        "eacct", help="query an exported accounting DB (eacct-style)"
+    )
+    p_acc.add_argument(
+        "--db", required=True, help="accounting JSON written by cluster/campaign"
+    )
+    p_acc.add_argument("--job", type=int, default=None, help="one job id")
+    p_acc.add_argument("--workload", default=None, help="filter by workload name")
+    p_acc.add_argument("--policy", default=None, help="filter by policy name")
+    p_acc.add_argument(
+        "--json", action="store_true", dest="as_json", help="JSON instead of a table"
+    )
+    p_acc.set_defaults(fn=_cmd_eacct)
 
     p_exp = sub.add_parser("export", help="export a paper table as CSV")
     p_exp.add_argument("number", type=int, help="table number 1-7")

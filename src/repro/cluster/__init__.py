@@ -1,0 +1,61 @@
+"""Cluster-scale simulation: scheduler, EARDBD tier, EARGM actuation.
+
+The paper frames EAR as three cluster-wide services — energy
+accounting, energy control and energy optimisation.  The per-job
+engine (:mod:`repro.sim`) exercises the optimisation service one job
+at a time; this package adds the missing middle tier around it:
+
+:mod:`repro.cluster.events`
+    The discrete-event core: a simulated clock and a deterministic
+    event queue (arrivals, completions, daemon flush ticks).
+
+:mod:`repro.cluster.traces`
+    Seeded synthetic job traces: arrival processes and workload/size
+    mixes drawn from the workload generator registry.
+
+:mod:`repro.cluster.eardbd`
+    The EARDBD aggregation daemon: per-node accounting reports are
+    batched in a bounded buffer and flushed to the shared
+    :class:`~repro.ear.accounting.AccountingDB` on a configurable
+    interval.  Overflow drops are counted, never silent.
+
+:mod:`repro.cluster.scheduler`
+    The cluster simulation itself: an FCFS + conservative-backfill
+    scheduler over a node pool, job execution fanned out through the
+    cache-aware :class:`~repro.experiments.parallel.ExperimentPool`,
+    and the :class:`~repro.ear.eargm.Eargm` budget loop driven by the
+    event clock so P-state caps propagate to jobs scheduled after each
+    level change.
+
+:mod:`repro.cluster.report`
+    :class:`ClusterReport` rendering and the per-policy campaign
+    comparison behind ``repro-ear cluster``.
+"""
+
+from .eardbd import Eardbd, EardbdConfig, EardbdStats, NodeReport
+from .events import Event, EventKind, EventQueue, SimClock
+from .report import compare_cluster_policies, render_cluster_report, render_comparison
+from .scheduler import ClusterConfig, ClusterReport, ClusterSimulation, JobOutcome
+from .traces import TraceConfig, TraceJob, generate_trace, trace_workload_mix
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterReport",
+    "ClusterSimulation",
+    "Eardbd",
+    "EardbdConfig",
+    "EardbdStats",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "JobOutcome",
+    "NodeReport",
+    "SimClock",
+    "TraceConfig",
+    "TraceJob",
+    "compare_cluster_policies",
+    "generate_trace",
+    "render_cluster_report",
+    "render_comparison",
+    "trace_workload_mix",
+]

@@ -1,0 +1,149 @@
+"""EARDBD: the accounting aggregation daemon tier.
+
+In a production EAR deployment the node daemons do not talk to the
+database directly — an intermediate EARDBD per island batches their
+per-node signature/accounting reports and ships them upstream, which
+is what keeps the DB alive under a full cluster's reporting rate.
+This module reproduces that tier:
+
+* per-node reports (:class:`NodeReport`) arrive one at a time and are
+  buffered;
+* a **bounded** buffer models the daemon's finite memory: a report
+  arriving on a full buffer is *dropped and counted* — the real
+  failure mode of an undersized aggregation tier — never silently
+  lost;
+* on each flush tick (driven by the cluster event clock) the buffer is
+  drained to the shared :class:`~repro.ear.accounting.AccountingDB`,
+  growing job rows node by node (a job's reports may span flushes).
+
+The conservation law ``received == forwarded + dropped + pending``
+holds at every instant, and ``forwarded`` equals the DB's node-row
+count when the daemon is the DB's only writer — the reconciliation the
+acceptance tests pin.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..ear.accounting import AccountingDB, JobRecord, NodeJobRecord
+from ..errors import ConfigError
+from ..telemetry.recorder import NULL_RECORDER, Recorder
+
+__all__ = ["NodeReport", "EardbdConfig", "EardbdStats", "Eardbd"]
+
+
+@dataclass(frozen=True)
+class NodeReport:
+    """One node's share of one job, as its EARD would report it."""
+
+    job_id: int
+    workload: str
+    policy: str
+    cpu_policy_th: float
+    unc_policy_th: float
+    node: NodeJobRecord
+
+    def job_record(self) -> JobRecord:
+        """A single-node job row (the upsert unit)."""
+        return JobRecord(
+            job_id=self.job_id,
+            workload=self.workload,
+            policy=self.policy,
+            cpu_policy_th=self.cpu_policy_th,
+            unc_policy_th=self.unc_policy_th,
+            nodes=(self.node,),
+        )
+
+
+@dataclass(frozen=True)
+class EardbdConfig:
+    """Batching behaviour of one aggregation daemon."""
+
+    #: seconds of simulated time between flushes to the DB.
+    flush_interval_s: float = 30.0
+    #: maximum buffered node reports; arrivals beyond this are dropped
+    #: (and counted) until the next flush frees space.
+    buffer_limit: int = 256
+
+    def __post_init__(self) -> None:
+        if self.flush_interval_s <= 0:
+            raise ConfigError("flush_interval_s must be positive")
+        if self.buffer_limit < 1:
+            raise ConfigError("buffer_limit must be >= 1")
+
+
+@dataclass
+class EardbdStats:
+    """Aggregation-tier observability counters."""
+
+    received: int = 0
+    forwarded: int = 0
+    dropped: int = 0
+    flushes: int = 0
+
+    def reconciles_with(self, db: AccountingDB, *, pending: int = 0) -> bool:
+        """Exact conservation check against the DB's node-row count."""
+        return (
+            self.received == self.forwarded + self.dropped + pending
+            and self.forwarded == db.node_rows()
+        )
+
+
+class Eardbd:
+    """One aggregation daemon in front of the accounting database."""
+
+    def __init__(
+        self,
+        db: AccountingDB,
+        config: EardbdConfig | None = None,
+        *,
+        telemetry: Recorder = NULL_RECORDER,
+    ) -> None:
+        self.db = db
+        self.config = config if config is not None else EardbdConfig()
+        self.telemetry = telemetry
+        self.stats = EardbdStats()
+        self._buffer: deque[NodeReport] = deque()
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)
+
+    def submit(self, report: NodeReport, *, time_s: float) -> bool:
+        """Buffer one per-node report; False means it was dropped."""
+        self.stats.received += 1
+        if len(self._buffer) >= self.config.buffer_limit:
+            self.stats.dropped += 1
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "eardbd",
+                    "drop",
+                    time_s=time_s,
+                    job_id=report.job_id,
+                    node_id=report.node.node_id,
+                    buffered=len(self._buffer),
+                )
+            return False
+        self._buffer.append(report)
+        return True
+
+    def flush(self, *, time_s: float) -> int:
+        """Drain the buffer into the DB; returns rows forwarded."""
+        n = len(self._buffer)
+        while self._buffer:
+            report = self._buffer.popleft()
+            self.db.upsert_nodes(report.job_record())
+            self.stats.forwarded += 1
+        self.stats.flushes += 1
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "eardbd",
+                "flush",
+                time_s=time_s,
+                rows=n,
+                total_forwarded=self.stats.forwarded,
+                total_dropped=self.stats.dropped,
+            )
+        return n

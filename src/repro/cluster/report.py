@@ -1,0 +1,176 @@
+"""Cluster campaign reports and per-policy comparisons.
+
+Renders :class:`~repro.cluster.scheduler.ClusterReport` the way the
+rest of the harness renders paper artefacts (ASCII tables), and runs
+the same trace under several EAR configurations to answer the
+cluster-scale question the paper's per-job tables cannot: does the
+optimisation service still pay once jobs contend for nodes and a
+budget — cluster energy down, makespan penalty bounded?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..ear.accounting import AccountingDB
+from ..ear.config import EarConfig
+from ..experiments.report import format_table, ghz, pct
+from .scheduler import ClusterConfig, ClusterReport, ClusterSimulation
+from .traces import TraceJob
+
+__all__ = [
+    "PolicyCampaign",
+    "compare_cluster_policies",
+    "render_cluster_report",
+    "render_comparison",
+]
+
+
+@dataclass(frozen=True)
+class PolicyCampaign:
+    """One policy's campaign outcome, with its accounting DB."""
+
+    name: str
+    report: ClusterReport
+    accounting: AccountingDB
+
+    def energy_saving_vs(self, reference: "PolicyCampaign") -> float:
+        if reference.report.total_energy_j <= 0:
+            return 0.0
+        return 1.0 - self.report.total_energy_j / reference.report.total_energy_j
+
+    def makespan_penalty_vs(self, reference: "PolicyCampaign") -> float:
+        if reference.report.makespan_s <= 0:
+            return 0.0
+        return self.report.makespan_s / reference.report.makespan_s - 1.0
+
+
+def compare_cluster_policies(
+    trace: tuple[TraceJob, ...],
+    cluster: ClusterConfig,
+    configs: Mapping[str, EarConfig | None],
+    *,
+    pool=None,
+) -> dict[str, PolicyCampaign]:
+    """Replay one trace once per configuration.
+
+    Every campaign sees the identical trace (same arrivals, same job
+    seeds), so differences are pure policy effect plus its knock-on
+    scheduling consequences (shorter/longer jobs shift start times).
+    ``configs`` maps display names to EAR configurations; ``None`` is
+    the monitoring-only baseline.
+    """
+    from dataclasses import replace
+
+    out: dict[str, PolicyCampaign] = {}
+    for name, config in configs.items():
+        db = AccountingDB()
+        sim = ClusterSimulation(
+            trace,
+            replace(cluster, ear_config=config),
+            pool=pool,
+            accounting=db,
+        )
+        out[name] = PolicyCampaign(name=name, report=sim.run(), accounting=db)
+    return out
+
+
+def render_cluster_report(report: ClusterReport, *, jobs: bool = True) -> str:
+    """ASCII artefact for one campaign."""
+    summary_rows = [
+        ["policy", report.policy],
+        ["nodes", str(report.n_nodes)],
+        ["jobs", str(report.n_jobs)],
+        ["makespan", f"{report.makespan_s:.1f} s"],
+        ["cluster energy", f"{report.total_energy_j / 1e6:.2f} MJ"],
+        ["node utilisation", pct(report.utilisation)],
+        ["mean / max wait", f"{report.mean_wait_s:.1f} / {report.max_wait_s:.1f} s"],
+        ["backfilled jobs", str(report.n_backfilled)],
+        [
+            "eardbd rows",
+            f"{report.eardbd.forwarded} forwarded, {report.eardbd.dropped} "
+            f"dropped, {report.eardbd.flushes} flushes",
+        ],
+    ]
+    if report.budget_j is not None:
+        summary_rows.append(
+            [
+                "budget",
+                f"{(report.consumed_j or 0.0) / 1e6:.2f} / {report.budget_j / 1e6:.2f} MJ "
+                f"({report.final_level.name if report.final_level else '-'}, "
+                f"{report.cap_changes} cap changes)",
+            ]
+        )
+    out = format_table("cluster campaign", ["metric", "value"], summary_rows)
+    if jobs:
+        job_rows = [
+            [
+                str(j.job_id),
+                j.workload,
+                str(j.n_nodes),
+                f"{j.submit_s:.0f}",
+                f"{j.wait_s:.0f}",
+                f"{j.run_s:.0f}",
+                "bf" if j.backfilled else "",
+                str(j.pstate_offset),
+                f"{j.dc_energy_j / 1e6:.2f}",
+                ghz(j.avg_cpu_freq_ghz),
+                ghz(j.avg_imc_freq_ghz),
+            ]
+            for j in report.jobs
+        ]
+        out += "\n" + format_table(
+            "jobs (in start order)",
+            [
+                "id",
+                "workload",
+                "nodes",
+                "submit",
+                "wait",
+                "run",
+                "bf",
+                "cap",
+                "MJ",
+                "cpu",
+                "imc",
+            ],
+            job_rows,
+        )
+    return out
+
+
+def render_comparison(
+    campaigns: Mapping[str, PolicyCampaign], *, reference: str = "none"
+) -> str:
+    """Per-policy savings table against the monitoring-only campaign."""
+    if reference not in campaigns:
+        raise ValueError(f"reference campaign {reference!r} missing")
+    ref = campaigns[reference]
+    rows = []
+    for name, campaign in campaigns.items():
+        r = campaign.report
+        rows.append(
+            [
+                name,
+                f"{r.total_energy_j / 1e6:.2f}",
+                pct(campaign.energy_saving_vs(ref)) if name != reference else "-",
+                f"{r.makespan_s:.0f}",
+                pct(campaign.makespan_penalty_vs(ref)) if name != reference else "-",
+                pct(r.utilisation),
+                f"{r.mean_wait_s:.0f}",
+            ]
+        )
+    return format_table(
+        f"campaign vs {reference} (same trace, same seeds)",
+        [
+            "policy",
+            "energy MJ",
+            "saving",
+            "makespan s",
+            "penalty",
+            "util",
+            "wait s",
+        ],
+        rows,
+    )

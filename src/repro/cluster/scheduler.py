@@ -1,0 +1,574 @@
+"""The cluster simulation: node pool, scheduler, EARGM actuation.
+
+One :class:`ClusterSimulation` replays a job trace against a node pool
+under EAR's three services at once:
+
+* **optimisation** — every job executes through the per-job simulation
+  engine (via the cache-aware
+  :class:`~repro.experiments.parallel.ExperimentPool`, so repeated
+  (workload, config, seed) jobs re-use cached physics);
+* **accounting** — per-node outcomes flow through the
+  :class:`~repro.cluster.eardbd.Eardbd` aggregation tier into the
+  shared :class:`~repro.ear.accounting.AccountingDB`;
+* **control** — the :class:`~repro.ear.eargm.Eargm` budget loop is
+  driven by the *event clock* (wall-clock deltas between completions,
+  not summed job times), and its P-state cap is folded into the
+  configuration of every job scheduled after a level change.
+
+Scheduling is FCFS with conservative backfill: a queued job may jump
+ahead only if, under the walltime *estimates*, it delays the
+reservation of no job ahead of it.  Reservations are carved into a
+free-node step function in queue order, which is exactly the
+conservative variant (EASY backfill would reserve for the head job
+only).
+
+Everything is deterministic: the trace is seeded, tie-breaking in the
+event queue is explicit, batches are submitted to the pool in queue
+order and merged in submission order — the same trace seed yields the
+identical schedule, accounting records and telemetry stream, with 1 or
+N worker processes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, replace
+
+from ..ear.accounting import AccountingDB, NodeJobRecord
+from ..ear.config import EarConfig
+from ..ear.eargm import Eargm, EargmConfig, WarningLevel
+from ..errors import ConfigError, ExperimentError
+from ..sim.faults import FaultPlan
+from ..sim.result import RunResult
+from ..telemetry.recorder import NULL_RECORDER, EventRecorder, NodeTelemetry, Recorder
+from .eardbd import Eardbd, EardbdConfig, EardbdStats, NodeReport
+from .events import EventKind, EventQueue, SimClock
+from .traces import TraceJob
+
+__all__ = ["ClusterConfig", "JobOutcome", "ClusterReport", "ClusterSimulation"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One campaign's cluster-side settings."""
+
+    n_nodes: int = 8
+    #: EAR configuration applied to every job (None = monitoring only:
+    #: no EARL on the nodes, hence no policy and no cap actuation).
+    ear_config: EarConfig | None = None
+    #: energy-control service; None runs without a budget.
+    eargm: EargmConfig | None = None
+    eardbd: EardbdConfig = field(default_factory=EardbdConfig)
+    #: conservative backfill on top of FCFS (off = pure FCFS).
+    backfill: bool = True
+    #: fault regime applied to every job's nodes (PR-2 fault plans);
+    #: each job's injectors are seeded per (plan, job seed, node).
+    fault_plan: FaultPlan | None = None
+    #: record the cluster-scope telemetry stream (job_submit/start/end,
+    #: eardbd_flush/drop, eargm_cap).
+    telemetry: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigError("a cluster needs at least one node")
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One scheduled job, start to finish."""
+
+    index: int
+    job_id: int
+    workload: str
+    n_nodes: int
+    submit_s: float
+    start_s: float
+    end_s: float
+    #: cluster node ids the job ran on.
+    placement: tuple[int, ...]
+    #: True when the job jumped the FCFS queue via backfill.
+    backfilled: bool
+    level_at_start: WarningLevel
+    pstate_offset: int
+    dc_energy_j: float
+    avg_cpu_freq_ghz: float
+    avg_imc_freq_ghz: float
+
+    @property
+    def wait_s(self) -> float:
+        return self.start_s - self.submit_s
+
+    @property
+    def run_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """What one campaign did, cluster-wide."""
+
+    n_nodes: int
+    policy: str
+    jobs: tuple[JobOutcome, ...]
+    makespan_s: float
+    total_energy_j: float
+    #: busy node-seconds / (n_nodes * makespan).
+    utilisation: float
+    mean_wait_s: float
+    max_wait_s: float
+    n_backfilled: int
+    eardbd: EardbdStats
+    #: budget bookkeeping (None without an EARGM).
+    budget_j: float | None = None
+    consumed_j: float | None = None
+    final_level: WarningLevel | None = None
+    #: number of cap (offset) changes EARGM actuated during the run.
+    cap_changes: int = 0
+    #: cluster-scope telemetry snapshot (node -1), if recorded.
+    telemetry: NodeTelemetry | None = None
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (per-job rows included)."""
+        return {
+            "n_nodes": self.n_nodes,
+            "policy": self.policy,
+            "n_jobs": self.n_jobs,
+            "makespan_s": self.makespan_s,
+            "total_energy_j": self.total_energy_j,
+            "utilisation": self.utilisation,
+            "mean_wait_s": self.mean_wait_s,
+            "max_wait_s": self.max_wait_s,
+            "n_backfilled": self.n_backfilled,
+            "eardbd": {
+                "received": self.eardbd.received,
+                "forwarded": self.eardbd.forwarded,
+                "dropped": self.eardbd.dropped,
+                "flushes": self.eardbd.flushes,
+            },
+            "budget_j": self.budget_j,
+            "consumed_j": self.consumed_j,
+            "final_level": self.final_level.name if self.final_level else None,
+            "cap_changes": self.cap_changes,
+            "jobs": [
+                {
+                    "index": j.index,
+                    "job_id": j.job_id,
+                    "workload": j.workload,
+                    "n_nodes": j.n_nodes,
+                    "submit_s": j.submit_s,
+                    "start_s": j.start_s,
+                    "end_s": j.end_s,
+                    "wait_s": j.wait_s,
+                    "placement": list(j.placement),
+                    "backfilled": j.backfilled,
+                    "level_at_start": j.level_at_start.name,
+                    "pstate_offset": j.pstate_offset,
+                    "dc_energy_j": j.dc_energy_j,
+                    "avg_cpu_freq_ghz": j.avg_cpu_freq_ghz,
+                    "avg_imc_freq_ghz": j.avg_imc_freq_ghz,
+                }
+                for j in self.jobs
+            ],
+        }
+
+
+# -- internal bookkeeping -----------------------------------------------------
+
+
+@dataclass
+class _Queued:
+    job: TraceJob
+
+
+@dataclass
+class _Starting:
+    job: TraceJob
+    job_id: int
+    placement: tuple[int, ...]
+    level: WarningLevel
+    offset: int
+    config: EarConfig | None
+    backfilled: bool
+
+
+@dataclass
+class _Running:
+    start: _Starting
+    start_s: float
+    end_s: float
+    result: RunResult
+
+
+class _FreeProfile:
+    """Free-node count over future time, for reservation carving.
+
+    A step function represented as breakpoints ``(time, avail)``; the
+    last value extends to infinity.  ``earliest_fit`` finds the first
+    time a demand fits for a duration; ``reserve`` carves it out.
+    O(n^2) over breakpoints — traces are tens of jobs, not millions.
+    """
+
+    def __init__(self, now: float, avail: int, releases: list[tuple[float, int]]):
+        points: dict[float, int] = {now: 0}
+        for t, n in releases:
+            points[max(t, now)] = points.get(max(t, now), 0) + n
+        self._times = sorted(points)
+        level = avail
+        self._avail = []
+        for t in self._times:
+            level += points[t]
+            self._avail.append(level)
+
+    def _avail_at(self, t: float) -> int:
+        avail = 0
+        for bt, av in zip(self._times, self._avail):
+            if bt <= t + 1e-12:
+                avail = av
+            else:
+                break
+        return avail
+
+    def earliest_fit(self, need: int, duration: float) -> float:
+        # candidate starts are profile breakpoints only: on a carved
+        # (non-monotonic) profile that can be slightly pessimistic, but
+        # never lets a backfill delay an earlier reservation.
+        for start in self._times:
+            window_end = start + duration
+            ok = all(
+                av >= need
+                for bt, av in zip(self._times, self._avail)
+                if start - 1e-12 <= bt < window_end - 1e-12
+            ) and self._avail_at(start) >= need
+            if ok:
+                return start
+        raise ExperimentError("reservation does not fit on any horizon")
+
+    def reserve(self, start: float, duration: float, need: int) -> None:
+        end = start + duration
+        for t in (start, end):
+            if t not in self._times:
+                idx = len([bt for bt in self._times if bt < t])
+                self._times.insert(idx, t)
+                self._avail.insert(idx, self._avail[idx - 1] if idx > 0 else 0)
+        for i, bt in enumerate(self._times):
+            if start - 1e-12 <= bt < end - 1e-12:
+                self._avail[i] -= need
+
+
+# -- the simulation -----------------------------------------------------------
+
+
+class ClusterSimulation:
+    """Replay one trace on one cluster configuration."""
+
+    def __init__(
+        self,
+        trace: tuple[TraceJob, ...],
+        config: ClusterConfig,
+        *,
+        pool=None,
+        accounting: AccountingDB | None = None,
+    ) -> None:
+        from ..experiments.parallel import default_pool
+
+        if not trace:
+            raise ConfigError("a campaign needs at least one job")
+        for job in trace:
+            if job.workload.n_nodes > config.n_nodes:
+                raise ConfigError(
+                    f"job {job.index} ({job.workload.name}) needs "
+                    f"{job.workload.n_nodes} nodes; the cluster has {config.n_nodes}"
+                )
+        self.trace = tuple(trace)
+        self.config = config
+        self.pool = pool if pool is not None else default_pool()
+        self.accounting = accounting if accounting is not None else AccountingDB()
+        self.clock = SimClock()
+        self.telemetry: Recorder = (
+            EventRecorder(node=-1, clock=lambda: self.clock.now)
+            if config.telemetry
+            else NULL_RECORDER
+        )
+        self.eargm = (
+            Eargm(config.eargm, telemetry=self.telemetry)
+            if config.eargm is not None
+            else None
+        )
+        self.eardbd = Eardbd(self.accounting, config.eardbd, telemetry=self.telemetry)
+        self._events = EventQueue()
+        self._queue: deque[_Queued] = deque()
+        self._free: set[int] = set(range(config.n_nodes))
+        self._running: dict[int, _Running] = {}
+        self._unarrived = 0
+        self._last_eargm_report_s = 0.0
+        self._last_offset = 0
+        self._cap_changes = 0
+        self._outcomes: list[JobOutcome] = []
+        self._makespan_s = 0.0
+        self._ran = False
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self) -> ClusterReport:
+        """Drive the event loop to completion; return the report."""
+        if self._ran:
+            raise ExperimentError("a ClusterSimulation runs once; build a fresh one")
+        self._ran = True
+        for job in self.trace:
+            self._events.push(job.submit_s, EventKind.JOB_ARRIVAL, job)
+            self._unarrived += 1
+        self._events.push(
+            self.config.eardbd.flush_interval_s, EventKind.EARDBD_FLUSH
+        )
+        while self._events:
+            event = self._events.pop()
+            self.clock.advance(event.time_s)
+            if event.kind is EventKind.JOB_ARRIVAL:
+                self._on_arrival(event.payload)
+            elif event.kind is EventKind.JOB_FINISH:
+                self._on_finish(event.payload)
+            else:
+                self._on_flush()
+        if self.eardbd.pending:
+            # final drain so nothing reported is lost at shutdown.
+            self.eardbd.flush(time_s=self._makespan_s)
+        return self._report()
+
+    # -- event handlers ------------------------------------------------------
+
+    def _on_arrival(self, job: TraceJob) -> None:
+        self._unarrived -= 1
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "cluster",
+                "job_submit",
+                index=job.index,
+                workload=job.workload.name,
+                n_nodes=job.workload.n_nodes,
+            )
+        self._queue.append(_Queued(job))
+        self._schedule_pass()
+
+    def _on_finish(self, running: _Running) -> None:
+        now = self.clock.now
+        start = running.start
+        self._makespan_s = max(self._makespan_s, now)
+        self._free.update(start.placement)
+        del self._running[start.job_id]
+        result = running.result
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "cluster",
+                "job_end",
+                job_id=start.job_id,
+                index=start.job.index,
+                workload=start.job.workload.name,
+                time_s_run=result.time_s,
+                dc_energy_j=result.dc_energy_j,
+            )
+        self._report_accounting(running, now)
+        self._report_eargm(result, now)
+        self._outcomes.append(
+            JobOutcome(
+                index=start.job.index,
+                job_id=start.job_id,
+                workload=start.job.workload.name,
+                n_nodes=start.job.workload.n_nodes,
+                submit_s=start.job.submit_s,
+                start_s=running.start_s,
+                end_s=now,
+                placement=start.placement,
+                backfilled=start.backfilled,
+                level_at_start=start.level,
+                pstate_offset=start.offset,
+                dc_energy_j=result.dc_energy_j,
+                avg_cpu_freq_ghz=result.avg_cpu_freq_ghz,
+                avg_imc_freq_ghz=result.avg_imc_freq_ghz,
+            )
+        )
+        self._schedule_pass()
+
+    def _on_flush(self) -> None:
+        self.eardbd.flush(time_s=self.clock.now)
+        if self._unarrived or self._queue or self._running:
+            self._events.push(
+                self.clock.now + self.config.eardbd.flush_interval_s,
+                EventKind.EARDBD_FLUSH,
+            )
+
+    # -- accounting + control ------------------------------------------------
+
+    def _report_accounting(self, running: _Running, now: float) -> None:
+        start = running.start
+        result = running.result
+        cfg = start.config
+        for local, node in enumerate(result.nodes):
+            record = NodeJobRecord(
+                node_id=start.placement[local],
+                seconds=node.seconds if node.seconds > 0 else result.time_s,
+                dc_energy_j=node.dc_energy_j,
+                avg_cpu_freq_ghz=node.avg_cpu_freq_ghz,
+                avg_imc_freq_ghz=node.avg_imc_freq_ghz,
+            )
+            self.eardbd.submit(
+                NodeReport(
+                    job_id=start.job_id,
+                    workload=start.job.workload.name,
+                    policy=cfg.policy if cfg is not None else "none",
+                    cpu_policy_th=cfg.cpu_policy_th if cfg is not None else 0.0,
+                    unc_policy_th=cfg.unc_policy_th if cfg is not None else 0.0,
+                    node=record,
+                ),
+                time_s=now,
+            )
+
+    def _report_eargm(self, result: RunResult, now: float) -> None:
+        if self.eargm is None:
+            return
+        # wall-clock delta, not the job's own duration: concurrent jobs
+        # burn budget faster than serial ones, which is exactly the
+        # pace signal EARGM grades.
+        delta = max(0.0, now - self._last_eargm_report_s)
+        self._last_eargm_report_s = now
+        self.eargm.report(result.dc_energy_j, delta)
+        offset = self.eargm.recommended_max_pstate_offset()
+        if offset != self._last_offset:
+            self._cap_changes += 1
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "eargm",
+                    "cap",
+                    level=self.eargm.level().name,
+                    pstate_offset=offset,
+                    previous_offset=self._last_offset,
+                )
+            self._last_offset = offset
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule_pass(self) -> None:
+        now = self.clock.now
+        starters: list[_Starting] = []
+        while self._queue and len(self._free) >= self._queue[0].job.workload.n_nodes:
+            starters.append(self._claim(self._queue.popleft().job, backfilled=False))
+        if self._queue and self.config.backfill:
+            starters.extend(self._backfill_pass(now, starters))
+        if starters:
+            self._launch(starters, now)
+
+    def _backfill_pass(
+        self, now: float, already_started: list[_Starting]
+    ) -> list[_Starting]:
+        """Conservative backfill: reserve for every queued job in order;
+        start any whose earliest reservation is *now* (it then delays
+        nobody ahead of it by construction)."""
+        releases = [
+            (run.end_s, len(run.start.placement)) for run in self._running.values()
+        ]
+        # jobs started in this very pass have no measured duration yet;
+        # their walltime estimate stands in for the profile.
+        releases += [
+            (now + s.job.est_time_s, len(s.placement)) for s in already_started
+        ]
+        profile = _FreeProfile(now, len(self._free), releases)
+        started: list[_Starting] = []
+        remaining: deque[_Queued] = deque()
+        for queued in self._queue:
+            job = queued.job
+            need = job.workload.n_nodes
+            at = profile.earliest_fit(need, job.est_time_s)
+            profile.reserve(at, job.est_time_s, need)
+            if at <= now + 1e-12 and need <= len(self._free):
+                started.append(self._claim(job, backfilled=True))
+            else:
+                remaining.append(queued)
+        self._queue = remaining
+        return started
+
+    def _claim(self, job: TraceJob, *, backfilled: bool) -> _Starting:
+        need = job.workload.n_nodes
+        placement = tuple(sorted(self._free)[:need])
+        self._free.difference_update(placement)
+        if self.eargm is not None:
+            level = self.eargm.level()
+            offset = self.eargm.recommended_max_pstate_offset()
+        else:
+            level, offset = WarningLevel.OK, 0
+        cfg = self.config.ear_config
+        if cfg is not None:
+            cfg = replace(cfg, default_pstate_offset=offset)
+        return _Starting(
+            job=job,
+            job_id=self.accounting.new_job_id(),
+            placement=placement,
+            level=level,
+            offset=offset,
+            config=cfg,
+            backfilled=backfilled,
+        )
+
+    def _launch(self, starters: list[_Starting], now: float) -> None:
+        from ..experiments.parallel import RunRequest
+
+        requests = [
+            RunRequest(
+                workload=s.job.workload,
+                ear_config=s.config,
+                seed=s.job.seed,
+                fault_plan=self.config.fault_plan,
+            )
+            for s in starters
+        ]
+        results = self.pool.run_many(requests)
+        for start, result in zip(starters, results):
+            end = now + result.time_s
+            running = _Running(start=start, start_s=now, end_s=end, result=result)
+            self._running[start.job_id] = running
+            self._events.push(end, EventKind.JOB_FINISH, running)
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "cluster",
+                    "job_start",
+                    job_id=start.job_id,
+                    index=start.job.index,
+                    workload=start.job.workload.name,
+                    nodes=",".join(str(n) for n in start.placement),
+                    backfilled=start.backfilled,
+                    pstate_offset=start.offset,
+                )
+
+    # -- reporting -----------------------------------------------------------
+
+    def _report(self) -> ClusterReport:
+        outcomes = tuple(sorted(self._outcomes, key=lambda j: (j.start_s, j.index)))
+        makespan = self._makespan_s
+        busy = sum(j.run_s * j.n_nodes for j in outcomes)
+        waits = [j.wait_s for j in outcomes]
+        snapshot = self.telemetry.snapshot()
+        return ClusterReport(
+            n_nodes=self.config.n_nodes,
+            policy=(
+                self.config.ear_config.policy
+                if self.config.ear_config is not None
+                else "none"
+            ),
+            jobs=outcomes,
+            makespan_s=makespan,
+            total_energy_j=sum(j.dc_energy_j for j in outcomes),
+            utilisation=(
+                busy / (self.config.n_nodes * makespan) if makespan > 0 else 0.0
+            ),
+            mean_wait_s=sum(waits) / len(waits) if waits else 0.0,
+            max_wait_s=max(waits, default=0.0),
+            n_backfilled=sum(1 for j in outcomes if j.backfilled),
+            eardbd=self.eardbd.stats,
+            budget_j=self.config.eargm.budget_j if self.config.eargm else None,
+            consumed_j=self.eargm.consumed_j if self.eargm else None,
+            final_level=self.eargm.level() if self.eargm else None,
+            cap_changes=self._cap_changes,
+            telemetry=snapshot,
+        )

@@ -11,7 +11,9 @@ power, average frequencies, policy settings).
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+import os
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
 from typing import Iterable
 
 from ..errors import ExperimentError
@@ -76,6 +78,34 @@ class AccountingDB:
         if record.job_id in self._jobs:
             raise ExperimentError(f"duplicate job id {record.job_id}")
         self._jobs[record.job_id] = record
+        self._next_id = max(self._next_id, record.job_id + 1)
+
+    def upsert_nodes(self, record: JobRecord) -> None:
+        """Insert a job, or append node rows to an existing one.
+
+        This is the EARDBD ingestion path: a daemon tier may flush a
+        job's per-node reports across several batches, so the job row
+        has to grow node by node.  Job-level metadata must match the
+        stored record, and a node may only be reported once per job.
+        """
+        existing = self._jobs.get(record.job_id)
+        if existing is None:
+            self.insert(record)
+            return
+        for key in ("workload", "policy", "cpu_policy_th", "unc_policy_th"):
+            if getattr(existing, key) != getattr(record, key):
+                raise ExperimentError(
+                    f"job {record.job_id}: conflicting {key} in node report"
+                )
+        seen = {n.node_id for n in existing.nodes}
+        dup = seen.intersection(n.node_id for n in record.nodes)
+        if dup:
+            raise ExperimentError(
+                f"job {record.job_id}: node(s) {sorted(dup)} reported twice"
+            )
+        self._jobs[record.job_id] = replace(
+            existing, nodes=existing.nodes + record.nodes
+        )
 
     def new_job_id(self) -> int:
         jid = self._next_id
@@ -103,6 +133,10 @@ class AccountingDB:
         records = self._jobs.values() if records is None else records
         return sum(r.dc_energy_j for r in records)
 
+    def node_rows(self) -> int:
+        """Total per-node rows stored (the EARDBD reconciliation unit)."""
+        return sum(len(rec.nodes) for rec in self._jobs.values())
+
     def to_json(self) -> str:
         """Serialise the whole store (for report artefacts)."""
         return json.dumps(
@@ -114,7 +148,26 @@ class AccountingDB:
         db = cls()
         for item in json.loads(payload):
             nodes = tuple(NodeJobRecord(**n) for n in item.pop("nodes"))
-            rec = JobRecord(nodes=nodes, **item)
-            db.insert(rec)
-            db._next_id = max(db._next_id, rec.job_id + 1)
+            db.insert(JobRecord(nodes=nodes, **item))
         return db
+
+    def save(self, path: str | os.PathLike) -> Path:
+        """Write the store as JSON; the file ``eacct`` queries later."""
+        path = Path(path)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "AccountingDB":
+        """Reload a store previously written by :meth:`save`."""
+        path = Path(path)
+        try:
+            payload = path.read_text()
+        except FileNotFoundError:
+            raise ExperimentError(f"no accounting database at {path}") from None
+        try:
+            return cls.from_json(payload)
+        except (json.JSONDecodeError, TypeError, KeyError) as exc:
+            raise ExperimentError(f"corrupt accounting database {path}: {exc}") from None

@@ -10,21 +10,27 @@ database, and feeds consumption back to EARGM.
 
 This completes the three-service picture the paper opens with
 ("energy accounting, energy control and energy optimisation") in one
-executable component.
+executable component.  Execution goes through the shared
+:class:`~repro.experiments.parallel.ExperimentPool`, so a repeated
+campaign job (same workload, same cap, same seed) is a cache hit
+instead of a re-simulation — serial results are bit-identical to a
+direct :func:`~repro.sim.engine.run_workload` call because the pool's
+:class:`~repro.experiments.parallel.RunRequest` defaults match the
+engine's.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..sim.engine import run_workload
+from ..sim.faults import FaultPlan
 from ..sim.result import RunResult
 from ..workloads.app import Workload
 from .accounting import AccountingDB, JobRecord, NodeJobRecord
 from .config import EarConfig
 from .eargm import Eargm, WarningLevel
 
-__all__ = ["SubmittedJob", "ClusterManager"]
+__all__ = ["SubmittedJob", "ClusterManager", "node_job_records"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +42,25 @@ class SubmittedJob:
     level_before: WarningLevel
     pstate_offset_applied: int
     result: RunResult
+
+
+def node_job_records(result: RunResult) -> tuple[NodeJobRecord, ...]:
+    """Accounting rows for one run, with *per-node* durations.
+
+    Each node's row divides that node's energy by that node's own
+    elapsed seconds (``NodeResult.seconds``); results predating the
+    per-node clock (seconds == 0) fall back to the job wall time.
+    """
+    return tuple(
+        NodeJobRecord(
+            node_id=n.node_id,
+            seconds=n.seconds if n.seconds > 0 else result.time_s,
+            dc_energy_j=n.dc_energy_j,
+            avg_cpu_freq_ghz=n.avg_cpu_freq_ghz,
+            avg_imc_freq_ghz=n.avg_imc_freq_ghz,
+        )
+        for n in result.nodes
+    )
 
 
 class ClusterManager:
@@ -51,6 +76,10 @@ class ClusterManager:
     accounting:
         Shared accounting database (``eacct``); a fresh one is created
         if not supplied.
+    pool:
+        Experiment pool executing the jobs; defaults to the
+        process-default pool (cache-aware), so repeated campaign jobs
+        hit the run cache.
     """
 
     def __init__(
@@ -58,20 +87,47 @@ class ClusterManager:
         eargm: Eargm,
         base_config: EarConfig | None = None,
         accounting: AccountingDB | None = None,
+        *,
+        pool=None,
     ) -> None:
+        from ..experiments.parallel import default_pool
+
         self.eargm = eargm
         self.base_config = base_config if base_config is not None else EarConfig()
         self.accounting = accounting if accounting is not None else AccountingDB()
+        self.pool = pool if pool is not None else default_pool()
         self.history: list[SubmittedJob] = []
 
-    def submit(self, workload: Workload, *, seed: int = 1, **config_overrides) -> SubmittedJob:
+    def submit(
+        self,
+        workload: Workload,
+        *,
+        seed: int = 1,
+        scale: float = 1.0,
+        node_speed_spread: float = 0.0,
+        fault_plan: FaultPlan | None = None,
+        **config_overrides,
+    ) -> SubmittedJob:
         """Run one job with the current budget-derived frequency cap."""
+        from ..experiments.parallel import RunRequest
+
         level = self.eargm.level()
         offset = self.eargm.recommended_max_pstate_offset()
         cfg = self.base_config.with_overrides(
             default_pstate_offset=offset, **config_overrides
         )
-        result = run_workload(workload, ear_config=cfg, seed=seed)
+        (result,) = self.pool.run_many(
+            [
+                RunRequest(
+                    workload=workload,
+                    ear_config=cfg,
+                    seed=seed,
+                    scale=scale,
+                    node_speed_spread=node_speed_spread,
+                    fault_plan=fault_plan,
+                )
+            ]
+        )
 
         job_id = self.accounting.new_job_id()
         self.accounting.insert(
@@ -81,16 +137,7 @@ class ClusterManager:
                 policy=cfg.policy,
                 cpu_policy_th=cfg.cpu_policy_th,
                 unc_policy_th=cfg.unc_policy_th,
-                nodes=tuple(
-                    NodeJobRecord(
-                        node_id=n.node_id,
-                        seconds=result.time_s,
-                        dc_energy_j=n.dc_energy_j,
-                        avg_cpu_freq_ghz=n.avg_cpu_freq_ghz,
-                        avg_imc_freq_ghz=n.avg_imc_freq_ghz,
-                    )
-                    for n in result.nodes
-                ),
+                nodes=node_job_records(result),
             )
         )
         self.eargm.report(result.dc_energy_j, result.time_s)

@@ -69,7 +69,10 @@ __all__ = [
 #: plan, so v1 pickles no longer match the result layout.
 #: v3: NodeResult grew a telemetry snapshot and RunResult the hardware
 #: frequency ranges, so v2 pickles no longer match the result layout.
-CACHE_FORMAT_VERSION = 3
+#: v4: NodeResult grew per-node ``seconds`` (accounting divides a
+#: node's energy by its own elapsed time), so v3 pickles would restore
+#: with zero-length node durations.
+CACHE_FORMAT_VERSION = 4
 
 
 # -- content hashing ---------------------------------------------------------

@@ -250,6 +250,7 @@ class SimulationEngine:
                     node_id=node.node_id,
                     dc_energy_j=node.dc_meter.exact_joules,
                     pck_energy_j=node.pck_energy_j,
+                    seconds=node.elapsed_s,
                     avg_cpu_freq_ghz=node.average_cpu_freq_ghz(),
                     avg_imc_freq_ghz=node.average_imc_freq_ghz(),
                     cpi=snap.cpi if snap.instructions > 0 else 0.0,

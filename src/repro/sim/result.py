@@ -37,6 +37,11 @@ class NodeResult:
     pck_energy_j: float
     avg_cpu_freq_ghz: float
     avg_imc_freq_ghz: float
+    #: this node's own elapsed time (its simulated clock at job end).
+    #: Bulk-synchronous codes end every node at the job wall time, but
+    #: accounting divides *this node's* energy by *this node's* seconds,
+    #: so per-node power stays correct if the two ever diverge.
+    seconds: float = 0.0
     #: whole-run aggregate counters (the paper's per-kernel CPI / GB/s).
     cpi: float = 0.0
     gbs: float = 0.0

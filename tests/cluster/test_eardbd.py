@@ -1,0 +1,137 @@
+"""EARDBD aggregation tier: batching, bounded buffer, reconciliation."""
+
+import pytest
+
+from repro.cluster.eardbd import Eardbd, EardbdConfig, NodeReport
+from repro.ear.accounting import AccountingDB, NodeJobRecord
+from repro.errors import ConfigError, ExperimentError
+from repro.telemetry.recorder import EventRecorder
+
+
+def report(job_id: int, node_id: int, *, policy: str = "min_energy") -> NodeReport:
+    return NodeReport(
+        job_id=job_id,
+        workload="synt",
+        policy=policy,
+        cpu_policy_th=0.1,
+        unc_policy_th=0.05,
+        node=NodeJobRecord(
+            node_id=node_id,
+            seconds=10.0,
+            dc_energy_j=3000.0,
+            avg_cpu_freq_ghz=2.4,
+            avg_imc_freq_ghz=2.0,
+        ),
+    )
+
+
+class TestBatching:
+    def test_reports_buffer_until_flush(self):
+        db = AccountingDB()
+        daemon = Eardbd(db)
+        assert daemon.submit(report(1, 0), time_s=1.0)
+        assert daemon.submit(report(1, 1), time_s=2.0)
+        assert db.node_rows() == 0 and daemon.pending == 2
+        assert daemon.flush(time_s=30.0) == 2
+        assert db.node_rows() == 2 and daemon.pending == 0
+
+    def test_job_grows_across_flushes(self):
+        db = AccountingDB()
+        daemon = Eardbd(db)
+        daemon.submit(report(1, 0), time_s=1.0)
+        daemon.flush(time_s=30.0)
+        daemon.submit(report(1, 1), time_s=31.0)
+        daemon.flush(time_s=60.0)
+        rec = db.job(1)
+        assert [n.node_id for n in rec.nodes] == [0, 1]
+        assert rec.dc_energy_j == pytest.approx(6000.0)
+
+    def test_flush_on_empty_buffer_is_fine(self):
+        daemon = Eardbd(AccountingDB())
+        assert daemon.flush(time_s=30.0) == 0
+        assert daemon.stats.flushes == 1
+
+
+class TestBoundedBuffer:
+    def test_overflow_drops_and_counts(self):
+        db = AccountingDB()
+        daemon = Eardbd(db, EardbdConfig(buffer_limit=2))
+        assert daemon.submit(report(1, 0), time_s=0.0)
+        assert daemon.submit(report(1, 1), time_s=0.0)
+        assert not daemon.submit(report(1, 2), time_s=0.0)
+        assert daemon.stats.dropped == 1 and daemon.pending == 2
+        daemon.flush(time_s=30.0)
+        # the drop is permanent: the DB has only the two buffered rows
+        assert db.node_rows() == 2
+
+    def test_flush_frees_space(self):
+        daemon = Eardbd(AccountingDB(), EardbdConfig(buffer_limit=1))
+        daemon.submit(report(1, 0), time_s=0.0)
+        daemon.flush(time_s=30.0)
+        assert daemon.submit(report(1, 1), time_s=31.0)
+        assert daemon.stats.dropped == 0
+
+    def test_drop_emits_telemetry(self):
+        recorder = EventRecorder(node=-1)
+        daemon = Eardbd(
+            AccountingDB(), EardbdConfig(buffer_limit=1), telemetry=recorder
+        )
+        daemon.submit(report(1, 0), time_s=0.0)
+        daemon.submit(report(1, 1), time_s=5.0)
+        drops = [e for e in recorder.events if e.kind == "drop"]
+        assert len(drops) == 1
+        assert drops[0].subsystem == "eardbd"
+        assert drops[0].payload_dict["node_id"] == 1
+
+    def test_flush_emits_telemetry(self):
+        recorder = EventRecorder(node=-1)
+        daemon = Eardbd(AccountingDB(), telemetry=recorder)
+        daemon.submit(report(1, 0), time_s=0.0)
+        daemon.flush(time_s=30.0)
+        flushes = [e for e in recorder.events if e.kind == "flush"]
+        assert len(flushes) == 1
+        assert flushes[0].payload_dict["rows"] == 1
+
+
+class TestReconciliation:
+    def test_conservation_law_holds_throughout(self):
+        db = AccountingDB()
+        daemon = Eardbd(db, EardbdConfig(buffer_limit=3))
+        for node_id in range(5):
+            daemon.submit(report(1, node_id), time_s=float(node_id))
+            assert daemon.stats.reconciles_with(db, pending=daemon.pending)
+        daemon.flush(time_s=30.0)
+        assert daemon.stats.reconciles_with(db)
+        assert daemon.stats.received == 5
+        assert daemon.stats.forwarded == 3
+        assert daemon.stats.dropped == 2
+
+    def test_reconciliation_detects_foreign_writes(self):
+        db = AccountingDB()
+        daemon = Eardbd(db)
+        daemon.submit(report(1, 0), time_s=0.0)
+        daemon.flush(time_s=30.0)
+        db.upsert_nodes(report(2, 0).job_record())  # not via the daemon
+        assert not daemon.stats.reconciles_with(db)
+
+
+class TestValidation:
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigError):
+            EardbdConfig(flush_interval_s=0.0)
+        with pytest.raises(ConfigError):
+            EardbdConfig(buffer_limit=0)
+
+    def test_conflicting_metadata_rejected_at_flush(self):
+        daemon = Eardbd(AccountingDB())
+        daemon.submit(report(1, 0, policy="min_energy"), time_s=0.0)
+        daemon.submit(report(1, 1, policy="min_time"), time_s=0.0)
+        with pytest.raises(ExperimentError, match="conflicting policy"):
+            daemon.flush(time_s=30.0)
+
+    def test_duplicate_node_rejected_at_flush(self):
+        daemon = Eardbd(AccountingDB())
+        daemon.submit(report(1, 0), time_s=0.0)
+        daemon.submit(report(1, 0), time_s=1.0)
+        with pytest.raises(ExperimentError, match="reported twice"):
+            daemon.flush(time_s=30.0)

@@ -1,0 +1,72 @@
+"""Discrete-event core: ordering, tie-breaking, clock monotonicity."""
+
+import pytest
+
+from repro.cluster.events import Event, EventKind, EventQueue, SimClock
+from repro.errors import ExperimentError
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.JOB_ARRIVAL, "b")
+        q.push(1.0, EventKind.JOB_ARRIVAL, "a")
+        q.push(9.0, EventKind.JOB_ARRIVAL, "c")
+        assert [q.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+    def test_same_time_kind_priority(self):
+        """Completions free nodes before arrivals see them; flushes run
+        last so they ship the reports of same-instant completions."""
+        q = EventQueue()
+        q.push(2.0, EventKind.EARDBD_FLUSH)
+        q.push(2.0, EventKind.JOB_ARRIVAL, "arrive")
+        q.push(2.0, EventKind.JOB_FINISH, "finish")
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == [
+            EventKind.JOB_FINISH,
+            EventKind.JOB_ARRIVAL,
+            EventKind.EARDBD_FLUSH,
+        ]
+
+    def test_same_time_same_kind_insertion_order(self):
+        q = EventQueue()
+        for name in ("first", "second", "third"):
+            q.push(1.0, EventKind.JOB_ARRIVAL, name)
+        assert [q.pop().payload for _ in range(3)] == ["first", "second", "third"]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ExperimentError):
+            EventQueue().push(-1.0, EventKind.JOB_ARRIVAL)
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(0.0, EventKind.JOB_ARRIVAL)
+        assert q and len(q) == 1
+
+    def test_push_returns_event(self):
+        event = EventQueue().push(3.0, EventKind.JOB_FINISH, "x")
+        assert event == Event(3.0, EventKind.JOB_FINISH, "x")
+
+
+class TestSimClock:
+    def test_advances(self):
+        clock = SimClock()
+        clock.advance(4.5)
+        assert clock.now == 4.5
+
+    def test_refuses_to_run_backwards(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        with pytest.raises(ExperimentError):
+            clock.advance(9.0)
+
+    def test_same_instant_is_fine(self):
+        clock = SimClock()
+        clock.advance(3.0)
+        clock.advance(3.0)
+        assert clock.now == 3.0

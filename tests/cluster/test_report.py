@@ -1,0 +1,109 @@
+"""Cluster campaign comparison: the paper's claim at cluster scale."""
+
+import pytest
+
+from repro.cluster.report import (
+    compare_cluster_policies,
+    render_cluster_report,
+    render_comparison,
+)
+from repro.cluster.scheduler import ClusterConfig
+from repro.cluster.traces import TraceConfig, generate_trace
+from repro.ear.eargm import EargmConfig
+from repro.experiments.parallel import ExperimentPool, RunCache
+from repro.experiments.runner import standard_configs
+
+
+@pytest.fixture(scope="module")
+def campaigns():
+    """One 10-job trace replayed under none / me / me_eufs.
+
+    Module-scoped: the comparison is the expensive part of this file
+    and every test below reads from it.
+    """
+    trace = generate_trace(TraceConfig(n_jobs=10, seed=0, scale=0.5))
+    return compare_cluster_policies(
+        trace,
+        ClusterConfig(n_nodes=6, telemetry=True),
+        standard_configs(),
+        pool=ExperimentPool(jobs=1, cache=RunCache()),
+    )
+
+
+class TestAcceptanceDemo:
+    def test_me_eufs_beats_monitoring_on_cluster_energy(self, campaigns):
+        saving = campaigns["me_eufs"].energy_saving_vs(campaigns["none"])
+        assert saving > 0.0, "min_energy + eUFS must save cluster energy"
+
+    def test_me_eufs_beats_plain_me(self, campaigns):
+        assert (
+            campaigns["me_eufs"].report.total_energy_j
+            < campaigns["me"].report.total_energy_j
+        )
+
+    def test_makespan_penalty_bounded(self, campaigns):
+        penalty = campaigns["me_eufs"].makespan_penalty_vs(campaigns["none"])
+        assert penalty < 0.10, f"makespan penalty {penalty:.1%} exceeds 10%"
+
+    def test_every_campaign_saw_the_same_trace(self, campaigns):
+        submits = {
+            name: tuple(j.submit_s for j in c.report.jobs)
+            for name, c in campaigns.items()
+        }
+        assert len(set(submits.values())) == 1
+
+    def test_accounting_kept_per_campaign(self, campaigns):
+        for name, campaign in campaigns.items():
+            assert campaign.accounting.node_rows() > 0
+            assert campaign.report.eardbd.reconciles_with(campaign.accounting)
+            expected = "none" if name == "none" else "min_energy"
+            assert {r.policy for r in campaign.accounting.jobs()} == {expected}
+
+
+class TestSavingsArithmetic:
+    def test_saving_vs_self_is_zero(self, campaigns):
+        none = campaigns["none"]
+        assert none.energy_saving_vs(none) == pytest.approx(0.0)
+        assert none.makespan_penalty_vs(none) == pytest.approx(0.0)
+
+
+class TestRendering:
+    def test_report_renders_summary_and_jobs(self, campaigns):
+        text = render_cluster_report(campaigns["me_eufs"].report)
+        assert "cluster campaign" in text
+        assert "min_energy" in text
+        assert "jobs (in start order)" in text
+
+    def test_summary_only(self, campaigns):
+        text = render_cluster_report(campaigns["me_eufs"].report, jobs=False)
+        assert "jobs (in start order)" not in text
+
+    def test_budget_line_present_when_budgeted(self):
+        trace = generate_trace(TraceConfig(n_jobs=3, seed=1, scale=0.2))
+        campaigns = compare_cluster_policies(
+            trace,
+            ClusterConfig(
+                n_nodes=4, eargm=EargmConfig(budget_j=1e9, horizon_s=1e5)
+            ),
+            {"none": None},
+            pool=ExperimentPool(jobs=1, cache=RunCache()),
+        )
+        assert "budget" in render_cluster_report(campaigns["none"].report)
+
+    def test_comparison_table(self, campaigns):
+        text = render_comparison(campaigns)
+        for name in campaigns:
+            assert name in text
+        assert "saving" in text and "penalty" in text
+
+    def test_comparison_needs_the_reference(self, campaigns):
+        with pytest.raises(ValueError, match="reference campaign"):
+            render_comparison(campaigns, reference="missing")
+
+    def test_to_dict_round_trips_through_json(self, campaigns):
+        import json
+
+        payload = json.dumps(campaigns["me_eufs"].report.to_dict())
+        back = json.loads(payload)
+        assert back["policy"] == "min_energy"
+        assert len(back["jobs"]) == campaigns["me_eufs"].report.n_jobs

@@ -92,3 +92,86 @@ class TestDatabase:
         assert restored.total_energy_j() == pytest.approx(db.total_energy_j())
         # id allocation continues after the highest restored id
         assert restored.new_job_id() == 8
+
+    def test_node_rows(self):
+        db = AccountingDB()
+        assert db.node_rows() == 0
+        db.insert(record(job_id=1, n_nodes=2))
+        db.insert(record(job_id=2, n_nodes=3))
+        assert db.node_rows() == 5
+
+
+class TestUpsertNodes:
+    def one_node(self, job_id, node_id):
+        rec = record(job_id=job_id, n_nodes=1)
+        node = NodeJobRecord(
+            node_id=node_id,
+            seconds=50.0,
+            dc_energy_j=11000.0,
+            avg_cpu_freq_ghz=2.3,
+            avg_imc_freq_ghz=2.0,
+        )
+        return JobRecord(
+            job_id=rec.job_id,
+            workload=rec.workload,
+            policy=rec.policy,
+            cpu_policy_th=rec.cpu_policy_th,
+            unc_policy_th=rec.unc_policy_th,
+            nodes=(node,),
+        )
+
+    def test_first_report_inserts(self):
+        db = AccountingDB()
+        db.upsert_nodes(self.one_node(1, 0))
+        assert db.job(1).nodes[0].node_id == 0
+        assert db.new_job_id() == 2
+
+    def test_later_reports_grow_the_job(self):
+        db = AccountingDB()
+        db.upsert_nodes(self.one_node(1, 0))
+        db.upsert_nodes(self.one_node(1, 3))
+        rec = db.job(1)
+        assert [n.node_id for n in rec.nodes] == [0, 3]
+        assert rec.dc_energy_j == pytest.approx(22000.0)
+        assert db.node_rows() == 2
+
+    def test_conflicting_metadata_rejected(self):
+        db = AccountingDB()
+        db.upsert_nodes(self.one_node(1, 0))
+        from dataclasses import replace
+
+        bad = replace(self.one_node(1, 1), policy="min_time")
+        with pytest.raises(ExperimentError, match="conflicting policy"):
+            db.upsert_nodes(bad)
+
+    def test_same_node_twice_rejected(self):
+        db = AccountingDB()
+        db.upsert_nodes(self.one_node(1, 0))
+        with pytest.raises(ExperimentError, match="reported twice"):
+            db.upsert_nodes(self.one_node(1, 0))
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        db = AccountingDB()
+        db.insert(record(job_id=1))
+        db.insert(record(job_id=4, workload="POP", policy="monitoring"))
+        path = db.save(tmp_path / "eacct.json")
+        restored = AccountingDB.load(path)
+        assert restored.to_json() == db.to_json()
+        assert restored.node_rows() == db.node_rows()
+        assert [r.job_id for r in restored.jobs(policy="monitoring")] == [4]
+
+    def test_save_creates_parent_dirs(self, tmp_path):
+        path = AccountingDB().save(tmp_path / "deep" / "dir" / "eacct.json")
+        assert path.exists()
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError, match="no accounting database"):
+            AccountingDB.load(tmp_path / "absent.json")
+
+    def test_load_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ExperimentError, match="corrupt"):
+            AccountingDB.load(path)

@@ -1,15 +1,23 @@
 """ClusterManager: the EARGM actuation loop."""
 
+from dataclasses import asdict
+
 import pytest
 
 from repro.ear.config import EarConfig
 from repro.ear.eargm import Eargm, EargmConfig, WarningLevel
 from repro.ear.manager import ClusterManager
+from repro.experiments.parallel import ExperimentPool, RunCache
+from repro.hw.node import SD530
+from repro.sim.engine import run_workload
+from repro.workloads.generator import synthetic_workload
 from repro.workloads.kernels import bt_mz_c_openmp
 
 
-def make_manager(budget_j=1e9, horizon_s=1e4) -> ClusterManager:
-    return ClusterManager(Eargm(EargmConfig(budget_j=budget_j, horizon_s=horizon_s)))
+def make_manager(budget_j=1e9, horizon_s=1e4, **kwargs) -> ClusterManager:
+    return ClusterManager(
+        Eargm(EargmConfig(budget_j=budget_j, horizon_s=horizon_s)), **kwargs
+    )
 
 
 def small_job():
@@ -80,3 +88,159 @@ class TestActuation:
         assert job.result.policy == "min_energy"
         # no explicit UFS: the uncore ceiling was never constrained
         assert job.result.avg_imc_freq_ghz > 2.3
+
+
+class TestPoolRouting:
+    """Satellite: submission goes through the ExperimentPool without
+    changing a single bit of the serial result."""
+
+    def test_pooled_submit_bit_identical_to_direct_run(self):
+        pool = ExperimentPool(jobs=1, cache=RunCache())
+        mgr = make_manager(pool=pool)
+        job = mgr.submit(small_job(), seed=11)
+        direct = run_workload(small_job(), ear_config=EarConfig(), seed=11)
+        assert asdict(job.result) == asdict(direct)
+
+    def test_repeat_submit_hits_the_run_cache(self):
+        cache = RunCache()
+        pool = ExperimentPool(jobs=1, cache=cache)
+        mgr = make_manager(pool=pool)
+        first = mgr.submit(small_job(), seed=3)
+        assert pool.stats.simulations == 1
+        second = mgr.submit(small_job(), seed=3)
+        assert pool.stats.simulations == 1  # second run never simulated
+        assert cache.stats.hits >= 1
+        assert asdict(first.result) == asdict(second.result)
+        # distinct accounting rows nonetheless: two submissions, two jobs
+        assert len(mgr.accounting.jobs()) == 2
+
+    def test_changed_cap_is_a_different_cache_key(self):
+        pool = ExperimentPool(jobs=1, cache=RunCache())
+        tight = make_manager(budget_j=1e4, horizon_s=500.0, pool=pool)
+        tight.submit(small_job(), seed=5)  # exhausts the budget, offset 0
+        assert pool.stats.simulations == 1
+        tight.submit(small_job(), seed=5)  # same seed, now capped: re-run
+        assert pool.stats.simulations == 2
+
+
+class TestHeterogeneousNodes:
+    """Satellite: accounting rows carry per-node durations, not the
+    job wall time copied N times."""
+
+    def wide_job(self):
+        return synthetic_workload(
+            name="hetero",
+            node_config=SD530,
+            core_share=0.7,
+            unc_share=0.1,
+            mem_share=0.15,
+            n_nodes=3,
+            n_iterations=40,
+        )
+
+    def test_node_rows_use_per_node_clocks(self):
+        mgr = make_manager()
+        job = mgr.submit(self.wide_job(), seed=2, node_speed_spread=0.25)
+        rec = mgr.accounting.job(job.job_id)
+        assert len(rec.nodes) == 3
+        for row, node in zip(rec.nodes, job.result.nodes):
+            assert node.seconds > 0
+            assert row.seconds == pytest.approx(node.seconds)
+            assert row.avg_dc_power_w == pytest.approx(
+                node.dc_energy_j / node.seconds
+            )
+
+    def test_spread_differentiates_node_energy(self):
+        mgr = make_manager()
+        job = mgr.submit(self.wide_job(), seed=2, node_speed_spread=0.25)
+        energies = [n.dc_energy_j for n in job.result.nodes]
+        assert len(set(energies)) > 1
+
+    def test_job_seconds_is_slowest_node(self):
+        mgr = make_manager()
+        job = mgr.submit(self.wide_job(), seed=2, node_speed_spread=0.25)
+        rec = mgr.accounting.job(job.job_id)
+        assert rec.seconds == pytest.approx(max(n.seconds for n in rec.nodes))
+
+
+class TestLongHorizonWalk:
+    """Satellite: a campaign that walks every warning level.
+
+    OK -> WARNING1 -> WARNING2 -> (recovery) OK -> PANIC, asserting at
+    each step that the recommended cap reaches the next job's
+    configuration and is released after recovery.
+    """
+
+    def probe_job(self):
+        return synthetic_workload(
+            name="walk",
+            node_config=SD530,
+            core_share=0.8,
+            unc_share=0.08,
+            mem_share=0.1,
+            n_iterations=60,
+        )
+
+    @staticmethod
+    def idle_until_ratio(eargm, target: float) -> None:
+        """Report zero-energy time until pace ratio drops to ``target``."""
+        cfg = eargm.config
+        t_target = eargm.consumed_j * cfg.horizon_s / (cfg.budget_j * target)
+        idle = t_target - eargm.elapsed_s
+        assert idle > 0, "can only steer the pace ratio down with idle time"
+        eargm.report(0.0, idle)
+
+    def test_walks_all_levels_with_cap_propagation(self):
+        wl = self.probe_job()
+        probe = run_workload(wl, ear_config=EarConfig(), seed=1)
+        energy, horizon = probe.dc_energy_j, 40.0 * probe.time_s
+        pool = ExperimentPool(jobs=1, cache=RunCache())
+        mgr = ClusterManager(
+            Eargm(EargmConfig(budget_j=6.0 * energy, horizon_s=horizon)),
+            pool=pool,
+        )
+        eargm = mgr.eargm
+
+        j1 = mgr.submit(wl, seed=1)
+        assert j1.level_before is WarningLevel.OK
+        assert j1.pstate_offset_applied == 0
+
+        self.idle_until_ratio(eargm, 0.5)
+        j2 = mgr.submit(wl, seed=1)
+        assert j2.level_before is WarningLevel.OK
+
+        self.idle_until_ratio(eargm, 0.90)
+        j3 = mgr.submit(wl, seed=1)
+        assert j3.level_before is WarningLevel.WARNING1
+        assert j3.pstate_offset_applied == 1
+
+        # j3's own consumption pushes the pace past warning2 (but the
+        # absolute budget is still healthy: no panic).
+        j4 = mgr.submit(wl, seed=1)
+        assert j4.level_before is WarningLevel.WARNING2
+        assert j4.pstate_offset_applied == 2
+        # the cap reached the hardware, graded: j4 slower than j3 slower
+        # than the uncapped j1
+        assert j3.result.avg_cpu_freq_ghz < j1.result.avg_cpu_freq_ghz
+        assert j4.result.avg_cpu_freq_ghz < j3.result.avg_cpu_freq_ghz
+
+        # recovery: a long idle stretch drops the pace back to OK and
+        # the default cap is released
+        self.idle_until_ratio(eargm, 0.5)
+        j5 = mgr.submit(wl, seed=1)
+        assert j5.level_before is WarningLevel.OK
+        assert j5.pstate_offset_applied == 0
+
+        # keep the campaign going until the absolute budget is gone
+        last = j5
+        for _ in range(15):
+            if eargm.level() is WarningLevel.PANIC:
+                break
+            last = mgr.submit(wl, seed=1)
+        else:
+            pytest.fail("budget never exhausted")
+        assert eargm.consumed_j > eargm.config.budget_j
+        panicked = mgr.submit(wl, seed=1)
+        assert panicked.level_before is WarningLevel.PANIC
+        assert panicked.pstate_offset_applied == 3
+        assert last.job_id < panicked.job_id

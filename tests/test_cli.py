@@ -114,6 +114,106 @@ class TestTimelineAndCampaign:
         assert "WARNING" in out or "PANIC" in out
 
 
+class TestCluster:
+    SMALL = ["cluster", "--n-jobs", "4", "--nodes", "4", "--scale", "0.2"]
+
+    def test_single_policy_campaign(self, capsys):
+        assert main(self.SMALL + ["-p", "me_eufs"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster campaign" in out
+        assert "min_energy" in out
+        assert "eardbd rows" in out
+
+    def test_compare_renders_all_policies(self, capsys):
+        assert main(self.SMALL + ["--summary"]) == 0
+        out = capsys.readouterr().out
+        for name in ("none", "me", "me_eufs"):
+            assert name in out
+        assert "saving" in out and "penalty" in out
+
+    def test_budget_line_with_eargm(self, capsys):
+        assert main(self.SMALL + ["-p", "none", "--budget-mj", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "budget" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "cluster.json"
+        assert main(self.SMALL + ["-p", "me_eufs", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["me_eufs"]["n_jobs"] == 4
+        assert len(payload["me_eufs"]["jobs"]) == 4
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.SMALL + ["-p", "warp_speed"])
+
+
+class TestEacct:
+    def write_db(self, tmp_path, capsys):
+        path = tmp_path / "eacct.json"
+        assert (
+            main(
+                [
+                    "cluster",
+                    "--n-jobs",
+                    "4",
+                    "--nodes",
+                    "4",
+                    "--scale",
+                    "0.2",
+                    "-p",
+                    "me_eufs",
+                    "--summary",
+                    "--accounting",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()  # discard the campaign rendering
+        return path
+
+    def test_lists_all_jobs(self, tmp_path, capsys):
+        db = self.write_db(tmp_path, capsys)
+        assert main(["eacct", "--db", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "4 job(s)" in out
+        assert "min_energy" in out
+
+    def test_job_filter(self, tmp_path, capsys):
+        db = self.write_db(tmp_path, capsys)
+        assert main(["eacct", "--db", str(db), "--job", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 job(s)" in out
+
+    def test_policy_filter_empty(self, tmp_path, capsys):
+        db = self.write_db(tmp_path, capsys)
+        assert main(["eacct", "--db", str(db), "--policy", "min_time"]) == 0
+        out = capsys.readouterr().out
+        assert "0 job(s)" in out
+
+    def test_json_round_trips_through_accounting_db(self, tmp_path, capsys):
+        import json
+
+        from repro.ear.accounting import AccountingDB
+
+        db_path = self.write_db(tmp_path, capsys)
+        assert main(["eacct", "--db", str(db_path), "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 4
+        # the export is exactly what AccountingDB.load sees
+        reloaded = AccountingDB.load(db_path)
+        assert json.loads(reloaded.to_json()) == records
+
+    def test_missing_db_fails_cleanly(self, tmp_path):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError, match="no accounting database"):
+            main(["eacct", "--db", str(tmp_path / "absent.json")])
+
+
 class TestExecutionFlags:
     def test_jobs_flag_parallel_run(self, capsys):
         assert main(["--jobs", "2", "run", "-w", "BT-MZ.C", "--scale", "0.2"]) == 0
