@@ -8,12 +8,18 @@ Subcommands::
     repro-ear figure 4                  # regenerate a paper figure
     repro-ear sweep -w BT-MZ.C.mpi      # fixed-uncore motivation sweep
     repro-ear resilience -w BT-MZ.C     # fault-intensity robustness sweep
+    repro-ear timeline -w BT-MZ.C       # ASCII frequency timeline of one run
     repro-ear telemetry -w BT-MZ.C      # event timelines from a telemetry run
+    repro-ear learn --validate          # coefficient learning phase (grid -> fit -> save)
+    repro-ear campaign --budget-mj 14   # application list under EARGM budget control
     repro-ear cluster --n-jobs 12       # cluster campaign: scheduler + EARDBD + EARGM
     repro-ear eacct --db accounting.json  # query an exported accounting DB
+    repro-ear export 3 -o t3.csv        # export a paper table as CSV
 
-Everything prints the same ASCII artefacts the benchmark harness
-produces.
+The full reference lives in ``docs/CLI.md``, generated from the same
+argparse tree by ``repro-ear --dump-docs`` (so it can never drift from
+the implementation).  Everything prints the same ASCII artefacts the
+benchmark harness produces.
 """
 
 from __future__ import annotations
@@ -49,7 +55,7 @@ from .experiments.runner import compare, standard_configs
 from .workloads.applications import mpi_applications
 from .workloads.kernels import bt_mz_c_mpi, lu_d_mpi, single_node_kernels
 
-__all__ = ["main"]
+__all__ = ["main", "build_parser", "dump_docs"]
 
 
 def _all_workloads():
@@ -82,7 +88,9 @@ def _cmd_list(_args) -> int:
 def _cmd_run(args) -> int:
     wl = _find_workload(args.workload)
     configs = standard_configs(
-        cpu_policy_th=args.cpu_th, unc_policy_th=args.unc_th
+        cpu_policy_th=args.cpu_th,
+        unc_policy_th=args.unc_th,
+        coefficients_path=args.coefficients,
     )
     if args.policy != "all":
         if args.policy not in configs:
@@ -607,6 +615,85 @@ def _cmd_resilience(args) -> int:
     return 0
 
 
+def _cmd_learn(args) -> int:
+    import dataclasses
+    import json
+
+    from .ear.models import DEFAULT_COEFFICIENTS_DIR
+    from .errors import LearningError
+    from .hw.node import BROADWELL_NODE, GPU_NODE, SD530
+    from .learning import LearningCampaign, LearningGrid, default_kernels
+    from .telemetry.recorder import EventRecorder
+
+    node = {"sd530": SD530, "gpu": GPU_NODE, "broadwell": BROADWELL_NODE}[
+        args.node_type
+    ]
+    grid = (
+        LearningGrid.full(node) if args.grid == "full" else LearningGrid.coarse(node)
+    )
+    if args.scale is not None:
+        grid = dataclasses.replace(grid, scale=args.scale)
+    recorder = EventRecorder(node=-1)
+    try:
+        kernels = None
+        if args.kernels:
+            battery = default_kernels(node)
+            wanted = [k.strip() for k in args.kernels.split(",") if k.strip()]
+            by_name = {w.name.lower(): w for w in battery}
+            unknown = [k for k in wanted if k.lower() not in by_name]
+            if unknown:
+                raise SystemExit(
+                    f"unknown kernel(s) {', '.join(unknown)}; battery: "
+                    f"{', '.join(w.name for w in battery)}"
+                )
+            kernels = tuple(by_name[k.lower()] for k in wanted)
+        campaign = LearningCampaign(
+            node, kernels=kernels, grid=grid, recorder=recorder
+        )
+        out_dir = None if args.out == "none" else (args.out or DEFAULT_COEFFICIENTS_DIR)
+        print(
+            f"learning {node.name}: {len(campaign.kernels)} kernel(s) x "
+            f"{campaign.grid.runs_per_kernel} grid runs each "
+            f"(grid={args.grid}, scale={campaign.grid.scale})"
+        )
+        table, report = campaign.run(
+            out_dir=out_dir, validate=args.validate, threshold=args.threshold
+        )
+    except LearningError as exc:
+        raise SystemExit(f"learning failed: {exc}")
+    quality = table.quality
+    print(
+        f"fitted {len(table)} P-state pairs from {quality.n_observations} "
+        f"observations ({', '.join(quality.kernels)})"
+    )
+    print(
+        f"  min R^2: CPI {quality.min_r2_cpi:.4f}, power {quality.min_r2_power:.4f}"
+    )
+    print(
+        f"  worst training error: time {quality.max_rel_time_err:.1%}, "
+        f"power {quality.max_rel_power_err:.1%}"
+    )
+    if quality.avx512_licence_ghz is not None:
+        print(f"  measured AVX-512 licence frequency: {quality.avx512_licence_ghz:.1f} GHz")
+    if report is not None:
+        print(report.summary())
+    if out_dir is not None:
+        from .ear.models import coefficients_file
+
+        print(f"saved to {coefficients_file(out_dir, node.name)}")
+        print(
+            "use it with EarConfig(coefficients_path=...) or delete the file "
+            "to return to the analytic fallback"
+        )
+    if args.jsonl:
+        path = pathlib.Path(args.jsonl)
+        path.write_text(
+            "".join(json.dumps(e.to_dict(), sort_keys=True) + "\n" for e in recorder.events)
+        )
+        print(f"wrote {len(recorder.events)} learning events to {path}")
+    return 0
+
+
 def _default_cache_dir() -> pathlib.Path:
     """Persistent run-cache location: ``$REPRO_CACHE_DIR`` or ``results/.cache``."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -624,7 +711,14 @@ def _configure_execution(args) -> None:
     )
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The complete ``repro-ear`` argparse tree.
+
+    Shared by :func:`main`, the docs generator (:func:`dump_docs`) and
+    the docs-consistency checker (:mod:`repro.docscheck`), so the CLI,
+    its reference documentation and the commands quoted in prose can
+    never drift apart silently.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-ear",
         description="EAR explicit-UFS reproduction (CLUSTER 2021) on a simulated Skylake cluster",
@@ -653,6 +747,12 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--cpu-th", type=float, default=0.05, dest="cpu_th")
     p_run.add_argument("--unc-th", type=float, default=0.02, dest="unc_th")
     p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.add_argument(
+        "--coefficients",
+        default=None,
+        help="fitted coefficient table (file) or directory of per-node-type "
+        "tables; default: the analytic coefficients (see docs/MODELS.md)",
+    )
     p_run.set_defaults(fn=_cmd_run)
 
     p_table = sub.add_parser("table", help="regenerate a paper table (1-7)")
@@ -827,7 +927,156 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("--scale", type=float, default=1.0)
     p_exp.set_defaults(fn=_cmd_export)
 
-    args = parser.parse_args(argv)
+    p_learn = sub.add_parser(
+        "learn",
+        help="coefficient learning phase: grid runs -> least-squares fit "
+        "-> held-out validation -> save",
+    )
+    p_learn.add_argument(
+        "--node-type",
+        default="sd530",
+        choices=["sd530", "gpu", "broadwell"],
+        dest="node_type",
+        help="node type to fit coefficients for (default sd530)",
+    )
+    p_learn.add_argument(
+        "--grid",
+        default="full",
+        choices=["full", "coarse"],
+        help="measurement grid: full (3 uncore points) or coarse "
+        "(endpoints only, ~3x cheaper); both cover every P-state",
+    )
+    p_learn.add_argument(
+        "--kernels",
+        default=None,
+        help="comma-separated subset of the training battery "
+        "(default: the whole battery for the node type)",
+    )
+    p_learn.add_argument(
+        "--out",
+        default=None,
+        help="coefficients directory (default results/coefficients; "
+        "'none' fits without saving)",
+    )
+    p_learn.add_argument(
+        "--validate",
+        action="store_true",
+        help="replay held-out workloads and refuse to save a table whose "
+        "projection error exceeds the threshold",
+    )
+    p_learn.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="maximum held-out relative projection error (default 0.20)",
+    )
+    p_learn.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="override the grid's workload scale",
+    )
+    p_learn.add_argument(
+        "--jsonl", default=None, help="write the learning telemetry events as JSONL"
+    )
+    p_learn.set_defaults(fn=_cmd_learn)
+
+    return parser
+
+
+def _escape_cell(text: str) -> str:
+    """Make a help string safe inside a one-line markdown table cell."""
+    return " ".join(text.split()).replace("|", "\\|")
+
+
+def _invocation(action: argparse.Action) -> str:
+    """Render one argument the way a user would type it."""
+    if not action.option_strings:
+        return str(action.metavar or action.dest)
+    forms = ", ".join(action.option_strings)
+    if action.nargs == 0:
+        return forms
+    metavar = action.metavar or action.dest.upper()
+    return f"{forms} {metavar}"
+
+
+def _default_cell(action: argparse.Action) -> str:
+    if action.required:
+        return "required"
+    if isinstance(action, (argparse._StoreTrueAction, argparse._StoreFalseAction)):
+        return "off" if action.default is False else "on"
+    if action.default is None or action.default is argparse.SUPPRESS:
+        return "—"
+    return f"`{action.default}`"
+
+
+def _argument_table(actions: list[argparse.Action]) -> list[str]:
+    rows = [
+        a
+        for a in actions
+        if not isinstance(a, (argparse._HelpAction, argparse._SubParsersAction))
+    ]
+    if not rows:
+        return ["(no arguments)", ""]
+    lines = ["| argument | default | description |", "| --- | --- | --- |"]
+    for a in rows:
+        choices = ""
+        if a.choices:
+            choices = " one of: " + ", ".join(f"`{c}`" for c in a.choices) + "."
+        lines.append(
+            f"| `{_escape_cell(_invocation(a))}` "
+            f"| {_escape_cell(_default_cell(a))} "
+            f"| {_escape_cell(a.help or '')}{choices} |"
+        )
+    lines.append("")
+    return lines
+
+
+def dump_docs(parser: argparse.ArgumentParser | None = None) -> str:
+    """Render the whole CLI as markdown (the source of ``docs/CLI.md``).
+
+    Walks the argparse tree directly instead of using
+    ``format_usage``/``format_help``, whose line wrapping depends on
+    the invoking terminal's width — generated docs must be byte-stable.
+    """
+    if parser is None:
+        parser = build_parser()
+    sub = next(
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    )
+    help_of = {a.dest: (a.help or "") for a in sub._choices_actions}
+    lines = [
+        "<!-- Generated by `repro-ear --dump-docs` "
+        "(`python -m repro.cli --dump-docs`). -->",
+        "<!-- Do not edit by hand; CI fails when this file is stale. -->",
+        "",
+        f"# `{parser.prog}` command reference",
+        "",
+        str(parser.description),
+        "",
+        "Global options (before the subcommand):",
+        "",
+    ]
+    lines += _argument_table(parser._actions)
+    lines += ["Subcommands:", ""]
+    for name in sub.choices:
+        lines.append(f"- [`{parser.prog} {name}`](#repro-ear-{name}) — {help_of[name]}")
+    lines.append("")
+    for name, subparser in sub.choices.items():
+        lines += [f"## `{parser.prog} {name}`", "", _escape_cell(help_of[name]) + ".", ""]
+        lines += _argument_table(subparser._actions)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-ear`` console script."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # --dump-docs has to short-circuit: the subcommand is otherwise required.
+    if argv and argv[0] == "--dump-docs":
+        print(dump_docs(), end="")
+        return 0
+    args = build_parser().parse_args(argv)
     if args.jobs == 0:
         args.jobs = os.cpu_count() or 1
     if args.jobs < 0:

@@ -109,6 +109,7 @@ class Eardbd:
 
     @property
     def pending(self) -> int:
+        """Reports buffered but not yet flushed to the DB."""
         return len(self._buffer)
 
     def submit(self, report: NodeReport, *, time_s: float) -> bool:

@@ -59,9 +59,11 @@ class SimClock:
 
     @property
     def now(self) -> float:
+        """Current simulated time in seconds."""
         return self._now
 
     def advance(self, to_s: float) -> None:
+        """Move the clock forward; going backwards is an error."""
         if to_s < self._now - 1e-9:
             raise ExperimentError(
                 f"simulated clock cannot run backwards ({self._now} -> {to_s})"
@@ -87,6 +89,7 @@ class EventQueue:
         self._seq = 0
 
     def push(self, time_s: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event; ties break by kind, then insertion order."""
         if time_s < 0:
             raise ExperimentError("events cannot be scheduled before t=0")
         event = Event(time_s=time_s, kind=kind, payload=payload)
@@ -97,6 +100,7 @@ class EventQueue:
         return event
 
     def pop(self) -> Event:
+        """Remove and return the earliest event."""
         if not self._heap:
             raise ExperimentError("pop from an empty event queue")
         return heapq.heappop(self._heap).event

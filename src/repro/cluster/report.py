@@ -36,11 +36,13 @@ class PolicyCampaign:
     accounting: AccountingDB
 
     def energy_saving_vs(self, reference: "PolicyCampaign") -> float:
+        """Fractional cluster-energy saving vs. a baseline report."""
         if reference.report.total_energy_j <= 0:
             return 0.0
         return 1.0 - self.report.total_energy_j / reference.report.total_energy_j
 
     def makespan_penalty_vs(self, reference: "PolicyCampaign") -> float:
+        """Fractional makespan increase vs. a baseline report."""
         if reference.report.makespan_s <= 0:
             return 0.0
         return self.report.makespan_s / reference.report.makespan_s - 1.0

@@ -96,10 +96,12 @@ class JobOutcome:
 
     @property
     def wait_s(self) -> float:
+        """Queue wait: start time minus submission time."""
         return self.start_s - self.submit_s
 
     @property
     def run_s(self) -> float:
+        """Execution time: end time minus start time."""
         return self.end_s - self.start_s
 
 
@@ -129,6 +131,7 @@ class ClusterReport:
 
     @property
     def n_jobs(self) -> int:
+        """Number of jobs in the trace."""
         return len(self.jobs)
 
     def to_dict(self) -> dict:

@@ -1,0 +1,231 @@
+"""Docs-consistency checker: do documented commands actually parse?
+
+Documentation rots in one specific, machine-checkable way: a
+``repro-ear ...`` invocation quoted in the README or a guide stops
+matching the real argparse tree (a flag is renamed, a subcommand grows
+a required argument).  This module extracts every ``repro-ear``
+invocation from a set of markdown files — fenced code blocks and
+inline backtick spans — and smoke-parses each one against
+:func:`repro.cli.build_parser`, without executing anything.
+
+It also verifies that ``docs/CLI.md`` is byte-identical to the current
+:func:`repro.cli.dump_docs` output, so the generated reference cannot
+go stale.
+
+Run it the way CI does::
+
+    python -m repro.docscheck --cli-doc docs/CLI.md README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import pathlib
+import re
+import shlex
+import sys
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .cli import build_parser, dump_docs
+
+__all__ = [
+    "Invocation",
+    "Failure",
+    "extract_invocations",
+    "check_invocation",
+    "check_files",
+    "check_cli_doc",
+    "main",
+]
+
+#: inline code span holding a repro-ear command, e.g. `` `repro-ear list` ``.
+_INLINE_RE = re.compile(r"`(repro-ear[^`]*)`")
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """One ``repro-ear`` command found in a documentation file."""
+
+    path: str
+    line: int
+    command: str
+
+
+@dataclass(frozen=True)
+class Failure:
+    """One documented command the real parser rejected."""
+
+    invocation: Invocation
+    error: str
+
+
+def _clean(command: str) -> str:
+    """Normalise a documented command line for parsing.
+
+    Strips shell prompts and trailing comments, removes ``[optional]``
+    display groups and ellipses, and substitutes ``<placeholder>``
+    tokens with a literal so typed arguments still convert.
+    """
+    command = command.strip()
+    command = re.sub(r"^\$\s*", "", command)
+    command = re.sub(r"\s#\s.*$", "", command)
+    command = re.sub(r"\[[^\]]*\]", "", command)
+    command = re.sub(r"<[^>]+>", "1", command)
+    # single-capital-letter placeholders, the `--jobs N` doc idiom
+    command = re.sub(r"(?<=\s)[A-Z](?=\s|$)", "1", command)
+    command = command.replace("...", " ").replace("…", " ")
+    return " ".join(command.split())
+
+
+def extract_invocations(text: str, path: str) -> Iterator[Invocation]:
+    """All ``repro-ear`` invocations in one markdown document.
+
+    Fenced code blocks are scanned line by line (with ``\\``
+    continuations joined); prose lines contribute inline backtick
+    spans.  Only commands *starting* with ``repro-ear`` count — a
+    sentence merely mentioning the name is not an invocation.
+    """
+    in_fence = False
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        start = i
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            i += 1
+            continue
+        if in_fence:
+            candidate = line.strip()
+            candidate = re.sub(r"^\$\s*", "", candidate)
+            if candidate.startswith("repro-ear"):
+                while candidate.endswith("\\") and i + 1 < len(lines):
+                    i += 1
+                    candidate = candidate[:-1].rstrip() + " " + lines[i].strip()
+                cleaned = _clean(candidate)
+                if cleaned:
+                    yield Invocation(path=path, line=start + 1, command=cleaned)
+        else:
+            for m in _INLINE_RE.finditer(line):
+                cleaned = _clean(m.group(1))
+                if cleaned.startswith("repro-ear"):
+                    yield Invocation(path=path, line=start + 1, command=cleaned)
+        i += 1
+
+
+def _subcommands(parser: argparse.ArgumentParser) -> tuple[str, ...]:
+    sub = next(
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    )
+    return tuple(sub.choices)
+
+
+def check_invocation(
+    invocation: Invocation, parser: argparse.ArgumentParser
+) -> Failure | None:
+    """Smoke-parse one documented command; None means it is valid.
+
+    ``parse_args`` only runs argument conversion — the subcommand's
+    handler is never called, so checking docs has no side effects.
+    Bare references (``repro-ear`` alone, or ``repro-ear <sub>`` with
+    no arguments — how prose names a subcommand) are checked for
+    subcommand existence only, not for required arguments.
+    """
+    try:
+        argv = shlex.split(invocation.command)[1:]
+    except ValueError as exc:
+        return Failure(invocation, f"unparseable shell syntax: {exc}")
+    if argv == ["--dump-docs"]:
+        return None  # handled before argparse by repro.cli.main
+    if not argv:
+        return None  # the program mentioned by name
+    if len(argv) == 1 and not argv[0].startswith("-"):
+        if argv[0] in _subcommands(parser):
+            return None  # a subcommand mentioned by name
+        return Failure(invocation, f"unknown subcommand {argv[0]!r}")
+    stderr = io.StringIO()
+    try:
+        with contextlib.redirect_stderr(stderr):
+            parser.parse_args(argv)
+    except SystemExit as exc:
+        if exc.code not in (0, None):
+            message = stderr.getvalue().strip().splitlines()
+            error = message[-1] if message else "parse error"
+            # "required: command" is only reached after every global flag
+            # parsed successfully — a flags-only illustration, not drift.
+            if error.endswith("the following arguments are required: command"):
+                return None
+            return Failure(invocation, error)
+    return None
+
+
+def check_files(paths: Iterable[str | pathlib.Path]) -> tuple[list[Invocation], list[Failure]]:
+    """Check every documented invocation in the given markdown files."""
+    parser = build_parser()
+    invocations: list[Invocation] = []
+    failures: list[Failure] = []
+    for path in paths:
+        p = pathlib.Path(path)
+        for inv in extract_invocations(p.read_text(), str(p)):
+            invocations.append(inv)
+            failure = check_invocation(inv, parser)
+            if failure is not None:
+                failures.append(failure)
+    return invocations, failures
+
+
+def check_cli_doc(path: str | pathlib.Path) -> str | None:
+    """None when the generated CLI reference on disk is current."""
+    p = pathlib.Path(path)
+    if not p.exists():
+        return f"{p}: missing; regenerate with `python -m repro.cli --dump-docs > {p}`"
+    if p.read_text() != dump_docs():
+        return (
+            f"{p}: stale; regenerate with `python -m repro.cli --dump-docs > {p}`"
+        )
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.docscheck``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-docscheck",
+        description="verify documented repro-ear commands against the real CLI",
+    )
+    parser.add_argument("files", nargs="+", help="markdown files to scan")
+    parser.add_argument(
+        "--cli-doc",
+        default=None,
+        dest="cli_doc",
+        help="also verify this generated CLI reference is up to date",
+    )
+    args = parser.parse_args(argv)
+
+    invocations, failures = check_files(args.files)
+    for f in failures:
+        print(
+            f"{f.invocation.path}:{f.invocation.line}: "
+            f"`{f.invocation.command}` -- {f.error}",
+            file=sys.stderr,
+        )
+    status = 0
+    if failures:
+        status = 1
+    if args.cli_doc is not None:
+        stale = check_cli_doc(args.cli_doc)
+        if stale is not None:
+            print(stale, file=sys.stderr)
+            status = 1
+    print(
+        f"docscheck: {len(invocations)} invocation(s) in {len(args.files)} file(s), "
+        f"{len(failures)} failure(s)"
+        + ("" if args.cli_doc is None else f", cli-doc {'ok' if not stale else 'STALE'}")
+    )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

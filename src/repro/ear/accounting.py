@@ -34,6 +34,7 @@ class NodeJobRecord:
 
     @property
     def avg_dc_power_w(self) -> float:
+        """Average DC node power over the report interval."""
         return self.dc_energy_j / self.seconds if self.seconds > 0 else 0.0
 
 
@@ -50,18 +51,22 @@ class JobRecord:
 
     @property
     def seconds(self) -> float:
+        """Job wall time from the per-node reports."""
         return max((n.seconds for n in self.nodes), default=0.0)
 
     @property
     def dc_energy_j(self) -> float:
+        """Total DC energy of the job across its nodes, in joules."""
         return sum(n.dc_energy_j for n in self.nodes)
 
     @property
     def dc_energy_wh(self) -> float:
+        """Total DC energy of the job, in watt-hours."""
         return joules_to_wh(self.dc_energy_j)
 
     @property
     def avg_node_power_w(self) -> float:
+        """Mean of the per-node average DC powers."""
         if not self.nodes or self.seconds <= 0:
             return 0.0
         return self.dc_energy_j / self.seconds / len(self.nodes)
@@ -75,6 +80,7 @@ class AccountingDB:
         self._next_id = 1
 
     def insert(self, record: JobRecord) -> None:
+        """Store a finished job's accounting row."""
         if record.job_id in self._jobs:
             raise ExperimentError(f"duplicate job id {record.job_id}")
         self._jobs[record.job_id] = record
@@ -108,11 +114,13 @@ class AccountingDB:
         )
 
     def new_job_id(self) -> int:
+        """Allocate the next job id."""
         jid = self._next_id
         self._next_id += 1
         return jid
 
     def job(self, job_id: int) -> JobRecord:
+        """Look up one job row by id."""
         try:
             return self._jobs[job_id]
         except KeyError:
@@ -130,6 +138,7 @@ class AccountingDB:
         return out
 
     def total_energy_j(self, records: Iterable[JobRecord] | None = None) -> float:
+        """Total DC energy over every stored job, in joules."""
         records = self._jobs.values() if records is None else records
         return sum(r.dc_energy_j for r in records)
 
@@ -145,6 +154,7 @@ class AccountingDB:
 
     @classmethod
     def from_json(cls, payload: str) -> "AccountingDB":
+        """Rebuild a database from its JSON serialisation."""
         db = cls()
         for item in json.loads(payload):
             nodes = tuple(NodeJobRecord(**n) for n in item.pop("nodes"))

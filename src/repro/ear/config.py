@@ -96,6 +96,15 @@ class EarConfig:
     #: global manager lowers the default (and with it the policy's
     #: whole search range), cluster-wide.
     default_pstate_offset: int = 0
+    #: where the projection model's coefficients come from.  ``None``
+    #: (the default) trains the analytic per-node-type table in process
+    #: — bit-identical to the pre-learning-phase behaviour.  A directory
+    #: resolves ``<dir>/<node-slug>.json`` and falls back to the
+    #: analytic table when no fitted file exists for the node type; a
+    #: file path must load (missing/corrupt files fail loudly).  This is
+    #: a compared dataclass field on purpose: the coefficient source
+    #: changes policy decisions, so it must be part of the run-cache key.
+    coefficients_path: str | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.cpu_policy_th <= 0.5:
@@ -116,6 +125,8 @@ class EarConfig:
             raise ConfigError("watchdog_window_limit must be >= 1")
         if self.stalled_poll_limit < 1:
             raise ConfigError("stalled_poll_limit must be >= 1")
+        if self.coefficients_path is not None and not str(self.coefficients_path).strip():
+            raise ConfigError("coefficients_path must be None or a non-empty path")
 
     def with_overrides(self, **kwargs) -> "EarConfig":
         """Copy with some settings replaced (job-level overrides)."""

@@ -63,6 +63,7 @@ class Dynais:
 
     @property
     def in_loop(self) -> bool:
+        """True once a loop period has been confirmed."""
         return self._period is not None
 
     @property

@@ -206,6 +206,7 @@ class Eard:
         return self._rapl_acc_j
 
     def current_cpu_target_ghz(self) -> float:
+        """The core clock EARD last programmed."""
         return self.node.core_target_ghz
 
     def current_effective_cpu_ghz(self) -> float:

@@ -122,8 +122,10 @@ class Eargm:
 
     @property
     def consumed_j(self) -> float:
+        """Energy consumed against the budget so far, in joules."""
         return self._consumed_j
 
     @property
     def elapsed_s(self) -> float:
+        """Budget-period time elapsed so far, in seconds."""
         return self._elapsed_s

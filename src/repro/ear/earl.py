@@ -304,6 +304,7 @@ class Earl:
         self._reset_window()
 
     def on_app_end(self) -> None:
+        """Job teardown: a degraded node is restored to its defaults."""
         if self.degraded:
             # never leave a degraded node on whatever the last partial
             # apply happened to program: defaults are the contract.

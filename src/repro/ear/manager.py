@@ -153,4 +153,5 @@ class ClusterManager:
 
     @property
     def total_energy_j(self) -> float:
+        """Campaign energy accounted so far, in joules."""
         return self.accounting.total_energy_j()

@@ -36,6 +36,7 @@ class Avx512Model(EnergyModel):
         self._default = DefaultModel(table, pstates)
 
     def project(self, sig: Signature, from_ps: int, to_ps: int) -> Projection:
+        """Project via the VPI-weighted blend (see the module docstring)."""
         to_ps = self.pstates.clamp_pstate(to_ps)
         default_pred = self._default.project(sig, from_ps, to_ps)
         if sig.vpi <= 0.0:

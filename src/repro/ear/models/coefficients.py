@@ -30,7 +30,14 @@ from ...workloads.generator import training_corpus
 from ..signature import Signature
 from .training import steady_state_signature
 
-__all__ = ["PairCoefficients", "CoefficientTable", "train_coefficients", "clear_cache"]
+__all__ = [
+    "PairCoefficients",
+    "PairQuality",
+    "TableQuality",
+    "CoefficientTable",
+    "train_coefficients",
+    "clear_cache",
+]
 
 
 @dataclass(frozen=True)
@@ -45,14 +52,63 @@ class PairCoefficients:
     f: float  # power intercept
 
     def project_cpi(self, cpi: float, tpi: float) -> float:
+        """Projected CPI at the pair's target P-state."""
         return self.a * cpi + self.b * tpi + self.c
 
     def project_power(self, power_w: float, tpi: float) -> float:
+        """Projected DC power at the pair's target P-state."""
         return self.d * power_w + self.e * tpi + self.f
 
 
+@dataclass(frozen=True)
+class PairQuality:
+    """Goodness of fit for one (from, to) P-state pair regression."""
+
+    from_ps: int
+    to_ps: int
+    #: observations (matched kernel × uncore × seed points) behind the fit.
+    n_obs: int
+    #: coefficient of determination of the CPI regression.
+    r2_cpi: float
+    #: coefficient of determination of the power regression.
+    r2_power: float
+    #: worst relative error of the projected iteration time on the
+    #: training observations themselves (via the CPI/frequency identity).
+    max_rel_time_err: float
+    #: worst relative error of the projected DC power.
+    max_rel_power_err: float
+
+
+@dataclass(frozen=True)
+class TableQuality:
+    """Goodness of fit attached to a whole fitted table.
+
+    The aggregates are the *worst case* over all pairs, so a single
+    badly conditioned pair cannot hide behind good averages.
+    """
+
+    n_observations: int
+    kernels: tuple[str, ...]
+    min_r2_cpi: float
+    min_r2_power: float
+    max_rel_time_err: float
+    max_rel_power_err: float
+    #: AVX-512 licence frequency as *measured* from the AVX-dense
+    #: kernels' effective clock plateau (None when the battery had no
+    #: AVX-dense kernel on this node type).
+    avx512_licence_ghz: float | None = None
+    pairs: tuple[PairQuality, ...] = ()
+
+
 class CoefficientTable:
-    """All pair coefficients for one node type."""
+    """All pair coefficients for one node type.
+
+    ``source`` says where the numbers came from (``"analytic"`` for the
+    in-process training fallback, ``"fitted"`` for tables produced by a
+    :class:`repro.learning.LearningCampaign`); ``quality`` carries the
+    goodness-of-fit record for fitted tables (None for analytic ones —
+    the analytic corpus is exact on its own family by construction).
+    """
 
     def __init__(
         self, node_name: str, pstate_freqs_ghz: tuple[float, ...]
@@ -60,11 +116,15 @@ class CoefficientTable:
         self.node_name = node_name
         self.pstate_freqs_ghz = pstate_freqs_ghz
         self._pairs: dict[tuple[int, int], PairCoefficients] = {}
+        self.source: str = "analytic"
+        self.quality: TableQuality | None = None
 
     def set(self, from_ps: int, to_ps: int, coeffs: PairCoefficients) -> None:
+        """Store the coefficients for one (from, to) pair."""
         self._pairs[(from_ps, to_ps)] = coeffs
 
     def get(self, from_ps: int, to_ps: int) -> PairCoefficients:
+        """Coefficients for one pair; ModelError when untrained."""
         try:
             return self._pairs[(from_ps, to_ps)]
         except KeyError:
@@ -75,6 +135,10 @@ class CoefficientTable:
 
     def __len__(self) -> int:
         return len(self._pairs)
+
+    def items(self) -> tuple[tuple[tuple[int, int], PairCoefficients], ...]:
+        """All ``((from, to), coefficients)`` pairs, sorted."""
+        return tuple(sorted(self._pairs.items()))
 
     def project(
         self, sig: Signature, from_ps: int, to_ps: int

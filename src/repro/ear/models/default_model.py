@@ -37,6 +37,7 @@ class EnergyModel:
     name: str = "abstract"
 
     def project(self, sig: Signature, from_ps: int, to_ps: int) -> Projection:
+        """Predict behaviour at ``to_ps`` from a signature at ``from_ps``."""
         raise NotImplementedError
 
 
@@ -55,6 +56,7 @@ class DefaultModel(EnergyModel):
         self.pstates = pstates
 
     def project(self, sig: Signature, from_ps: int, to_ps: int) -> Projection:
+        """Project time/power through the per-pair coefficients."""
         from_ps = self.pstates.clamp_pstate(from_ps)
         to_ps = self.pstates.clamp_pstate(to_ps)
         time_s, power_w = self.table.project(sig, from_ps, to_ps)

@@ -6,26 +6,121 @@ loads at boot.  This module provides the same lifecycle for the
 reproduction: JSON save/load of :class:`CoefficientTable`, with a
 format version and integrity checks, so expensive retraining can be
 skipped across processes.
+
+Format history (the loader accepts every listed version):
+
+* **v1** — node name, P-state frequencies, the pair coefficients.
+* **v2** — adds ``source`` (``"analytic"``/``"fitted"``) and the
+  optional ``quality`` goodness-of-fit record a
+  :class:`repro.learning.LearningCampaign` attaches (per-pair R² and
+  worst relative projection errors, plus the measured AVX-512 licence
+  frequency).
+
+Fitted tables conventionally live under ``results/coefficients/``, one
+file per node type named by :func:`node_slug`.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import re
 
 from ...errors import ModelError
-from .coefficients import CoefficientTable, PairCoefficients
+from .coefficients import CoefficientTable, PairCoefficients, PairQuality, TableQuality
 
-__all__ = ["save_coefficients", "load_coefficients", "FORMAT_VERSION"]
+__all__ = [
+    "save_coefficients",
+    "load_coefficients",
+    "node_slug",
+    "coefficients_file",
+    "FORMAT_VERSION",
+    "DEFAULT_COEFFICIENTS_DIR",
+]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: conventional location of fitted tables (the CLI's ``learn --out``
+#: default); relative to the working directory like ``results/.cache``.
+DEFAULT_COEFFICIENTS_DIR = pathlib.Path("results") / "coefficients"
+
+
+def node_slug(node_name: str) -> str:
+    """Filesystem-safe identifier for a node type name.
+
+    ``"Lenovo ThinkSystem SD530 (2x Xeon Gold 6148)"`` becomes
+    ``"lenovo-thinksystem-sd530-2x-xeon-gold-6148"`` — the per-node-type
+    file name under the coefficients directory.
+    """
+    slug = re.sub(r"[^a-z0-9]+", "-", node_name.lower()).strip("-")
+    if not slug:
+        raise ModelError(f"cannot derive a file slug from node name {node_name!r}")
+    return slug
+
+
+def coefficients_file(directory: str | pathlib.Path, node_name: str) -> pathlib.Path:
+    """The per-node-type coefficient file inside a coefficients directory."""
+    return pathlib.Path(directory) / f"{node_slug(node_name)}.json"
+
+
+def _quality_payload(quality: TableQuality) -> dict:
+    return {
+        "n_observations": quality.n_observations,
+        "kernels": list(quality.kernels),
+        "min_r2_cpi": quality.min_r2_cpi,
+        "min_r2_power": quality.min_r2_power,
+        "max_rel_time_err": quality.max_rel_time_err,
+        "max_rel_power_err": quality.max_rel_power_err,
+        "avx512_licence_ghz": quality.avx512_licence_ghz,
+        "pairs": [
+            {
+                "from": q.from_ps,
+                "to": q.to_ps,
+                "n_obs": q.n_obs,
+                "r2_cpi": q.r2_cpi,
+                "r2_power": q.r2_power,
+                "max_rel_time_err": q.max_rel_time_err,
+                "max_rel_power_err": q.max_rel_power_err,
+            }
+            for q in quality.pairs
+        ],
+    }
+
+
+def _quality_from_payload(payload: dict) -> TableQuality:
+    return TableQuality(
+        n_observations=int(payload["n_observations"]),
+        kernels=tuple(payload["kernels"]),
+        min_r2_cpi=float(payload["min_r2_cpi"]),
+        min_r2_power=float(payload["min_r2_power"]),
+        max_rel_time_err=float(payload["max_rel_time_err"]),
+        max_rel_power_err=float(payload["max_rel_power_err"]),
+        avx512_licence_ghz=(
+            None
+            if payload.get("avx512_licence_ghz") is None
+            else float(payload["avx512_licence_ghz"])
+        ),
+        pairs=tuple(
+            PairQuality(
+                from_ps=int(q["from"]),
+                to_ps=int(q["to"]),
+                n_obs=int(q["n_obs"]),
+                r2_cpi=float(q["r2_cpi"]),
+                r2_power=float(q["r2_power"]),
+                max_rel_time_err=float(q["max_rel_time_err"]),
+                max_rel_power_err=float(q["max_rel_power_err"]),
+            )
+            for q in payload.get("pairs", ())
+        ),
+    )
 
 
 def save_coefficients(table: CoefficientTable, path: str | pathlib.Path) -> None:
-    """Serialise a trained table to JSON."""
+    """Serialise a trained table to JSON (current format version)."""
     payload = {
         "format_version": FORMAT_VERSION,
         "node_name": table.node_name,
+        "source": table.source,
         "pstate_freqs_ghz": list(table.pstate_freqs_ghz),
         "pairs": [
             {
@@ -38,10 +133,14 @@ def save_coefficients(table: CoefficientTable, path: str | pathlib.Path) -> None
                 "e": c.e,
                 "f": c.f,
             }
-            for (f, t), c in sorted(table._pairs.items())
+            for (f, t), c in table.items()
         ],
     }
-    pathlib.Path(path).write_text(json.dumps(payload, indent=1))
+    if table.quality is not None:
+        payload["quality"] = _quality_payload(table.quality)
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=1))
 
 
 def load_coefficients(path: str | pathlib.Path) -> CoefficientTable:
@@ -49,19 +148,22 @@ def load_coefficients(path: str | pathlib.Path) -> CoefficientTable:
 
     Validates the format version and that the pair set is complete for
     the stored P-state count — a truncated or hand-edited file fails
-    loudly rather than mispredicting silently.
+    loudly rather than mispredicting silently.  Version-1 files (no
+    source/quality) still load, as ``source="fitted"`` with no quality.
     """
     try:
         payload = json.loads(pathlib.Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise ModelError(f"cannot load coefficients from {path}: {exc}") from exc
-    if payload.get("format_version") != FORMAT_VERSION:
+    version = payload.get("format_version")
+    if version not in (1, FORMAT_VERSION):
         raise ModelError(
             f"{path}: unsupported coefficient format "
-            f"{payload.get('format_version')!r} (expected {FORMAT_VERSION})"
+            f"{version!r} (expected 1 or {FORMAT_VERSION})"
         )
     freqs = tuple(payload["pstate_freqs_ghz"])
     table = CoefficientTable(payload["node_name"], freqs)
+    table.source = str(payload.get("source", "fitted"))
     for item in payload["pairs"]:
         table.set(
             int(item["from"]),
@@ -80,4 +182,9 @@ def load_coefficients(path: str | pathlib.Path) -> CoefficientTable:
         raise ModelError(
             f"{path}: incomplete table ({len(table)} pairs, expected {expected})"
         )
+    if payload.get("quality") is not None:
+        try:
+            table.quality = _quality_from_payload(payload["quality"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ModelError(f"{path}: malformed quality record: {exc}") from exc
     return table

@@ -60,6 +60,7 @@ class NodeFreqs:
             )
 
     def with_imc_max(self, imc_max_ghz: float) -> "NodeFreqs":
+        """Copy of this selection with a different uncore maximum."""
         return replace(
             self,
             imc_max_ghz=imc_max_ghz,

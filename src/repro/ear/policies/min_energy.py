@@ -83,6 +83,7 @@ class MinEnergyPolicy(PolicyPlugin):
 
     @property
     def stage(self) -> Stage:
+        """The figure-2 stage the policy is currently in."""
         return self._stage
 
     def _enter_stage(self, stage: Stage) -> None:
@@ -102,6 +103,7 @@ class MinEnergyPolicy(PolicyPlugin):
         )
 
     def default_freqs(self) -> NodeFreqs:
+        """The safe frequencies EARD restores on failure."""
         imc_max = self.ctx.imc_max_ghz
         if self.cfg.default_imc_max_ghz is not None:
             imc_max = min(imc_max, self.cfg.default_imc_max_ghz)
@@ -112,6 +114,7 @@ class MinEnergyPolicy(PolicyPlugin):
         )
 
     def reset(self) -> None:
+        """Forget all descent state; next window starts the machine over."""
         self._enter_stage(Stage.CPU_FREQ_SEL)
         self._current_ps = self.default_pstate
         self._selected_cpu_ghz = self.pstates.freq_of(self.default_pstate)
@@ -121,6 +124,7 @@ class MinEnergyPolicy(PolicyPlugin):
         self._decision_sig = None
 
     def node_policy(self, sig: Signature) -> tuple[PolicyState, NodeFreqs]:
+        """One policy step for a new signature (Code 1's NODE_POLICY)."""
         if self._stage is Stage.CPU_FREQ_SEL:
             return self._cpu_freq_sel(sig)
         if self._stage is Stage.COMP_REF:

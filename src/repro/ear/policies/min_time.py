@@ -82,6 +82,7 @@ class MinTimePolicy(MinEnergyPolicy):
     # -- the future-work upward uncore search -------------------------------
 
     def reset(self) -> None:
+        """Forget the selection state."""
         super().reset()
         self._search_up = False
         self._last_time_s = None
@@ -156,10 +157,12 @@ class MonitoringPolicy(PolicyPlugin):
         self._last: Signature | None = None
 
     def node_policy(self, sig: Signature) -> tuple[PolicyState, NodeFreqs]:
+        """One policy step for a new signature."""
         self._last = sig
         return PolicyState.READY, self.default_freqs()
 
     def validate(self, sig: Signature) -> bool:
+        """Accept every signature: monitoring never re-decides."""
         if self._last is None:
             return True
         return not signature_changed(
@@ -167,6 +170,7 @@ class MonitoringPolicy(PolicyPlugin):
         )
 
     def default_freqs(self) -> NodeFreqs:
+        """The node's default frequencies (nothing is ever changed)."""
         return NodeFreqs(
             cpu_ghz=self.ctx.pstates.nominal_ghz,
             imc_max_ghz=self.ctx.imc_max_ghz,

@@ -19,7 +19,13 @@ from ..config import EarConfig
 from ..models.default_model import EnergyModel
 from .api import PolicyPlugin
 
-__all__ = ["PolicyContext", "register_policy", "create_policy", "available_policies"]
+__all__ = [
+    "PolicyContext",
+    "register_policy",
+    "create_policy",
+    "available_policies",
+    "policy_applies_frequencies",
+]
 
 
 @dataclass(frozen=True)
@@ -67,4 +73,23 @@ def create_policy(name: str, context: PolicyContext) -> PolicyPlugin:
 
 
 def available_policies() -> tuple[str, ...]:
+    """Names of every registered policy plugin, sorted."""
     return tuple(sorted(_FACTORIES))
+
+
+def policy_applies_frequencies(name: str) -> bool:
+    """Whether the named policy programs the hardware.
+
+    Read from the registered factory *class* so callers (the engine's
+    pin guard) can decide before instantiating a plugin: monitoring-style
+    policies observe without touching frequencies, so pinning the clock
+    under them is legitimate — it is exactly how EAR's learning phase
+    measures the P-state/uncore grid.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise PolicyError(
+            f"unknown policy {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return bool(getattr(factory, "applies_frequencies", True))

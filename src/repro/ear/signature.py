@@ -100,6 +100,7 @@ class Signature:
         )
 
     def with_power(self, dc_power_w: float) -> "Signature":
+        """Copy of this signature with the DC power replaced."""
         return replace(self, dc_power_w=dc_power_w)
 
 

@@ -25,6 +25,7 @@ __all__ = [
     "SignatureError",
     "ConfigError",
     "ExperimentError",
+    "LearningError",
 ]
 
 
@@ -88,3 +89,14 @@ class ConfigError(EarError):
 
 class ExperimentError(ReproError):
     """The experiment harness was asked to do something impossible."""
+
+
+class LearningError(ReproError):
+    """The coefficient-learning phase failed.
+
+    Raised when a learning campaign cannot produce a trustworthy
+    coefficient table: an empty/degenerate measurement grid, or a
+    validation stage whose held-out projection error exceeds the
+    configured threshold.  Failing loudly here is the point — a silently
+    mis-fitted table would degrade every policy decision downstream.
+    """

@@ -72,7 +72,12 @@ __all__ = [
 #: v4: NodeResult grew per-node ``seconds`` (accounting divides a
 #: node's energy by its own elapsed time), so v3 pickles would restore
 #: with zero-length node durations.
-CACHE_FORMAT_VERSION = 4
+#: v5: EarConfig grew ``coefficients_path`` (the projection-model
+#: coefficient source); it is a compared field, so the canonical config
+#: encoding — and with it every cache key — changed shape.
+#: This comment block is the authoritative version history; docs point
+#: here instead of repeating the number.
+CACHE_FORMAT_VERSION = 5
 
 
 # -- content hashing ---------------------------------------------------------
@@ -134,6 +139,7 @@ class RunRequest:
     telemetry: bool = dataclasses.field(default=False, compare=False)
 
     def key(self) -> str:
+        """Content-address of this request (SHA-256 over compared fields)."""
         plan = self.fault_plan
         if plan is not None and not plan.enabled:
             plan = None
@@ -153,6 +159,7 @@ class RunRequest:
         return hashlib.sha256(blob.encode()).hexdigest()
 
     def execute(self) -> RunResult:
+        """Run the simulation this request describes (cache-oblivious)."""
         wl = (
             self.workload
             if self.scale == 1.0
@@ -190,6 +197,7 @@ class CacheStats:
     stores: int = 0
 
     def reset(self) -> None:
+        """Zero all counters."""
         self.hits = self.misses = self.disk_hits = self.stores = 0
 
 
@@ -216,6 +224,7 @@ class RunCache:
     # -- lookup --------------------------------------------------------------
 
     def get(self, key: str) -> RunResult | None:
+        """Cached result for a key, trying memory then disk."""
         result = self._memory.get(key)
         if result is not None:
             self.stats.hits += 1
@@ -230,6 +239,7 @@ class RunCache:
         return None
 
     def put(self, key: str, result: RunResult) -> None:
+        """Store a result in memory and (if configured) on disk."""
         self._memory[key] = result
         self.stats.stores += 1
         if self.directory is not None:
@@ -296,6 +306,7 @@ class PoolStats:
     batches: int = 0
 
     def reset(self) -> None:
+        """Zero all counters."""
         self.simulations = self.batches = 0
 
 
@@ -459,6 +470,7 @@ class ExperimentPool:
             self.cache.clear(disk=disk)
 
     def reset_stats(self) -> None:
+        """Zero the pool's and the cache's counters."""
         self.stats.reset()
         if self.cache is not None:
             self.cache.stats.reset()

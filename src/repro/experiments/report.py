@@ -19,6 +19,7 @@ def pct(x: float) -> str:
 
 
 def ghz(x: float) -> str:
+    """Format a frequency in GHz for the report tables."""
     return f"{x:.2f}"
 
 

@@ -56,6 +56,7 @@ class AveragedResult:
     def from_runs(
         cls, workload: str, config_name: str, runs: tuple[RunResult, ...]
     ) -> "AveragedResult":
+        """Average seeded runs into one result (field-wise mean)."""
         n = len(runs)
         return cls(
             workload=workload,
@@ -83,18 +84,22 @@ class Comparison:
 
     @property
     def time_penalty(self) -> float:
+        """Fractional execution-time increase vs. the baseline."""
         return self.result.time_s / self.reference.time_s - 1.0
 
     @property
     def power_saving(self) -> float:
+        """Fractional DC-power saving vs. the baseline."""
         return 1.0 - self.result.avg_dc_power_w / self.reference.avg_dc_power_w
 
     @property
     def energy_saving(self) -> float:
+        """Fractional DC-energy saving vs. the baseline."""
         return 1.0 - self.result.dc_energy_j / self.reference.dc_energy_j
 
     @property
     def pck_power_saving(self) -> float:
+        """Fractional package-power saving vs. the baseline."""
         return 1.0 - self.result.avg_pck_power_w / self.reference.avg_pck_power_w
 
     @property
@@ -122,14 +127,29 @@ class Comparison:
 
 
 def standard_configs(
-    *, cpu_policy_th: float = 0.05, unc_policy_th: float = 0.02
+    *,
+    cpu_policy_th: float = 0.05,
+    unc_policy_th: float = 0.02,
+    coefficients_path: str | None = None,
 ) -> dict[str, EarConfig | None]:
-    """The paper's three standard configurations."""
+    """The paper's three standard configurations.
+
+    ``coefficients_path`` makes the policy-bearing configurations
+    project through a fitted coefficient table (see
+    :func:`repro.ear.models.resolve_coefficients` for the resolution
+    order); the default ``None`` keeps the analytic coefficients.
+    """
     return {
         "none": None,
-        "me": EarConfig(use_explicit_ufs=False, cpu_policy_th=cpu_policy_th),
+        "me": EarConfig(
+            use_explicit_ufs=False,
+            cpu_policy_th=cpu_policy_th,
+            coefficients_path=coefficients_path,
+        ),
         "me_eufs": EarConfig(
-            cpu_policy_th=cpu_policy_th, unc_policy_th=unc_policy_th
+            cpu_policy_th=cpu_policy_th,
+            unc_policy_th=unc_policy_th,
+            coefficients_path=coefficients_path,
         ),
     }
 

@@ -81,6 +81,7 @@ class CounterSnapshot:
 
     @property
     def seconds_per_iteration(self) -> float:
+        """Average per-iteration time in the window."""
         if self.iterations <= 0:
             raise SignatureError("empty window: no iterations")
         return self.seconds / self.iterations
@@ -113,6 +114,7 @@ class CounterBank:
         self._avx512 += counters.avx512_instructions
 
     def snapshot(self) -> CounterSnapshot:
+        """Freeze the accumulated counters into a snapshot."""
         return CounterSnapshot(
             seconds=self._seconds,
             iterations=self._iterations,

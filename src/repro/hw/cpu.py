@@ -121,6 +121,7 @@ class Socket:
 
     @property
     def n_cores(self) -> int:
+        """Cores in this socket."""
         return self.pstates.n_cores
 
     @property
@@ -175,6 +176,7 @@ class Socket:
         return self._freq_seconds / self._seconds
 
     def reset_accounting(self) -> None:
+        """Zero the frequency-accounting accumulators."""
         self._freq_seconds = 0.0
         self._seconds = 0.0
         self.uncore.reset_accounting()

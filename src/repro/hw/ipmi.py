@@ -68,4 +68,5 @@ class NodeManagerEnergyCounter:
 
     @property
     def now_s(self) -> float:
+        """The meter's notion of current time, in seconds."""
         return self._now_s

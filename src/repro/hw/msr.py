@@ -81,10 +81,12 @@ class UncoreRatioLimit:
 
     @property
     def min_ghz(self) -> float:
+        """The encoded minimum uncore frequency, in GHz."""
         return ratio_to_ghz(min(self.min_ratio, self.max_ratio))
 
     @property
     def max_ghz(self) -> float:
+        """The encoded maximum uncore frequency, in GHz."""
         return ratio_to_ghz(self.max_ratio)
 
     def encode(self) -> int:
@@ -132,6 +134,7 @@ class MsrFile:
         self.registers[address] = reset_value & _MASK64
 
     def is_implemented(self, address: int) -> bool:
+        """Whether this model implements the given MSR address."""
         return address in self.registers
 
     def on_write(self, address: int, hook: Callable[[int], None]) -> None:
@@ -161,11 +164,13 @@ class MsrFile:
     # -- typed helpers for the registers the simulator cares about --------
 
     def read_uncore_limits(self) -> UncoreRatioLimit:
+        """Read UNCORE_RATIO_LIMIT (0x620); no privilege needed."""
         return UncoreRatioLimit.decode(self.read(MSR_UNCORE_RATIO_LIMIT))
 
     def write_uncore_limits(
         self, limits: UncoreRatioLimit, *, privileged: bool = False
     ) -> None:
+        """Write UNCORE_RATIO_LIMIT (0x620); privileged."""
         self.write(MSR_UNCORE_RATIO_LIMIT, limits.encode(), privileged=privileged)
 
     def read_perf_ctl_ratio(self) -> int:
@@ -173,6 +178,7 @@ class MsrFile:
         return (self.read(MSR_IA32_PERF_CTL) >> 8) & 0xFF
 
     def write_perf_ctl_ratio(self, ratio: int, *, privileged: bool = False) -> None:
+        """Write the PERF_CTL target ratio; privileged."""
         if not 0 <= ratio <= 0xFF:
             raise ValueError(f"core ratio {ratio} does not fit in 8 bits")
         self.write(MSR_IA32_PERF_CTL, (ratio & 0xFF) << 8, privileged=privileged)
@@ -203,6 +209,7 @@ class MsrFile:
         return self.read(MSR_IA32_ENERGY_PERF_BIAS) & 0xF
 
     def write_epb(self, epb: int, *, privileged: bool = False) -> None:
+        """Write the energy/performance-bias MSR; privileged."""
         if not 0 <= epb <= 15:
             raise ValueError(f"EPB {epb} out of range 0..15")
         self.write(MSR_IA32_ENERGY_PERF_BIAS, epb, privileged=privileged)

@@ -81,10 +81,12 @@ class NodePower:
 
     @property
     def pck_total_w(self) -> float:
+        """Both sockets' package power, in watts."""
         return sum(self.pck_w)
 
     @property
     def dc_w(self) -> float:
+        """Node DC power: packages, DRAM and platform, in watts."""
         return self.pck_total_w + self.dram_w + self.platform_w + self.gpus_w
 
 
@@ -105,6 +107,7 @@ class NodeConfig:
 
     @property
     def n_cores(self) -> int:
+        """Total cores across the node's sockets."""
         return self.n_sockets * self.pstates.n_cores
 
 
@@ -192,14 +195,17 @@ class Node:
 
     @property
     def core_target_ghz(self) -> float:
+        """The programmed (pre-licence) core clock target."""
         return self.sockets[0].target_freq_ghz
 
     @property
     def uncore_freq_ghz(self) -> float:
+        """The uncore's current frequency, in GHz."""
         return self.sockets[0].uncore.freq_ghz
 
     @property
     def elapsed_s(self) -> float:
+        """Simulated time this node has executed, in seconds."""
         return self._elapsed_s
 
     # -- hardware control loop -------------------------------------------------

@@ -47,6 +47,7 @@ class VoltageCurve:
     f0_ghz: float = 1.0
 
     def volts(self, freq_ghz: float) -> float:
+        """Operating voltage at a core frequency (linear V-f curve)."""
         if freq_ghz <= 0:
             raise HardwareError(f"frequency must be positive, got {freq_ghz}")
         return self.v0 + self.slope * max(0.0, freq_ghz - self.f0_ghz)
@@ -99,6 +100,7 @@ class SocketPowerBreakdown:
 
     @property
     def total_w(self) -> float:
+        """Package power: base plus cores plus uncore, in watts."""
         return self.base_w + self.cores_w + self.uncore_w
 
 

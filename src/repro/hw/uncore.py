@@ -95,5 +95,6 @@ class UncoreDomain:
         return ratio_to_ghz(1) * (self._ratio_seconds / self._seconds)
 
     def reset_accounting(self) -> None:
+        """Zero the uncore frequency-accounting accumulators."""
         self._ratio_seconds = 0.0
         self._seconds = 0.0

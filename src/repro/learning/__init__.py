@@ -1,0 +1,40 @@
+"""The coefficient-learning subsystem (EAR's offline learning phase).
+
+End-to-end reproduction of how EAR obtains its projection-model
+coefficients before any policy ever runs: sweep training kernels over
+the P-state × uncore grid (:class:`LearningGrid`), fit per-node-type
+per-pair regressions from the measured signatures (:func:`fit_table`),
+validate against held-out workloads (:func:`validate_table`) and
+persist the table where ``EarConfig(coefficients_path=...)`` resolves
+it.  :class:`LearningCampaign` ties the stages together; the
+``repro-ear learn`` CLI subcommand drives it.
+"""
+
+from .campaign import MONITORING_CONFIG, LearningCampaign, default_kernels
+from .fit import MAX_SCALAR_VPI, MIN_PAIR_OBSERVATIONS, fit_table
+from .grid import GridObservation, LearningGrid
+from .validate import (
+    DEFAULT_ERROR_THRESHOLD,
+    TargetError,
+    ValidationReport,
+    WorkloadValidation,
+    default_validation_workloads,
+    validate_table,
+)
+
+__all__ = [
+    "MONITORING_CONFIG",
+    "LearningCampaign",
+    "default_kernels",
+    "MAX_SCALAR_VPI",
+    "MIN_PAIR_OBSERVATIONS",
+    "fit_table",
+    "GridObservation",
+    "LearningGrid",
+    "DEFAULT_ERROR_THRESHOLD",
+    "TargetError",
+    "ValidationReport",
+    "WorkloadValidation",
+    "default_validation_workloads",
+    "validate_table",
+]

@@ -1,0 +1,300 @@
+"""The learning campaign: measure → fit → validate → save.
+
+This is the reproduction of EAR's offline *learning phase*.  A
+:class:`LearningCampaign` takes a node type and a battery of training
+kernels, sweeps them over a :class:`~repro.learning.grid.LearningGrid`
+through the experiment pool (so grid runs are cached, parallel and
+deterministic like every other experiment), fits a
+:class:`~repro.ear.models.CoefficientTable` from the measured
+signatures, optionally validates it against held-out workloads, and
+saves it where :func:`repro.ear.models.resolve_coefficients` will find
+it (``EarConfig(coefficients_path=<dir>)``).
+
+Each grid point is executed as a *pinned monitoring run*: the
+``monitoring`` policy observes signatures without programming
+frequencies, while the harness pins the core clock to the grid P-state
+and the uncore to the grid frequency — exactly the shape of EAR's
+``compute coefficients`` jobs, where the batch system fixes frequencies
+and EARL only measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..ear.config import EarConfig
+from ..ear.models import CoefficientTable, coefficients_file, save_coefficients
+from ..ear.signature import Signature
+from ..errors import LearningError
+from ..experiments.parallel import ExperimentPool, RunRequest, default_pool
+from ..hw.node import NodeConfig
+from ..sim.result import RunResult
+from ..telemetry.recorder import NULL_RECORDER, Recorder
+from ..workloads.app import Workload
+from .grid import GridObservation, LearningGrid
+from .fit import fit_table
+from .validate import (
+    DEFAULT_ERROR_THRESHOLD,
+    ValidationReport,
+    default_validation_workloads,
+    validate_table,
+)
+
+__all__ = ["MONITORING_CONFIG", "LearningCampaign", "default_kernels"]
+
+#: the observe-only configuration every grid run executes under: the
+#: monitoring policy records signatures, applies nothing, and uses the
+#: analytic coefficients (the fitted table obviously cannot be used to
+#: measure its own training data).
+MONITORING_CONFIG = EarConfig(policy="monitoring")
+
+
+def default_kernels(node_config: NodeConfig) -> tuple[Workload, ...]:
+    """The training battery for a node type (matched by config name).
+
+    The single-node kernels of the paper's Table II plus the multi-node
+    motivation kernels of Table I, filtered to the requested node type —
+    the same mix of CPU-bound, memory-bound and AVX-dense behaviour the
+    real learning phase feeds on.
+    """
+    from ..workloads import kernels as k
+
+    battery = (
+        k.bt_mz_c_openmp(),
+        k.sp_mz_c_openmp(),
+        k.dgemm_mkl(),
+        k.stream_triad(),
+        k.bt_mz_c_mpi(),
+        k.lu_d_mpi(),
+        k.bt_cuda_d(),
+        k.lu_cuda_d(),
+    )
+    selected = tuple(w for w in battery if w.node_config.name == node_config.name)
+    if not selected:
+        raise LearningError(
+            f"no training kernels are defined for node type {node_config.name!r}"
+        )
+    return selected
+
+
+def _steady(signatures: tuple[Signature, ...]) -> Signature:
+    """Collapse a run's signature trace into one steady-state signature.
+
+    The first window still carries ramp-up (cold caches, UFS
+    convergence); with more than one window it is dropped and the rest
+    are averaged field-wise, weighted equally per window.
+    """
+    if not signatures:
+        raise LearningError(
+            "grid run produced no signatures; the kernel is too short for "
+            "the configured signature window — raise the grid scale"
+        )
+    windows = signatures[1:] if len(signatures) > 1 else signatures
+    n = len(windows)
+    first = windows[0]
+    if n == 1:
+        return first
+    return replace(
+        first,
+        iteration_time_s=sum(s.iteration_time_s for s in windows) / n,
+        dc_power_w=sum(s.dc_power_w for s in windows) / n,
+        cpi=sum(s.cpi for s in windows) / n,
+        tpi=sum(s.tpi for s in windows) / n,
+        gbs=sum(s.gbs for s in windows) / n,
+        vpi=sum(s.vpi for s in windows) / n,
+        avg_cpu_freq_ghz=sum(s.avg_cpu_freq_ghz for s in windows) / n,
+        avg_imc_freq_ghz=sum(s.avg_imc_freq_ghz for s in windows) / n,
+        iterations=sum(s.iterations for s in windows),
+    )
+
+
+class LearningCampaign:
+    """One end-to-end learning phase for one node type.
+
+    Parameters
+    ----------
+    node_config:
+        The node type to learn coefficients for.
+    kernels:
+        Training battery; defaults to :func:`default_kernels`.
+    grid:
+        The measurement sweep; defaults to ``LearningGrid.full``.
+    pool:
+        Experiment pool the grid runs go through; defaults to the
+        process-default pool (shared cache, CLI-configured jobs).
+    recorder:
+        Telemetry sink for the campaign-scope events
+        (``learning/grid_run``, ``learning/fit``, ``learning/validate``);
+        silent by default.
+    """
+
+    def __init__(
+        self,
+        node_config: NodeConfig,
+        *,
+        kernels: tuple[Workload, ...] | None = None,
+        grid: LearningGrid | None = None,
+        pool: ExperimentPool | None = None,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> None:
+        self.node_config = node_config
+        self.kernels = kernels if kernels is not None else default_kernels(node_config)
+        self.grid = grid if grid is not None else LearningGrid.full(node_config)
+        self.pool = pool if pool is not None else default_pool()
+        self.recorder = recorder
+        for w in self.kernels:
+            if w.node_config.name != node_config.name:
+                raise LearningError(
+                    f"kernel {w.name!r} targets node type "
+                    f"{w.node_config.name!r}, not {node_config.name!r}"
+                )
+        bad = [p for p in self.grid.pstates if not 0 <= p < len(node_config.pstates)]
+        if bad:
+            raise LearningError(
+                f"grid P-states {bad} outside this node's range "
+                f"0..{len(node_config.pstates) - 1}"
+            )
+
+    # -- stages ---------------------------------------------------------
+
+    def measure(self) -> tuple[GridObservation, ...]:
+        """Run the whole grid through the pool; return all observations.
+
+        The batch is submitted flat (every kernel × P-state × uncore ×
+        seed at once) so cache misses saturate the worker pool.
+        """
+        freqs = self.node_config.pstates.frequencies_ghz
+        points = [
+            (kernel, pstate, uncore, seed)
+            for kernel in self.kernels
+            for pstate in self.grid.pstates
+            for uncore in self.grid.uncore_ghz
+            for seed in self.grid.seeds
+        ]
+        requests = [
+            RunRequest(
+                workload=kernel,
+                ear_config=MONITORING_CONFIG,
+                seed=seed,
+                scale=self.grid.scale,
+                pin_cpu_ghz=freqs[pstate],
+                pin_uncore_ghz=uncore,
+            )
+            for kernel, pstate, uncore, seed in points
+        ]
+        results = self.pool.run_many(requests)
+        observations = tuple(
+            GridObservation(
+                kernel=kernel.name,
+                pstate=pstate,
+                uncore_ghz=uncore,
+                seed=seed,
+                signature=self._steady_of(kernel, result),
+            )
+            for (kernel, pstate, uncore, seed), result in zip(points, results)
+        )
+        for kernel in self.kernels:
+            self.recorder.event(
+                "learning",
+                "grid_run",
+                node_type=self.node_config.name,
+                kernel=kernel.name,
+                n_runs=self.grid.runs_per_kernel,
+                n_pstates=len(self.grid.pstates),
+                n_uncore=len(self.grid.uncore_ghz),
+                scale=self.grid.scale,
+            )
+        return observations
+
+    @staticmethod
+    def _steady_of(kernel: Workload, result: RunResult) -> Signature:
+        try:
+            return _steady(result.signatures)
+        except LearningError as exc:
+            raise LearningError(f"{kernel.name}: {exc}") from None
+
+    def fit(
+        self, observations: tuple[GridObservation, ...] | None = None
+    ) -> CoefficientTable:
+        """Fit the coefficient table (measuring first if needed)."""
+        if observations is None:
+            observations = self.measure()
+        table = fit_table(observations, self.node_config)
+        quality = table.quality
+        assert quality is not None
+        self.recorder.event(
+            "learning",
+            "fit",
+            node_type=self.node_config.name,
+            n_observations=quality.n_observations,
+            n_kernels=len(quality.kernels),
+            min_r2_cpi=quality.min_r2_cpi,
+            min_r2_power=quality.min_r2_power,
+            max_rel_time_err=quality.max_rel_time_err,
+            max_rel_power_err=quality.max_rel_power_err,
+            avx512_licence_ghz=quality.avx512_licence_ghz,
+        )
+        return table
+
+    def validate(
+        self,
+        table: CoefficientTable,
+        *,
+        workloads: tuple[Workload, ...] | None = None,
+        threshold: float = DEFAULT_ERROR_THRESHOLD,
+    ) -> ValidationReport:
+        """Replay held-out workloads against the fitted table."""
+        if workloads is None:
+            workloads = default_validation_workloads(self.node_config)
+        report = validate_table(
+            table,
+            self.node_config,
+            workloads,
+            pool=self.pool,
+            scale=self.grid.scale,
+            threshold=threshold,
+        )
+        for wv in report.workloads:
+            self.recorder.event(
+                "learning",
+                "validate",
+                node_type=self.node_config.name,
+                workload=wv.workload,
+                max_rel_time_err=wv.max_rel_time_err,
+                max_rel_power_err=wv.max_rel_power_err,
+                threshold=threshold,
+                passed=bool(
+                    wv.max_rel_time_err <= threshold
+                    and wv.max_rel_power_err <= threshold
+                ),
+            )
+        return report
+
+    def save(self, table: CoefficientTable, out_dir) -> str:
+        """Write the fitted table where the runtime resolver looks."""
+        path = coefficients_file(out_dir, self.node_config.name)
+        save_coefficients(table, path)
+        return str(path)
+
+    def run(
+        self,
+        *,
+        out_dir=None,
+        validate: bool = False,
+        threshold: float = DEFAULT_ERROR_THRESHOLD,
+    ) -> tuple[CoefficientTable, ValidationReport | None]:
+        """The full phase: measure, fit, optionally validate, save.
+
+        Validation failure (held-out projection error above the
+        threshold) raises :class:`~repro.errors.LearningError` *before*
+        the table is saved — a table that fails validation never lands
+        where a run could pick it up.
+        """
+        table = self.fit()
+        report = None
+        if validate:
+            report = self.validate(table, threshold=threshold)
+            report.raise_if_failed()
+        if out_dir is not None:
+            self.save(table, out_dir)
+        return table, report

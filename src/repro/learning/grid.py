@@ -1,0 +1,102 @@
+"""The measurement grid of the learning phase.
+
+EAR's ``compute coefficients`` jobs sweep the training kernels over
+every CPU P-state; this reproduction extends the sweep with explicit
+uncore points (the paper's subject is precisely the uncore dimension),
+so each kernel is measured at every (P-state, uncore frequency, seed)
+combination.  :class:`LearningGrid` describes that sweep;
+:class:`GridObservation` is one measured point of it.
+
+Both grid constructors cover **all** P-states of the node — the fitted
+table must contain every (from, to) pair or the runtime model refuses
+to load it — and differ only in the uncore points, the seed count and
+the workload scale (i.e. in cost and fit quality, never in coverage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LearningError
+from ..ear.signature import Signature
+from ..hw.node import NodeConfig
+
+__all__ = ["LearningGrid", "GridObservation"]
+
+
+@dataclass(frozen=True)
+class GridObservation:
+    """One steady-state signature measured at a grid point."""
+
+    kernel: str
+    #: requested CPU P-state (the AVX licence may clamp the effective
+    #: clock below it; the signature records what actually ran).
+    pstate: int
+    #: pinned uncore frequency, GHz.
+    uncore_ghz: float
+    seed: int
+    signature: Signature
+
+
+@dataclass(frozen=True)
+class LearningGrid:
+    """The (P-state × uncore × seed) sweep one campaign measures."""
+
+    pstates: tuple[int, ...]
+    uncore_ghz: tuple[float, ...]
+    seeds: tuple[int, ...] = (101,)
+    #: iteration-count scale applied to every kernel (the learning
+    #: phase needs steady-state windows, not full-length runs).
+    scale: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not self.pstates or not self.uncore_ghz or not self.seeds:
+            raise LearningError("a learning grid cannot have an empty axis")
+        if len(set(self.pstates)) != len(self.pstates):
+            raise LearningError(f"duplicate P-states in grid: {self.pstates}")
+        if not 0.0 < self.scale <= 1.0:
+            raise LearningError(f"grid scale {self.scale} outside (0, 1]")
+
+    @property
+    def runs_per_kernel(self) -> int:
+        """Grid points (= simulation runs) each kernel contributes."""
+        return len(self.pstates) * len(self.uncore_ghz) * len(self.seeds)
+
+    @staticmethod
+    def _uncore_span(node_config: NodeConfig) -> tuple[float, float]:
+        lo = node_config.uncore_min_ratio / 10.0
+        hi = node_config.uncore_max_ratio / 10.0
+        return lo, hi
+
+    @classmethod
+    def full(cls, node_config: NodeConfig) -> "LearningGrid":
+        """The production grid: all P-states, three uncore points.
+
+        Three uncore frequencies (silicon min, midpoint, max) give the
+        TPI regressors enough spread to separate the memory term from
+        the CPI term in every pair fit.
+        """
+        lo, hi = cls._uncore_span(node_config)
+        mid = round((lo + hi) / 2, 1)
+        return cls(
+            pstates=tuple(range(len(node_config.pstates))),
+            uncore_ghz=(lo, mid, hi),
+            seeds=(101,),
+            scale=0.3,
+        )
+
+    @classmethod
+    def coarse(cls, node_config: NodeConfig) -> "LearningGrid":
+        """The cheap grid: all P-states, uncore endpoints only.
+
+        Roughly a third of the full grid's simulation time; still
+        complete in P-state coverage, at the price of wider projection
+        error bars.  Meant for smoke tests and quick iterations.
+        """
+        lo, hi = cls._uncore_span(node_config)
+        return cls(
+            pstates=tuple(range(len(node_config.pstates))),
+            uncore_ghz=(lo, hi),
+            seeds=(101,),
+            scale=0.15,
+        )

@@ -1,0 +1,231 @@
+"""Held-out validation of a fitted coefficient table.
+
+The learning phase is only trustworthy if the fitted projections hold
+on workloads the fit never saw.  This stage replays held-out workloads
+at the nominal P-state (hardware UFS, observe-only policy), projects
+their signatures to a sample of target P-states through the fitted
+table, runs the same workloads pinned at those targets, and compares
+projection against observation.  Errors above the threshold fail
+loudly (:meth:`ValidationReport.raise_if_failed`) — a table that
+mispredicts held-out codes must never reach a policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ear.models import Avx512Model, CoefficientTable
+from ..errors import LearningError
+from ..experiments.parallel import ExperimentPool, RunRequest, default_pool
+from ..hw.node import NodeConfig
+from ..workloads.app import Workload
+
+__all__ = [
+    "DEFAULT_ERROR_THRESHOLD",
+    "TargetError",
+    "WorkloadValidation",
+    "ValidationReport",
+    "default_validation_workloads",
+    "validate_table",
+]
+
+#: maximum held-out relative projection error (time and power) a table
+#: may show before validation fails.  The worst errors concentrate at
+#: the P-state floor on MPI applications with a large frequency-
+#: invariant wait share — time the CPI/TPI regressors cannot see —
+#: which lands at 10-16 % for the full training battery; the default
+#: tolerates that known model limitation and still rejects genuinely
+#: broken fits (an unanchored battery mispredicts HPCG by ~100 %).
+DEFAULT_ERROR_THRESHOLD = 0.20
+
+#: seed for validation runs; disjoint from the training grid's seeds so
+#: validation never replays a training simulation byte for byte.
+VALIDATION_SEED = 211
+
+
+@dataclass(frozen=True)
+class TargetError:
+    """Projection vs. observation at one target P-state."""
+
+    pstate: int
+    projected_time_s: float
+    observed_time_s: float
+    projected_power_w: float
+    observed_power_w: float
+
+    @property
+    def rel_time_err(self) -> float:
+        """Relative time projection error at this target."""
+        return abs(self.projected_time_s - self.observed_time_s) / self.observed_time_s
+
+    @property
+    def rel_power_err(self) -> float:
+        """Relative power projection error at this target."""
+        return abs(self.projected_power_w - self.observed_power_w) / self.observed_power_w
+
+
+@dataclass(frozen=True)
+class WorkloadValidation:
+    """All target-P-state errors for one held-out workload."""
+
+    workload: str
+    targets: tuple[TargetError, ...]
+
+    @property
+    def max_rel_time_err(self) -> float:
+        """Worst time error over this workload's targets."""
+        return max(t.rel_time_err for t in self.targets)
+
+    @property
+    def max_rel_power_err(self) -> float:
+        """Worst power error over this workload's targets."""
+        return max(t.rel_power_err for t in self.targets)
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """The validation stage's verdict for one fitted table."""
+
+    node_name: str
+    threshold: float
+    workloads: tuple[WorkloadValidation, ...]
+
+    @property
+    def max_rel_time_err(self) -> float:
+        """Worst time error over all held-out workloads."""
+        return max(w.max_rel_time_err for w in self.workloads)
+
+    @property
+    def max_rel_power_err(self) -> float:
+        """Worst power error over all held-out workloads."""
+        return max(w.max_rel_power_err for w in self.workloads)
+
+    @property
+    def passed(self) -> bool:
+        """True when every held-out error is within the threshold."""
+        return (
+            self.max_rel_time_err <= self.threshold
+            and self.max_rel_power_err <= self.threshold
+        )
+
+    def raise_if_failed(self) -> None:
+        """Fail loudly when the table mispredicts held-out workloads."""
+        if self.passed:
+            return
+        worst = max(
+            self.workloads,
+            key=lambda w: max(w.max_rel_time_err, w.max_rel_power_err),
+        )
+        raise LearningError(
+            f"validation failed for {self.node_name!r}: worst held-out "
+            f"projection error {max(worst.max_rel_time_err, worst.max_rel_power_err):.1%} "
+            f"on {worst.workload!r} exceeds the {self.threshold:.0%} threshold"
+        )
+
+    def summary(self) -> str:
+        """Human-readable per-workload error table."""
+        lines = [
+            f"validation for {self.node_name} "
+            f"(threshold {self.threshold:.0%}): "
+            + ("PASS" if self.passed else "FAIL")
+        ]
+        for w in self.workloads:
+            lines.append(
+                f"  {w.workload:<12s} time err {w.max_rel_time_err:6.2%}  "
+                f"power err {w.max_rel_power_err:6.2%}"
+            )
+        return "\n".join(lines)
+
+
+def default_validation_workloads(node_config: NodeConfig) -> tuple[Workload, ...]:
+    """Held-out battery for a node type.
+
+    For the paper's main testbed these are production applications from
+    Table V-family runs (never part of the training battery).  Node
+    types without held-out applications fall back to the training
+    kernels themselves — self-validation, better than none, and flagged
+    as such by the kernel names in the report.
+    """
+    from ..workloads.applications import bqcd, gromacs_ion_channel, hpcg
+
+    apps = tuple(
+        w
+        for w in (hpcg(), bqcd(), gromacs_ion_channel())
+        if w.node_config.name == node_config.name
+    )
+    if apps:
+        return apps
+    from .campaign import default_kernels
+
+    return default_kernels(node_config)
+
+
+def _target_pstates(n_states: int, from_ps: int) -> tuple[int, ...]:
+    """A small spread of target states: near-nominal, midrange, floor."""
+    candidates = {2, n_states // 2, n_states - 1}
+    candidates.discard(from_ps)
+    return tuple(sorted(p for p in candidates if 0 <= p < n_states))
+
+
+def validate_table(
+    table: CoefficientTable,
+    node_config: NodeConfig,
+    workloads: tuple[Workload, ...],
+    *,
+    pool: ExperimentPool | None = None,
+    scale: float = 0.3,
+    threshold: float = DEFAULT_ERROR_THRESHOLD,
+) -> ValidationReport:
+    """Compare fitted projections against observed held-out runs.
+
+    Every workload runs once pinned at the nominal clock (hardware UFS
+    active, as the runtime's first measurement window would see it) and
+    once per sampled target P-state; the report holds the relative
+    time/power projection errors.  This function only *measures* —
+    judgement is :meth:`ValidationReport.raise_if_failed`.
+    """
+    if not workloads:
+        raise LearningError("validation needs at least one held-out workload")
+    from .campaign import MONITORING_CONFIG, _steady
+
+    pool = pool if pool is not None else default_pool()
+    pstates = node_config.pstates
+    from_ps = pstates.nominal_pstate
+    targets = _target_pstates(len(pstates), from_ps)
+    model = Avx512Model(table, pstates)
+
+    points = [(w, p) for w in workloads for p in (from_ps, *targets)]
+    requests = [
+        RunRequest(
+            workload=w,
+            ear_config=MONITORING_CONFIG,
+            seed=VALIDATION_SEED,
+            scale=scale,
+            pin_cpu_ghz=pstates.freq_of(p),
+        )
+        for w, p in points
+    ]
+    results = dict(zip(points, pool.run_many(requests)))
+
+    validations = []
+    for w in workloads:
+        base = _steady(results[(w, from_ps)].signatures)
+        errors = []
+        for p in targets:
+            observed = _steady(results[(w, p)].signatures)
+            projected = model.project(base, from_ps, p)
+            errors.append(
+                TargetError(
+                    pstate=p,
+                    projected_time_s=projected.time_s,
+                    observed_time_s=observed.iteration_time_s,
+                    projected_power_w=projected.power_w,
+                    observed_power_w=observed.dc_power_w,
+                )
+            )
+        validations.append(WorkloadValidation(workload=w.name, targets=tuple(errors)))
+    return ValidationReport(
+        node_name=node_config.name,
+        threshold=threshold,
+        workloads=tuple(validations),
+    )

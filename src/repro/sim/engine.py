@@ -99,7 +99,16 @@ class SimulationEngine:
         if ear_config is not None and (
             pin_cpu_ghz is not None or pin_uncore_ghz is not None
         ):
-            raise ExperimentError("cannot pin frequencies under an EAR policy")
+            # Pins under an observe-only policy are the learning phase:
+            # EAR's "compute coefficients" jobs measure signatures at a
+            # fixed operating point.  A frequency-setting policy would
+            # fight the pins, so those stay rejected.
+            from ..ear.policies.registry import policy_applies_frequencies
+
+            if policy_applies_frequencies(ear_config.policy):
+                raise ExperimentError(
+                    "cannot pin frequencies under a frequency-setting EAR policy"
+                )
         self.workload = workload.calibrated()
         self.ear_config = ear_config
         self.seed = seed

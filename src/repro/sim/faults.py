@@ -214,13 +214,16 @@ class HealthMonitor:
 
     @property
     def degraded(self) -> bool:
+        """True while the node is in watchdog-degraded mode."""
         return self._degraded_since is not None
 
     def enter_degraded(self, at_s: float) -> None:
+        """Mark the node degraded from the given simulated time."""
         if self._degraded_since is None:
             self._degraded_since = at_s
 
     def exit_degraded(self, at_s: float) -> None:
+        """Leave degraded mode, accumulating the degraded interval."""
         if self._degraded_since is not None:
             self.degraded_s += max(0.0, at_s - self._degraded_since)
             self._degraded_since = None
@@ -230,6 +233,7 @@ class HealthMonitor:
         self.exit_degraded(at_s)
 
     def snapshot(self) -> NodeHealth:
+        """Freeze the health tallies into a NodeHealth record."""
         return NodeHealth(
             **{f.name: getattr(self, f.name) for f in fields(NodeHealth)}
         )

@@ -99,10 +99,12 @@ class RunResult:
 
     @property
     def avg_cpu_freq_ghz(self) -> float:
+        """Run-average effective core frequency (node 0)."""
         return sum(n.avg_cpu_freq_ghz for n in self.nodes) / len(self.nodes)
 
     @property
     def avg_imc_freq_ghz(self) -> float:
+        """Run-average uncore frequency (node 0)."""
         return sum(n.avg_imc_freq_ghz for n in self.nodes) / len(self.nodes)
 
     @property
@@ -171,4 +173,5 @@ class RunResult:
         }
 
     def to_json(self, *, indent: int | None = None) -> str:
+        """JSON-serialisable summary of the run."""
         return json.dumps(self.to_dict(), indent=indent)

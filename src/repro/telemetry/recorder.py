@@ -59,6 +59,7 @@ class TelemetryEvent:
 
     @property
     def payload_dict(self) -> dict[str, Scalar]:
+        """The payload as a plain dict."""
         return dict(self.payload)
 
     def to_dict(self) -> dict:
@@ -130,14 +131,17 @@ class NodeTelemetry:
 
     @property
     def counters_dict(self) -> dict[str, float]:
+        """The counters as a plain dict."""
         return dict(self.counters)
 
     @property
     def gauges_dict(self) -> dict[str, float]:
+        """The gauges as a plain dict."""
         return dict(self.gauges)
 
     @property
     def timers_dict(self) -> dict[str, tuple[int, float]]:
+        """Timers as ``name -> (count, total_seconds)``."""
         return {name: (count, total) for name, count, total in self.timers}
 
 
@@ -168,6 +172,7 @@ class EventRecorder(Recorder):
     def event(
         self, subsystem: str, kind: str, *, time_s: float | None = None, **payload: Scalar
     ) -> None:
+        """Record one typed event, stamped with the node clock."""
         self.events.append(
             TelemetryEvent(
                 node=self.node,
@@ -179,12 +184,15 @@ class EventRecorder(Recorder):
         )
 
     def counter(self, name: str, value: float = 1.0) -> None:
+        """Increment a monotonic counter."""
         self._counters[name] = self._counters.get(name, 0.0) + value
 
     def gauge(self, name: str, value: float) -> None:
+        """Set a gauge to its latest value."""
         self._gauges[name] = value
 
     def observe(self, name: str, seconds: float) -> None:
+        """Add one duration sample to a timer."""
         cell = self._timers.get(name)
         if cell is None:
             self._timers[name] = [1, seconds]
@@ -193,6 +201,7 @@ class EventRecorder(Recorder):
             cell[1] += seconds
 
     def snapshot(self) -> NodeTelemetry:
+        """Freeze this recorder into an immutable NodeTelemetry."""
         return NodeTelemetry(
             node=self.node,
             events=tuple(self.events),

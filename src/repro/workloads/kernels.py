@@ -25,6 +25,7 @@ __all__ = [
     "bt_cuda_d",
     "lu_cuda_d",
     "dgemm_mkl",
+    "stream_triad",
     "bt_mz_c_mpi",
     "lu_d_mpi",
     "single_node_kernels",
@@ -176,6 +177,37 @@ def dgemm_mkl() -> Workload:
         n_processes=1,
         phases=((phase, 320),),
         description="Intel MKL double-precision matrix multiply (AVX-512)",
+    )
+
+
+def stream_triad() -> Workload:
+    """STREAM triad, 40 threads: the memory-bound learning anchor.
+
+    Not part of the paper's evaluation tables — this is the bandwidth
+    kernel EAR's own learning battery ships alongside DGEMM, included
+    so the coefficient fit sees the memory-bound end of the CPI range
+    (without it, projections for codes like HPCG extrapolate far
+    outside the training data and the validation stage rejects the
+    table).
+    """
+    phase = PhaseProfile(
+        name="stream.triad",
+        ref_iteration_s=0.40,
+        ref_cpi=2.90,
+        ref_gbs=180.0,
+        ref_dc_power_w=345.0,
+        s_core=0.10,
+        s_unc=0.18,
+        s_mem=0.60,
+        uncore_demand=1.0,
+    )
+    return Workload(
+        name="STREAM",
+        node_config=SD530,
+        n_nodes=1,
+        n_processes=1,
+        phases=((phase, 400),),
+        description="STREAM triad bandwidth kernel (a(i) = b(i) + q*c(i))",
     )
 
 

@@ -47,6 +47,65 @@ class TestRoundtrip:
         assert proj.time_s > sig.iteration_time_s
 
 
+class TestFormatV2:
+    def test_source_defaults_to_analytic_round_trip(
+        self, sd530_coefficients, tmp_path
+    ):
+        path = tmp_path / "sd530.json"
+        save_coefficients(sd530_coefficients, path)
+        assert load_coefficients(path).source == "analytic"
+
+    def test_quality_round_trips(self, sd530_coefficients, tmp_path):
+        from repro.ear.models import PairQuality, TableQuality
+        from repro.ear.models.coefficients import CoefficientTable
+
+        table = CoefficientTable(
+            sd530_coefficients.node_name, sd530_coefficients.pstate_freqs_ghz
+        )
+        for (f, t), coeffs in sd530_coefficients.items():
+            table.set(f, t, coeffs)
+        table.source = "fitted"
+        table.quality = TableQuality(
+            n_observations=96,
+            kernels=("BT-MZ.C", "STREAM"),
+            min_r2_cpi=0.99,
+            min_r2_power=0.9,
+            max_rel_time_err=0.04,
+            max_rel_power_err=0.06,
+            avx512_licence_ghz=2.2,
+            pairs=(
+                PairQuality(
+                    from_ps=0,
+                    to_ps=1,
+                    n_obs=6,
+                    r2_cpi=0.999,
+                    r2_power=0.95,
+                    max_rel_time_err=0.01,
+                    max_rel_power_err=0.02,
+                ),
+            ),
+        )
+        path = tmp_path / "fitted.json"
+        save_coefficients(table, path)
+        restored = load_coefficients(path)
+        assert restored.source == "fitted"
+        assert restored.quality == table.quality
+
+    def test_v1_files_still_load(self, sd530_coefficients, tmp_path):
+        # a pre-quality file: no source, no quality keys
+        path = tmp_path / "v1.json"
+        save_coefficients(sd530_coefficients, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 1
+        payload.pop("source", None)
+        payload.pop("quality", None)
+        path.write_text(json.dumps(payload))
+        restored = load_coefficients(path)
+        assert restored.source == "fitted"
+        assert restored.quality is None
+        assert len(restored) == len(sd530_coefficients)
+
+
 class TestValidation:
     def test_missing_file(self, tmp_path):
         with pytest.raises(ModelError):

@@ -1,0 +1,51 @@
+"""Shared learning-phase fixtures.
+
+The grid campaign is the expensive part (a coarse SD530 grid is
+16 P-states x 2 uncore points per kernel), so one campaign is measured
+and fitted once per session and shared; the pool has a memory-only
+cache so re-measuring in a second campaign instance is free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.parallel import ExperimentPool, RunCache
+from repro.hw.node import SD530
+from repro.learning import LearningCampaign, LearningGrid
+from repro.workloads.kernels import bt_mz_c_openmp, dgemm_mkl, stream_triad
+
+
+@pytest.fixture(scope="session")
+def learning_pool():
+    """Serial pool with a memory cache shared by every campaign here."""
+    return ExperimentPool(jobs=1, cache=RunCache())
+
+
+@pytest.fixture(scope="session")
+def small_battery():
+    """Compute-bound + memory-bound + AVX-dense: the minimal useful mix."""
+    return (bt_mz_c_openmp(), stream_triad(), dgemm_mkl())
+
+
+@pytest.fixture(scope="session")
+def campaign(learning_pool, small_battery):
+    """A coarse-grid SD530 campaign over the small battery."""
+    return LearningCampaign(
+        SD530,
+        kernels=small_battery,
+        grid=LearningGrid.coarse(SD530),
+        pool=learning_pool,
+    )
+
+
+@pytest.fixture(scope="session")
+def observations(campaign):
+    """The campaign's measured grid observations."""
+    return campaign.measure()
+
+
+@pytest.fixture(scope="session")
+def fitted_table(campaign, observations):
+    """The coefficient table fitted from the session observations."""
+    return campaign.fit(observations)

@@ -1,0 +1,87 @@
+"""The fitted-vs-fallback resolution order and the bit-identity guarantee.
+
+With no fitted table present, every projection — and therefore every
+policy decision and every simulated run — must be *bit-identical* to
+the pre-learning behaviour, so existing results and cached runs stay
+valid.  Fitted tables are opt-in via ``EarConfig.coefficients_path``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.ear.models import (
+    Avx512Model,
+    coefficients_file,
+    make_model,
+    resolve_coefficients,
+    save_coefficients,
+    train_coefficients,
+)
+from repro.errors import ModelError
+from repro.hw.node import GPU_NODE, SD530
+from repro.sim.engine import run_workload
+from repro.workloads.kernels import bt_mz_c_openmp
+
+
+class TestResolutionOrder:
+    def test_none_is_the_analytic_table(self):
+        table = resolve_coefficients(SD530, EarConfig())
+        assert table is train_coefficients(SD530)
+        assert table.source == "analytic"
+
+    def test_empty_directory_falls_back_identically(self, tmp_path):
+        config = EarConfig(coefficients_path=str(tmp_path))
+        assert resolve_coefficients(SD530, config) is train_coefficients(SD530)
+
+    def test_directory_with_fitted_table_loads_it(self, fitted_table, tmp_path):
+        save_coefficients(fitted_table, coefficients_file(tmp_path, SD530.name))
+        config = EarConfig(coefficients_path=str(tmp_path))
+        table = resolve_coefficients(SD530, config)
+        assert table.source == "fitted"
+        assert table is not train_coefficients(SD530)
+
+    def test_explicit_missing_file_raises(self, tmp_path):
+        config = EarConfig(coefficients_path=str(tmp_path / "nope.json"))
+        with pytest.raises(ModelError):
+            resolve_coefficients(SD530, config)
+
+    def test_incompatible_pstate_axis_rejected(self, fitted_table, tmp_path):
+        # an SD530-fitted table must not project for the 18-state GPU node
+        path = tmp_path / "sd530.json"
+        save_coefficients(fitted_table, path)
+        config = EarConfig(coefficients_path=str(path))
+        with pytest.raises(ModelError, match="P-states"):
+            resolve_coefficients(GPU_NODE, config)
+
+    def test_fitted_table_drives_the_avx512_model(self, fitted_table, tmp_path):
+        save_coefficients(fitted_table, coefficients_file(tmp_path, SD530.name))
+        model = make_model(SD530, EarConfig(coefficients_path=str(tmp_path)))
+        assert isinstance(model, Avx512Model)
+
+
+class TestBitIdentity:
+    def test_run_identical_with_and_without_empty_dir(self, tmp_path):
+        wl = bt_mz_c_openmp().scaled_iterations(0.2)
+        base = run_workload(wl, ear_config=EarConfig(), seed=7)
+        fall = run_workload(
+            wl,
+            ear_config=EarConfig(coefficients_path=str(tmp_path)),
+            seed=7,
+        )
+        assert fall.time_s == base.time_s
+        assert fall.dc_energy_j == base.dc_energy_j
+        assert fall.avg_cpu_freq_ghz == base.avg_cpu_freq_ghz
+        assert fall.avg_imc_freq_ghz == base.avg_imc_freq_ghz
+        assert fall.signatures == base.signatures
+        assert [d.freqs for d in fall.decisions] == [
+            d.freqs for d in base.decisions
+        ]
+
+    def test_coefficients_path_is_a_compared_config_field(self):
+        fields = {f.name: f for f in dataclasses.fields(EarConfig)}
+        assert fields["coefficients_path"].compare
+        a = EarConfig()
+        b = EarConfig(coefficients_path="somewhere")
+        assert a != b

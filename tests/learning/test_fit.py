@@ -1,0 +1,69 @@
+"""Least-squares fitting of coefficient tables from grid observations."""
+
+import pytest
+
+from repro.errors import LearningError
+from repro.hw.node import SD530
+from repro.learning import MIN_PAIR_OBSERVATIONS, fit_table
+
+N_STATES = len(SD530.pstates)
+
+
+class TestFitQuality:
+    def test_complete_and_fitted(self, fitted_table):
+        assert fitted_table.source == "fitted"
+        assert len(fitted_table) == N_STATES * (N_STATES - 1)
+        assert fitted_table.pstate_freqs_ghz == tuple(
+            SD530.pstates.frequencies_ghz
+        )
+
+    def test_goodness_of_fit_attached(self, fitted_table):
+        quality = fitted_table.quality
+        assert quality is not None
+        assert quality.min_r2_cpi > 0.9
+        assert quality.min_r2_power > 0.8
+        assert quality.max_rel_time_err < 0.25
+        assert len(quality.pairs) == N_STATES * (N_STATES - 1)
+
+    def test_licence_measured_from_avx_kernel(self, fitted_table):
+        # DGEMM is in the battery, so the licence plateau is observable
+        # and must land at the Xeon 6148's 2.2 GHz AVX-512 licence.
+        licence = fitted_table.quality.avx512_licence_ghz
+        assert licence == pytest.approx(2.2, abs=0.05)
+
+    def test_projection_tracks_frequency(self, fitted_table, observations):
+        # Projecting a nominal observation to a lower clock must predict
+        # a longer iteration: slowdown bounded by the frequency ratio.
+        obs = next(
+            o for o in observations if o.pstate == 1 and o.kernel == "BT-MZ.C"
+        )
+        freqs = SD530.pstates.frequencies_ghz
+        t_to, _ = fitted_table.project(obs.signature, 1, N_STATES - 1)
+        assert t_to > obs.signature.iteration_time_s
+        assert t_to < obs.signature.iteration_time_s * (
+            freqs[1] / freqs[N_STATES - 1]
+        ) * 1.1
+
+
+class TestFitFailures:
+    def test_empty_grid(self):
+        with pytest.raises(LearningError):
+            fit_table((), SD530)
+
+    def test_missing_pstates(self, observations):
+        partial = [o for o in observations if o.pstate in (0, 1)]
+        with pytest.raises(LearningError, match="P-states"):
+            fit_table(partial, SD530)
+
+    def test_too_few_matched_pairs(self, observations):
+        # keep just one (kernel, uncore, seed) coordinate per P-state:
+        # every pair then has fewer matches than the regression accepts.
+        assert MIN_PAIR_OBSERVATIONS > 1
+        seen = set()
+        thin = []
+        for o in observations:
+            if o.pstate not in seen:
+                seen.add(o.pstate)
+                thin.append(o)
+        with pytest.raises(LearningError, match="matched observations"):
+            fit_table(thin, SD530)

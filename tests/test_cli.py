@@ -237,3 +237,32 @@ class TestExecutionFlags:
     def test_negative_jobs_rejected(self):
         with pytest.raises(SystemExit):
             main(["--jobs", "-3", "list"])
+
+
+class TestLearn:
+    ARGS = ["learn", "--grid", "coarse", "--kernels", "BT-MZ.C,STREAM", "--scale", "0.1"]
+
+    def test_learn_fits_and_saves(self, tmp_path, capsys):
+        out = tmp_path / "coeffs"
+        jsonl = tmp_path / "events.jsonl"
+        assert main([*self.ARGS, "--out", str(out), "--jsonl", str(jsonl)]) == 0
+        printed = capsys.readouterr().out
+        assert "min R^2" in printed
+        assert list(out.glob("*.json"))
+        assert jsonl.exists()
+
+    def test_learn_without_saving(self, tmp_path, capsys):
+        assert main([*self.ARGS, "--out", "none"]) == 0
+        assert "saved to" not in capsys.readouterr().out
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit, match="unknown kernel"):
+            main(["learn", "--kernels", "WARP-SPEED", "--out", "none"])
+
+    def test_dump_docs_matches_generated_reference(self, capsys):
+        import pathlib
+
+        assert main(["--dump-docs"]) == 0
+        dumped = capsys.readouterr().out
+        repo = pathlib.Path(__file__).resolve().parent.parent
+        assert dumped == (repo / "docs" / "CLI.md").read_text()

@@ -1,0 +1,127 @@
+"""The docs-consistency checker: documented commands must parse."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser
+from repro.docscheck import (
+    Invocation,
+    check_cli_doc,
+    check_files,
+    check_invocation,
+    extract_invocations,
+    main,
+)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return build_parser()
+
+
+def invocations(text):
+    return list(extract_invocations(text, "doc.md"))
+
+
+class TestExtraction:
+    def test_fenced_block(self):
+        text = "```bash\nrepro-ear run -w HPCG\n```\n"
+        (inv,) = invocations(text)
+        assert inv.command == "repro-ear run -w HPCG"
+        assert inv.line == 2
+
+    def test_inline_span(self):
+        (inv,) = invocations("Use `repro-ear list` to see workloads.\n")
+        assert inv.command == "repro-ear list"
+
+    def test_backslash_continuation_joined(self):
+        text = "```\nrepro-ear telemetry -w HPCG \\\n    --jsonl out.jsonl\n```\n"
+        (inv,) = invocations(text)
+        assert inv.command == "repro-ear telemetry -w HPCG --jsonl out.jsonl"
+
+    def test_prompt_comment_and_placeholders_cleaned(self):
+        text = "```\n$ repro-ear --jobs N run -w <name> # fast\n```\n"
+        (inv,) = invocations(text)
+        assert inv.command == "repro-ear --jobs 1 run -w 1"
+
+    def test_prose_outside_backticks_ignored(self):
+        assert invocations("repro-ear is the entry point.\n") == []
+
+
+class TestCheckInvocation:
+    def check(self, parser, command):
+        return check_invocation(
+            Invocation(path="doc.md", line=1, command=command), parser
+        )
+
+    def test_valid_invocation(self, parser):
+        assert self.check(parser, "repro-ear run -w HPCG") is None
+
+    def test_bare_program_and_subcommand_mentions(self, parser):
+        assert self.check(parser, "repro-ear") is None
+        assert self.check(parser, "repro-ear resilience") is None
+
+    def test_global_flags_only_illustration(self, parser):
+        assert self.check(parser, "repro-ear --jobs 4") is None
+
+    def test_unknown_subcommand_fails(self, parser):
+        failure = self.check(parser, "repro-ear lern")
+        assert failure is not None
+        assert "lern" in failure.error
+
+    def test_unknown_flag_fails(self, parser):
+        failure = self.check(parser, "repro-ear run -w X --warp-speed")
+        assert failure is not None
+
+    def test_bad_value_fails(self, parser):
+        failure = self.check(parser, "repro-ear table not-a-number")
+        assert failure is not None
+
+
+class TestRepoDocs:
+    DOCS = [
+        REPO / "README.md",
+        REPO / "EXPERIMENTS.md",
+        *sorted((REPO / "docs").glob("*.md")),
+    ]
+
+    def test_every_documented_command_parses(self):
+        invs, failures = check_files(self.DOCS)
+        assert invs, "no documented commands found — extraction broke"
+        assert not failures, [
+            f"{f.invocation.path}:{f.invocation.line}: {f.error}"
+            for f in failures
+        ]
+
+    def test_generated_cli_reference_is_current(self):
+        assert check_cli_doc(REPO / "docs" / "CLI.md") is None
+
+    def test_stale_cli_doc_detected(self, tmp_path):
+        stale = tmp_path / "CLI.md"
+        stale.write_text("# old\n")
+        assert "stale" in check_cli_doc(stale)
+        assert "missing" in check_cli_doc(tmp_path / "absent.md")
+
+
+class TestMain:
+    def test_exit_zero_on_clean_docs(self, tmp_path, capsys):
+        doc = tmp_path / "ok.md"
+        doc.write_text("Run `repro-ear list` first.\n")
+        assert main([str(doc)]) == 0
+        assert "0 failure(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_drift(self, tmp_path, capsys):
+        doc = tmp_path / "bad.md"
+        doc.write_text("Run `repro-ear run --no-such-flag 1` first.\n")
+        assert main([str(doc)]) == 1
+        assert "bad.md:1" in capsys.readouterr().err
+
+    def test_exit_one_on_stale_cli_doc(self, tmp_path):
+        doc = tmp_path / "ok.md"
+        doc.write_text("nothing here\n")
+        stale = tmp_path / "CLI.md"
+        stale.write_text("# old\n")
+        assert main([str(doc), "--cli-doc", str(stale)]) == 1
