@@ -1,0 +1,159 @@
+"""Engine benchmark: scalar reference vs. batched numpy kernel.
+
+Times both inner loops on the cases that bracket the kernel's two
+paths — a single-node kernel, the paper's 16-node GROMACS(II) case
+(fully vectorizable: no EARL, no telemetry), and a coarse pinned
+learning grid like the coefficient-learning phase submits — and writes
+``results/BENCH_engine.json`` with wall times, iteration rates and
+speedups.
+
+Timing is honest: each case calls :func:`repro.sim.engine.run_workload`
+directly with ``time.perf_counter`` around it, bypassing the experiment
+pool and its run cache entirely.  Each (case, engine) pair is run once
+per seed and summed — the engines are deterministic, so seeds vary the
+work, not the noise floor.
+
+The CI gate (``REPRO_BENCH_SCALE=0.05``) asserts the batched kernel is
+never slower on the 16-node case; the full-scale run additionally
+asserts the ISSUE target of a >= 5x speedup there.  Result equivalence
+is asserted at the same 1e-9 relative tolerance as the dedicated gate
+in ``tests/sim/test_kernel_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.sim.engine import run_workload
+from repro.workloads import applications, kernels
+
+from .conftest import write_artefact
+
+REL_TOL = 1e-9
+ENGINES = ("scalar", "batched")
+
+# Fields of a per-node result that must agree between engines.
+_NODE_FIELDS = (
+    "dc_energy_j",
+    "pck_energy_j",
+    "seconds",
+    "avg_cpu_freq_ghz",
+    "avg_imc_freq_ghz",
+    "cpi",
+    "gbs",
+)
+
+
+def _check_equivalent(scalar, batched):
+    assert batched.time_s == pytest.approx(scalar.time_s, rel=REL_TOL)
+    assert len(batched.nodes) == len(scalar.nodes)
+    for ns, nb in zip(scalar.nodes, batched.nodes):
+        for field in _NODE_FIELDS:
+            assert getattr(nb, field) == pytest.approx(
+                getattr(ns, field), rel=REL_TOL, abs=1e-30
+            ), field
+
+
+def _iterations(wl) -> int:
+    return sum(n for _profile, n in wl.phases)
+
+
+def _time_case(wl, seeds, *, ear_config=None, pins=((None, None),)):
+    """Run one case under both engines; return the per-engine record."""
+    record = {}
+    results = {}
+    for engine in ENGINES:
+        start = time.perf_counter()
+        runs = [
+            run_workload(
+                wl,
+                ear_config=ear_config,
+                seed=s,
+                pin_cpu_ghz=cpu,
+                pin_uncore_ghz=unc,
+                engine=engine,
+            )
+            for cpu, unc in pins
+            for s in seeds
+        ]
+        wall = time.perf_counter() - start
+        n_runs = len(runs)
+        iters = _iterations(wl) * n_runs
+        record[engine] = {
+            "wall_s": wall,
+            "runs": n_runs,
+            "iterations": iters,
+            "iterations_per_s": iters / wall if wall > 0 else float("inf"),
+        }
+        results[engine] = runs
+    for rs, rb in zip(results["scalar"], results["batched"]):
+        _check_equivalent(rs, rb)
+    record["speedup"] = record["scalar"]["wall_s"] / record["batched"]["wall_s"]
+    return record
+
+
+def test_engine_speedup(benchmark, results_dir, scale, seeds):
+    def run():
+        single = kernels.bt_mz_c_openmp().scaled_iterations(scale)
+        sixteen = applications.gromacs_lignocellulose().scaled_iterations(scale)
+        # A coarse corner of the learning phase's pinned grid: the
+        # engines run with EAR disabled and both clocks pinned, the
+        # shape the coefficient-learning subsystem submits in bulk.
+        grid_wl = kernels.bt_mz_c_openmp().scaled_iterations(scale * 0.5)
+        grid = [
+            (cpu, unc)
+            for cpu in (2.4, 2.0)
+            for unc in (2.4, 1.8)
+        ]
+        return {
+            "scale": scale,
+            "seeds": list(seeds),
+            "cases": {
+                "single_node": {
+                    "workload": single.name,
+                    "n_nodes": single.n_nodes,
+                    "note": "single node, no EAR (vectorized path)",
+                    **_time_case(single, seeds),
+                },
+                "single_node_ear": {
+                    "workload": single.name,
+                    "n_nodes": single.n_nodes,
+                    "note": "single node, EAR policy (chunk-committed path)",
+                    **_time_case(single, seeds, ear_config=EarConfig()),
+                },
+                "16_node": {
+                    "workload": sixteen.name,
+                    "n_nodes": sixteen.n_nodes,
+                    "note": "paper's 16-node GROMACS(II), no EAR (the >=5x target)",
+                    **_time_case(sixteen, seeds),
+                },
+                "learning_grid": {
+                    "workload": grid_wl.name,
+                    "n_nodes": grid_wl.n_nodes,
+                    "note": "coarse pinned (cpu, uncore) learning grid",
+                    "grid_points": len(grid),
+                    **_time_case(grid_wl, seeds[:1], pins=grid),
+                },
+            },
+        }
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_artefact(
+        results_dir, "BENCH_engine.json", json.dumps(report, indent=2) + "\n"
+    )
+
+    # The CI gate: batched must never lose on the headline case.
+    headline = report["cases"]["16_node"]
+    assert headline["speedup"] >= 1.0, (
+        f"batched slower than scalar on 16-node: {headline['speedup']:.2f}x"
+    )
+    # The ISSUE target only binds at full scale — tiny smoke runs sit
+    # in fixed per-run overhead and understate the asymptotic speedup.
+    if scale >= 1.0:
+        assert headline["speedup"] >= 5.0, (
+            f"16-node full-scale speedup {headline['speedup']:.2f}x < 5x target"
+        )

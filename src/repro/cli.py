@@ -96,7 +96,7 @@ def _cmd_run(args) -> int:
         if args.policy not in configs:
             raise SystemExit(f"unknown config {args.policy!r}; use {sorted(configs)}")
         configs = {"none": None, args.policy: configs[args.policy]}
-    cmp_ = compare(wl, configs, scale=args.scale)
+    cmp_ = compare(wl, configs, scale=args.scale, engine=args.engine)
     rows = [
         [
             name,
@@ -286,7 +286,12 @@ def _cmd_timeline(args) -> int:
     # node 0 renders from the engine trace; other nodes only exist in
     # the per-node telemetry stream.
     result = run_workload(
-        wl, ear_config=cfg, seed=1, record_trace=True, telemetry=args.node > 0
+        wl,
+        ear_config=cfg,
+        seed=1,
+        record_trace=True,
+        telemetry=args.node > 0,
+        engine=args.engine,
     )
     try:
         print(render_timeline(result, node=args.node))
@@ -533,7 +538,9 @@ def _cmd_export(args) -> int:
 
 def _cmd_sweep(args) -> int:
     wl = _find_workload(args.workload)
-    sweep = uncore_sweep(wl, cpu_ghz=args.cpu_ghz, scale=args.scale)
+    sweep = uncore_sweep(
+        wl, cpu_ghz=args.cpu_ghz, scale=args.scale, engine=args.engine
+    )
     rows = [
         [
             ghz(p.uncore_ghz),
@@ -736,6 +743,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the persistent run cache (default: results/.cache, "
         "override the location with REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("scalar", "batched"),
+        default="scalar",
+        help="simulation inner loop: the scalar reference or the batched "
+        "numpy kernel (equivalent within 1e-9; see benchmarks/test_perf.py)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

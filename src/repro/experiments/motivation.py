@@ -50,6 +50,7 @@ def uncore_sweep(
     min_ratio: int = 12,
     max_ratio: int = 24,
     jobs: int | None = None,
+    engine: str = "scalar",
 ) -> UncoreSweep:
     """Run the fixed-uncore sweep for one workload.
 
@@ -73,6 +74,7 @@ def uncore_sweep(
             scale=scale,
             pin_cpu_ghz=cpu_ghz,
             pin_uncore_ghz=f_unc,
+            engine=engine,
         )
         for f_unc in [None, *uncore_ghzs]
         for s in seeds

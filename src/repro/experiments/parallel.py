@@ -75,9 +75,13 @@ __all__ = [
 #: v5: EarConfig grew ``coefficients_path`` (the projection-model
 #: coefficient source); it is a compared field, so the canonical config
 #: encoding — and with it every cache key — changed shape.
+#: v6: requests carry the inner-loop ``engine`` choice
+#: (scalar/batched).  The engines are equivalent only to 1e-9, not
+#: bit-exactly, so a cached scalar run must never answer a batched
+#: request (or vice versa) — the engine is part of the key.
 #: This comment block is the authoritative version history; docs point
 #: here instead of repeating the number.
-CACHE_FORMAT_VERSION = 5
+CACHE_FORMAT_VERSION = 6
 
 
 # -- content hashing ---------------------------------------------------------
@@ -130,6 +134,10 @@ class RunRequest:
     #: it shares the clean run's cache entry, which it is bit-identical
     #: to by construction.
     fault_plan: FaultPlan | None = None
+    #: inner-loop implementation (see :class:`repro.sim.engine
+    #: .SimulationEngine`); part of the cache key because the two
+    #: engines agree only within the equivalence gate's tolerance.
+    engine: str = "scalar"
     #: record structured telemetry events during the run.  Deliberately
     #: ``compare=False`` and absent from :meth:`key`: recorders never
     #: touch the physics, so a telemetry-bearing result *is* the plain
@@ -154,6 +162,7 @@ class RunRequest:
             "noise_sigma": repr(self.noise_sigma),
             "node_speed_spread": repr(self.node_speed_spread),
             "fault_plan": _canonical(plan),
+            "engine": self.engine,
         }
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()
@@ -175,6 +184,7 @@ class RunRequest:
             node_speed_spread=self.node_speed_spread,
             fault_plan=self.fault_plan,
             telemetry=self.telemetry,
+            engine=self.engine,
         )
 
 
@@ -391,6 +401,7 @@ class ExperimentPool:
         config_name: str = "",
         seeds: Iterable[int],
         scale: float = 1.0,
+        engine: str = "scalar",
     ):
         """Run one configuration once per seed and average.
 
@@ -403,7 +414,13 @@ class ExperimentPool:
 
         seeds = tuple(seeds)
         requests = [
-            RunRequest(workload=workload, ear_config=config, seed=s, scale=scale)
+            RunRequest(
+                workload=workload,
+                ear_config=config,
+                seed=s,
+                scale=scale,
+                engine=engine,
+            )
             for s in seeds
         ]
         memo_key = (tuple(r.key() for r in requests), config_name)
@@ -422,6 +439,7 @@ class ExperimentPool:
         *,
         seeds: Iterable[int],
         scale: float = 1.0,
+        engine: str = "scalar",
     ):
         """Evaluate several configurations against the ``none`` reference.
 
@@ -437,21 +455,37 @@ class ExperimentPool:
         # one flat batch warms the cache for every configuration...
         self.run_many(
             [
-                RunRequest(workload=workload, ear_config=cfg, seed=s, scale=scale)
+                RunRequest(
+                    workload=workload,
+                    ear_config=cfg,
+                    seed=s,
+                    scale=scale,
+                    engine=engine,
+                )
                 for cfg in configs.values()
                 for s in seeds
             ]
         )
         # ...then per-config assembly is pure cache hits.
         reference = self.run_averaged(
-            workload, configs["none"], config_name="none", seeds=seeds, scale=scale
+            workload,
+            configs["none"],
+            config_name="none",
+            seeds=seeds,
+            scale=scale,
+            engine=engine,
         )
         out = {}
         for name, cfg in configs.items():
             if name == "none":
                 continue
             result = self.run_averaged(
-                workload, cfg, config_name=name, seeds=seeds, scale=scale
+                workload,
+                cfg,
+                config_name=name,
+                seeds=seeds,
+                scale=scale,
+                engine=engine,
             )
             out[name] = Comparison(
                 workload=workload.name,

@@ -180,16 +180,23 @@ def run_averaged(
     seeds=DEFAULT_SEEDS,
     scale: float = 1.0,
     jobs: int | None = None,
+    engine: str = "scalar",
 ) -> AveragedResult:
     """Run one configuration ``len(seeds)`` times and average.
 
     ``scale`` shrinks iteration counts (tests use 0.2-0.5 to stay fast;
     the benchmark harness runs at full length).  ``seeds`` may be any
     iterable (it is normalised to a tuple once, so generators work).
-    ``jobs`` overrides the default pool's worker count for this call.
+    ``jobs`` overrides the default pool's worker count for this call;
+    ``engine`` selects the simulation inner loop (scalar/batched).
     """
     return _pool_for(jobs).run_averaged(
-        workload, config, config_name=config_name, seeds=tuple(seeds), scale=scale
+        workload,
+        config,
+        config_name=config_name,
+        seeds=tuple(seeds),
+        scale=scale,
+        engine=engine,
     )
 
 
@@ -200,6 +207,7 @@ def compare(
     seeds=DEFAULT_SEEDS,
     scale: float = 1.0,
     jobs: int | None = None,
+    engine: str = "scalar",
 ) -> dict[str, Comparison]:
     """Evaluate several configurations against the ``none`` reference.
 
@@ -207,5 +215,5 @@ def compare(
     with ``jobs > 1`` the whole comparison fans out at once.
     """
     return _pool_for(jobs).compare(
-        workload, configs, seeds=tuple(seeds), scale=scale
+        workload, configs, seeds=tuple(seeds), scale=scale, engine=engine
     )

@@ -113,6 +113,31 @@ class CounterBank:
         self._bytes += counters.bytes_transferred
         self._avx512 += counters.avx512_instructions
 
+    def add_bulk(
+        self,
+        *,
+        iterations: int,
+        wall_seconds: float,
+        instructions: float,
+        cycles: float,
+        bytes_transferred: float,
+        avx512_instructions: float,
+    ) -> None:
+        """Record many iterations in one shot (the batched kernel's flush).
+
+        Equivalent to ``iterations`` calls of :meth:`add_iteration` with
+        the pre-summed quantities; the bank only ever exposes sums, so
+        per-iteration granularity carries no extra information.
+        """
+        if iterations < 0 or wall_seconds < 0:
+            raise SignatureError("bulk increments cannot be negative")
+        self._seconds += wall_seconds
+        self._iterations += iterations
+        self._instructions += instructions
+        self._cycles += cycles
+        self._bytes += bytes_transferred
+        self._avx512 += avx512_instructions
+
     def snapshot(self) -> CounterSnapshot:
         """Freeze the accumulated counters into a snapshot."""
         return CounterSnapshot(

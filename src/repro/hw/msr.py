@@ -128,6 +128,10 @@ class MsrFile:
 
     registers: Dict[int, int] = field(default_factory=dict)
     _write_hooks: Dict[int, Callable[[int], None]] = field(default_factory=dict)
+    #: bumped on every successful write.  Cheap cache-invalidation tag:
+    #: anything derived from register state (the batched kernel's
+    #: per-node physics plans) is stale iff this changed.
+    write_generation: int = 0
 
     def implement(self, address: int, reset_value: int = 0) -> None:
         """Declare an MSR as implemented with a reset value."""
@@ -157,6 +161,7 @@ class MsrFile:
         if address not in self.registers:
             raise UnknownMsrError(f"MSR 0x{address:x} is not implemented")
         self.registers[address] = value & _MASK64
+        self.write_generation += 1
         hook = self._write_hooks.get(address)
         if hook is not None:
             hook(value & _MASK64)

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Sequence
+
 from ..errors import HardwareError
 from .dram import DDR4_2400_12DIMM, DramConfig
 from .gpu import TESLA_V100, GpuModel
@@ -25,6 +27,7 @@ from .power import PowerModelParams, socket_power
 from .pstates import XEON_6142M, XEON_6148, XEON_E5_2620V4, PStateTable
 from .rapl import RaplDomain
 from .ufs import UfsController, UfsInputs
+from .units import ghz_to_ratio
 from .cpu import Socket
 
 __all__ = [
@@ -225,7 +228,7 @@ class Node:
                 active_frac = min(1.0, per_socket_active / s.n_cores)
             inputs = UfsInputs(
                 fastest_active_ratio=(
-                    int(round(op.effective_core_ghz * 10)) if per_socket_active > 0 else 0
+                    ghz_to_ratio(op.effective_core_ghz) if per_socket_active > 0 else 0
                 ),
                 active_fraction=active_frac,
                 vpi=op.vpi,
@@ -244,21 +247,36 @@ class Node:
 
     # -- power & energy ---------------------------------------------------------
 
-    def power(self, op: OperatingPoint) -> NodePower:
-        """Instantaneous power breakdown at an operating point."""
-        if op.n_active_cores < 0 or op.n_active_cores > self.config.n_cores:
+    def active_cores_per_socket(self, n_active_cores: int) -> tuple[int, ...]:
+        """Distribute node-wide active cores over the sockets.
+
+        The remainder lands on the lowest-numbered sockets (socket 0
+        first), so a single active core — the typical GPU-offload host
+        pattern — is never rounded away: 1 core on 2 sockets is (1, 0),
+        not the (0, 0) that ``round(0.5)`` used to produce.
+        """
+        if n_active_cores < 0 or n_active_cores > self.config.n_cores:
             raise HardwareError(
-                f"{op.n_active_cores} active cores on a "
+                f"{n_active_cores} active cores on a "
                 f"{self.config.n_cores}-core node"
             )
-        per_socket_active = op.n_active_cores / len(self.sockets)
+        base, rem = divmod(n_active_cores, len(self.sockets))
+        return tuple(
+            base + (1 if i < rem else 0) for i in range(len(self.sockets))
+        )
+
+    def power(self, op: OperatingPoint) -> NodePower:
+        """Instantaneous power breakdown at an operating point."""
         per_socket_gbs = op.traffic_gbs / len(self.sockets)
         pck = []
-        for s in self.sockets:
-            n_active = int(round(per_socket_active))
+        for s, n_active in zip(
+            self.sockets, self.active_cores_per_socket(op.n_active_cores)
+        ):
             bd = socket_power(
                 self.config.power,
-                f_core_ghz=op.effective_core_ghz if n_active else s.target_freq_ghz,
+                # a fully idle socket's cores sit at the idle clock, not
+                # whatever target happens to be programmed.
+                f_core_ghz=op.effective_core_ghz if n_active else s.idle_core_freq_ghz,
                 f_uncore_ghz=s.uncore.freq_ghz,
                 n_active_cores=n_active,
                 n_idle_cores=s.n_cores - n_active,
@@ -278,6 +296,39 @@ class Node:
             gpus_w=gpus_w,
         )
 
+    def power_affine(self, op: OperatingPoint) -> tuple[NodePower, tuple[float, ...], float]:
+        """Node power as an affine function of memory traffic.
+
+        Returns ``(power at zero traffic, per-socket package slopes,
+        DRAM slope)``, all slopes in watts per *node* GB/s, such that
+        :meth:`power` at traffic ``g`` decomposes exactly into the
+        zero-traffic breakdown plus ``slope * g`` per domain.  The
+        batched kernel relies on this: with traffic ``bytes / t``, the
+        traffic term contributes a time-invariant energy per iteration,
+        so a whole chunk's energy is closed-form in ``sum(t)``.
+        """
+        p0 = self.power(
+            OperatingPoint(
+                n_active_cores=op.n_active_cores,
+                activity=op.activity,
+                vpi=op.vpi,
+                traffic_gbs=0.0,
+                effective_core_ghz=op.effective_core_ghz,
+                uncore_demand=op.uncore_demand,
+                hw_active_fraction=op.hw_active_fraction,
+                hw_follow_factor=op.hw_follow_factor,
+                gpus_busy=op.gpus_busy,
+                gpu_utilisation=op.gpu_utilisation,
+            )
+        )
+        n_sockets = len(self.sockets)
+        pck_slope = self.config.power.uncore_bw_w_per_gbs / n_sockets
+        return (
+            p0,
+            tuple(pck_slope for _ in range(n_sockets)),
+            self.config.dram.power_w_per_gbs,
+        )
+
     def advance(self, op: OperatingPoint, seconds: float) -> NodePower:
         """Spend ``seconds`` at an operating point: integrate all sensors."""
         if seconds < 0:
@@ -288,15 +339,46 @@ class Node:
         )
         self.dc_meter.integrate(p.dc_w, seconds)
         self._pck_energy_j += p.pck_total_w * seconds
-        per_socket_active = int(round(op.n_active_cores / len(self.sockets)))
-        for s in self.sockets:
+        for s, n_active in zip(
+            self.sockets, self.active_cores_per_socket(op.n_active_cores)
+        ):
             s.account(
                 seconds,
-                n_active=per_socket_active,
+                n_active=n_active,
                 effective_ghz=op.effective_core_ghz,
             )
         self._elapsed_s += seconds
         return p
+
+    def advance_energy(
+        self,
+        *,
+        pck_j: Sequence[float],
+        dram_j: float,
+        dc_j: float,
+        n_active_per_socket: Sequence[int],
+        effective_ghz: float,
+        seconds: float,
+    ) -> None:
+        """Integrate one interval whose per-domain energies are precomputed.
+
+        The batched kernel evaluates the power model once per chunk (in
+        the affine form of :meth:`power_affine`) and commits intervals
+        through this method; it is equivalent to :meth:`advance` when
+        the energies equal ``power(op) * seconds``.
+        """
+        if seconds < 0:
+            raise HardwareError("cannot advance negative time")
+        if seconds == 0:
+            return
+        for counter, joules in zip(self.rapl.pck, pck_j):
+            counter.add_energy(joules)
+        self.rapl.dram.add_energy(dram_j)
+        self.dc_meter.integrate(dc_j / seconds, seconds)
+        self._pck_energy_j += sum(pck_j)
+        for s, n_active in zip(self.sockets, n_active_per_socket):
+            s.account(seconds, n_active=n_active, effective_ghz=effective_ghz)
+        self._elapsed_s += seconds
 
     # -- aggregated observations ---------------------------------------------
 

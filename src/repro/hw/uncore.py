@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from ..errors import FrequencyError
 from .msr import UncoreRatioLimit
-from .units import ratio_to_ghz
+from .units import BCLK_GHZ, ratio_to_ghz
 
 __all__ = ["UncoreDomain", "UNCORE_MAX_RATIO_DEFAULT", "UNCORE_MIN_RATIO_DEFAULT"]
 
@@ -80,6 +80,18 @@ class UncoreDomain:
     def freq_ghz(self) -> float:
         """Current uncore frequency in GHz."""
         return ratio_to_ghz(self.current_ratio)
+
+    @property
+    def hw_max_ghz(self) -> float:
+        """Silicon maximum uncore frequency — the anchor the workload
+        time model is referenced against.
+
+        Deliberately ``hw_max_ratio * BCLK_GHZ`` rather than
+        :func:`ratio_to_ghz`: the latter rounds to the decimal grid,
+        which would shift the anchor the phase profiles were calibrated
+        at by one part in 10^16.
+        """
+        return self.hw_max_ratio * BCLK_GHZ
 
     def account(self, seconds: float) -> None:
         """Record that the domain spent ``seconds`` at the current ratio."""

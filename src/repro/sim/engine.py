@@ -69,6 +69,7 @@ class SimulationEngine:
         node_speed_spread: float = 0.0,
         fault_plan: FaultPlan | None = None,
         telemetry: bool = False,
+        engine: str = "scalar",
     ) -> None:
         """``pin_cpu_ghz``/``pin_uncore_ghz`` fix frequencies for the whole
         run (the motivation study's fixed-uncore sweeps, section II of the
@@ -91,9 +92,34 @@ class SimulationEngine:
         from ``(plan.seed, seed, node_id)``, independent of the
         iteration-noise RNG, so the clean-path result is bit-identical
         with and without an all-zero plan.
+
+        ``engine`` selects the inner-loop implementation: ``"scalar"``
+        (the reference, one iteration per node per Python step) or
+        ``"batched"`` (:mod:`repro.sim.kernel`, numpy over whole
+        iteration chunks).  Both consume the run RNG identically, so
+        iteration times — and therefore every window boundary and
+        policy decision — match; see
+        ``tests/sim/test_kernel_equivalence.py`` for the pinned gate.
+
+        RNG draw order (the reproducibility contract, which both
+        engines and the zero-noise property tests rely on):
+
+        1. at construction, ``uniform(0, node_speed_spread, n_nodes)``
+           — drawn **only** when ``node_speed_spread > 0``;
+        2. per iteration, ``normal(0, noise_sigma, n_nodes)`` — drawn
+           **only** when ``noise_sigma > 0``.
+
+        Disabled features must not consume draws, so e.g. turning the
+        spread off leaves the per-iteration noise stream unchanged.
+        The fault injectors own separate generators and never touch
+        this stream.
         """
         if noise_sigma < 0:
             raise ExperimentError("noise sigma cannot be negative")
+        if engine not in ("scalar", "batched"):
+            raise ExperimentError(
+                f"unknown engine {engine!r}; expected 'scalar' or 'batched'"
+            )
         if not 0.0 <= node_speed_spread < 0.3:
             raise ExperimentError("node_speed_spread must be in [0, 0.3)")
         if ear_config is not None and (
@@ -110,6 +136,7 @@ class SimulationEngine:
                     "cannot pin frequencies under a frequency-setting EAR policy"
                 )
         self.workload = workload.calibrated()
+        self.engine = engine
         self.ear_config = ear_config
         self.seed = seed
         self.noise_sigma = noise_sigma
@@ -175,9 +202,14 @@ class SimulationEngine:
 
     def run(self) -> RunResult:
         """Execute every phase to completion; return the job outcome."""
-        for profile, n_iterations in self.workload.phases:
-            for _ in range(n_iterations):
-                self._run_iteration(profile)
+        if self.engine == "batched":
+            from .kernel import BatchedKernel
+
+            BatchedKernel(self).run_phases()
+        else:
+            for profile, n_iterations in self.workload.phases:
+                for _ in range(n_iterations):
+                    self._run_iteration(profile)
         for earl in self.earls.values():
             earl.on_app_end()
         return self._result()
@@ -305,6 +337,7 @@ def run_workload(
     node_speed_spread: float = 0.0,
     fault_plan: FaultPlan | None = None,
     telemetry: bool = False,
+    engine: str = "scalar",
 ) -> RunResult:
     """Convenience wrapper: build an engine and run it once."""
     return SimulationEngine(
@@ -318,4 +351,5 @@ def run_workload(
         node_speed_spread=node_speed_spread,
         fault_plan=fault_plan,
         telemetry=telemetry,
+        engine=engine,
     ).run()

@@ -173,6 +173,17 @@ class PhaseProfile:
 
     # -- per-iteration execution on a node ----------------------------------------
 
+    @staticmethod
+    def ref_uncore_ghz(node: Node) -> float:
+        """Uncore frequency of the anchor measurement: the silicon max.
+
+        Single source of truth for the reference uncore clock (it used
+        to be computed inline, twice, as ``hw_max_ratio * 0.1``);
+        :attr:`repro.hw.uncore.UncoreDomain.hw_max_ghz` keeps the exact
+        bit pattern of that product.
+        """
+        return node.sockets[0].uncore.hw_max_ghz
+
     def operating_point(self, node: Node, *, effective_core_ghz: float) -> OperatingPoint:
         """Build the node operating point for this phase."""
         n_cores = node.config.n_cores
@@ -220,7 +231,7 @@ class PhaseProfile:
             f_core_ghz=eff_ghz,
             f_uncore_ghz=f_unc,
             ref_core_ghz=ref_core_ghz,
-            ref_uncore_ghz=node.sockets[0].uncore.hw_max_ratio * 0.1,
+            ref_uncore_ghz=self.ref_uncore_ghz(node),
             dram=node.config.dram,
         )
         t *= noise
@@ -268,7 +279,7 @@ class PhaseProfile:
                 f_core_ghz=ghz,
                 f_uncore_ghz=f_unc_ghz,
                 ref_core_ghz=ref_core_ghz,
-                ref_uncore_ghz=node.sockets[0].uncore.hw_max_ratio * 0.1,
+                ref_uncore_ghz=self.ref_uncore_ghz(node),
                 dram=node.config.dram,
             )
             op = replace(
