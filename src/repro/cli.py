@@ -423,7 +423,44 @@ def _cmd_cluster(args) -> int:
         raise SystemExit(
             f"unknown policy {args.policy!r}; use none|me|me_eufs|compare"
         )
-    campaigns = compare_cluster_policies(trace, cluster, names)
+    from .experiments.journal import CampaignJournal, campaign_id
+    from .experiments.parallel import default_pool
+
+    cid = campaign_id(
+        "cluster",
+        sorted(names),
+        args.n_jobs,
+        args.seed,
+        args.interarrival_s,
+        args.burst,
+        args.scale,
+        args.nodes,
+        args.fault_intensity,
+        args.budget_mj,
+        args.cpu_th,
+        args.unc_th,
+        not args.no_backfill,
+    )
+    journal = CampaignJournal.for_campaign(
+        cid,
+        directory=args.journal_dir,
+        resume=args.resume,
+        meta={"command": "cluster", "policy": args.policy},
+    )
+    if args.resume:
+        print(f"resuming cluster campaign {cid}: {journal.replay().describe()}")
+    _set_resume_hint(
+        f"campaign journal is safe at {journal.path}; "
+        "rerun the same command with --resume to continue"
+    )
+    pool = default_pool()
+    pool.journal = journal
+    try:
+        campaigns = compare_cluster_policies(trace, cluster, names)
+        journal.finish()
+    finally:
+        pool.journal = None
+        journal.close()
     for name, campaign in campaigns.items():
         print(render_cluster_report(campaign.report, jobs=not args.summary))
         print()
@@ -562,15 +599,12 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_resilience(args) -> int:
-    from .experiments.resilience import DEFAULT_INTENSITIES, resilience_sweep
+    from .experiments.resilience import (
+        DEFAULT_INTENSITIES,
+        infra_resilience_sweep,
+        resilience_sweep,
+    )
 
-    wl = _find_workload(args.workload)
-    configs = standard_configs(cpu_policy_th=args.cpu_th, unc_policy_th=args.unc_th)
-    if args.policy not in configs or args.policy == "none":
-        raise SystemExit(
-            f"unknown policy config {args.policy!r}; use "
-            f"{sorted(k for k in configs if k != 'none')}"
-        )
     if args.intensities:
         try:
             intensities = tuple(float(x) for x in args.intensities.split(","))
@@ -578,6 +612,54 @@ def _cmd_resilience(args) -> int:
             raise SystemExit(f"bad --intensities {args.intensities!r}; use e.g. 0,0.5,1,2")
     else:
         intensities = DEFAULT_INTENSITIES
+    if args.infra:
+        sweep = infra_resilience_sweep(
+            intensities=intensities,
+            n_jobs=args.n_jobs,
+            n_nodes=args.nodes,
+            scale=args.scale,
+        )
+        print(
+            format_table(
+                f"cluster of {sweep.n_nodes} nodes, {sweep.n_jobs} jobs: "
+                "control-plane fault sweep (node crashes + EARDBD restarts)",
+                [
+                    "intensity",
+                    "completed",
+                    "failed",
+                    "requeues",
+                    "node fails",
+                    "dbd restarts",
+                    "pool retries",
+                    "makespan",
+                    "energy",
+                    "reconciled",
+                ],
+                [
+                    [
+                        f"{p.intensity:.2f}",
+                        f"{p.n_completed}/{p.n_jobs}",
+                        str(p.n_failed),
+                        str(p.n_requeues),
+                        str(p.n_node_failures),
+                        str(p.eardbd_restarts),
+                        str(p.pool_retries),
+                        f"{p.makespan_s:.0f}s",
+                        f"{p.total_energy_j / 1e6:.2f}MJ",
+                        "yes" if p.eardbd_reconciled else "NO",
+                    ]
+                    for p in sweep.points
+                ],
+            )
+        )
+        return 0
+    wl = _find_workload(args.workload)
+    configs = standard_configs(cpu_policy_th=args.cpu_th, unc_policy_th=args.unc_th)
+    if args.policy not in configs or args.policy == "none":
+        raise SystemExit(
+            f"unknown policy config {args.policy!r}; use "
+            f"{sorted(k for k in configs if k != 'none')}"
+        )
     sweep = resilience_sweep(
         wl,
         configs[args.policy],
@@ -657,15 +739,35 @@ def _cmd_learn(args) -> int:
         campaign = LearningCampaign(
             node, kernels=kernels, grid=grid, recorder=recorder
         )
+        from .experiments.journal import CampaignJournal
+
+        cid = campaign.journal_id()
+        journal = CampaignJournal.for_campaign(
+            cid,
+            directory=args.journal_dir,
+            resume=args.resume,
+            meta={"command": "learn", "node_type": node.name, "grid": args.grid},
+        )
+        if args.resume:
+            print(f"resuming campaign {cid}: {journal.replay().describe()}")
+        campaign.journal = journal
+        _set_resume_hint(
+            f"campaign journal is safe at {journal.path}; "
+            "rerun the same command with --resume to continue"
+        )
         out_dir = None if args.out == "none" else (args.out or DEFAULT_COEFFICIENTS_DIR)
         print(
             f"learning {node.name}: {len(campaign.kernels)} kernel(s) x "
             f"{campaign.grid.runs_per_kernel} grid runs each "
-            f"(grid={args.grid}, scale={campaign.grid.scale})"
+            f"(grid={args.grid}, scale={campaign.grid.scale}, journal={cid})"
         )
-        table, report = campaign.run(
-            out_dir=out_dir, validate=args.validate, threshold=args.threshold
-        )
+        try:
+            table, report = campaign.run(
+                out_dir=out_dir, validate=args.validate, threshold=args.threshold
+            )
+            journal.finish()
+        finally:
+            journal.close()
     except LearningError as exc:
         raise SystemExit(f"learning failed: {exc}")
     quality = table.quality
@@ -708,14 +810,27 @@ def _default_cache_dir() -> pathlib.Path:
 
 
 def _configure_execution(args) -> None:
-    """Install the CLI's execution pool: worker count + persistent cache."""
+    """Install the CLI's execution pool: workers, cache, retry policy."""
     from .experiments.parallel import configure_defaults
+    from .experiments.resilient import RetryPolicy
 
     configure_defaults(
         jobs=args.jobs,
         cache_dir=None if args.no_cache else _default_cache_dir(),
         use_cache=not args.no_cache,
+        retry=RetryPolicy(max_attempts=args.retries, timeout_s=args.job_timeout),
     )
+
+
+#: printed after a Ctrl-C/SIGTERM when the interrupted command left a
+#: resumable journal behind; set by the journaling subcommands.
+_RESUME_HINT: str | None = None
+
+
+def _set_resume_hint(hint: str) -> None:
+    """Arm the interrupt handler's resume message for this invocation."""
+    global _RESUME_HINT
+    _RESUME_HINT = hint
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -750,6 +865,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="scalar",
         help="simulation inner loop: the scalar reference or the batched "
         "numpy kernel (equivalent within 1e-9; see benchmarks/test_perf.py)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="attempts per experiment before it is quarantined as a poison "
+        "job (worker crashes and timeouts retry under seeded backoff)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        dest="job_timeout",
+        help="per-experiment wall-clock limit in seconds (needs --jobs > 1; "
+        "default: unlimited)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -788,12 +918,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_res = sub.add_parser(
         "resilience", help="fault-injection sweep: graceful-degradation table"
     )
-    p_res.add_argument("-w", "--workload", required=True)
+    p_res.add_argument(
+        "-w",
+        "--workload",
+        default="BT-MZ.C",
+        help="workload for the hardware sweep (ignored with --infra)",
+    )
     p_res.add_argument("-p", "--policy", default="me_eufs", help="me|me_eufs")
     p_res.add_argument(
         "--intensities",
         default=None,
         help="comma-separated fault-intensity multipliers (default 0,0.5,1,2,4)",
+    )
+    p_res.add_argument(
+        "--infra",
+        action="store_true",
+        help="sweep the control-plane fault channels instead (node crashes "
+        "mid-job, EARDBD restarts) over a cluster campaign, reporting "
+        "requeue/retry tallies per intensity",
+    )
+    p_res.add_argument(
+        "--nodes", type=int, default=6, help="cluster size for --infra"
+    )
+    p_res.add_argument(
+        "--n-jobs",
+        type=int,
+        default=10,
+        dest="n_jobs",
+        help="trace length for --infra",
     )
     p_res.add_argument("--cpu-th", type=float, default=0.05, dest="cpu_th")
     p_res.add_argument("--unc-th", type=float, default=0.02, dest="unc_th")
@@ -919,6 +1071,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the last campaign's accounting DB as JSON (for eacct)",
     )
     p_clu.add_argument("--json", default=None, help="write the report(s) as JSON")
+    p_clu.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted campaign from its journal (completed "
+        "runs are served from the cache, not recomputed)",
+    )
+    p_clu.add_argument(
+        "--journal-dir",
+        default=None,
+        dest="journal_dir",
+        help="campaign journal directory (default results/.journal)",
+    )
     p_clu.set_defaults(fn=_cmd_cluster)
 
     p_acc = sub.add_parser(
@@ -992,6 +1156,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_learn.add_argument(
         "--jsonl", default=None, help="write the learning telemetry events as JSONL"
+    )
+    p_learn.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted campaign from its journal (completed "
+        "grid points are served from the cache, not recomputed)",
+    )
+    p_learn.add_argument(
+        "--journal-dir",
+        default=None,
+        dest="journal_dir",
+        help="campaign journal directory (default results/.journal)",
     )
     p_learn.set_defaults(fn=_cmd_learn)
 
@@ -1083,7 +1259,13 @@ def dump_docs(parser: argparse.ArgumentParser | None = None) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point for the ``repro-ear`` console script."""
+    """Entry point for the ``repro-ear`` console script.
+
+    Ctrl-C (and SIGTERM, which is converted to the same path) exits
+    with the conventional code 130 and no traceback; journaling
+    subcommands print a resume hint, since their write-ahead journals
+    are fsync'd per record and therefore already safe on disk.
+    """
     if argv is None:
         argv = sys.argv[1:]
     # --dump-docs has to short-circuit: the subcommand is otherwise required.
@@ -1095,8 +1277,30 @@ def main(argv: list[str] | None = None) -> int:
         args.jobs = os.cpu_count() or 1
     if args.jobs < 0:
         raise SystemExit("--jobs must be >= 0")
+    if args.retries < 1:
+        raise SystemExit("--retries must be >= 1")
+    if args.job_timeout is not None and args.job_timeout <= 0:
+        raise SystemExit("--timeout must be positive")
     _configure_execution(args)
-    return args.fn(args)
+    import signal
+
+    def _sigterm(_signum, _frame):
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:  # not the main thread (embedded use)
+        previous = None
+    try:
+        return args.fn(args)
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        if _RESUME_HINT:
+            print(_RESUME_HINT, file=sys.stderr)
+        return 130
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
 
 
 if __name__ == "__main__":

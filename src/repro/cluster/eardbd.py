@@ -82,6 +82,10 @@ class EardbdStats:
     forwarded: int = 0
     dropped: int = 0
     flushes: int = 0
+    #: daemon restarts survived (control-plane fault channel).
+    restarts: int = 0
+    #: buffered reports carried across restarts via WAL replay.
+    replayed: int = 0
 
     def reconciles_with(self, db: AccountingDB, *, pending: int = 0) -> bool:
         """Exact conservation check against the DB's node-row count."""
@@ -129,6 +133,30 @@ class Eardbd:
             return False
         self._buffer.append(report)
         return True
+
+    def restart(self, *, time_s: float) -> int:
+        """Model a daemon restart with write-ahead-log replay.
+
+        The production daemon journals buffered reports before
+        acknowledging them, so a restart replays the buffer instead of
+        losing it: nothing is dropped, the flush that would have
+        happened this tick is skipped (the daemon was down), and the
+        conservation law ``received == forwarded + dropped + pending``
+        holds across the restart.  Returns the number of reports
+        replayed.
+        """
+        n = len(self._buffer)
+        self.stats.restarts += 1
+        self.stats.replayed += n
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "eardbd",
+                "restart",
+                time_s=time_s,
+                replayed=n,
+                total_restarts=self.stats.restarts,
+            )
+        return n
 
     def flush(self, *, time_s: float) -> int:
         """Drain the buffer into the DB; returns rows forwarded."""

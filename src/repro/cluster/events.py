@@ -27,11 +27,19 @@ __all__ = ["EventKind", "Event", "EventQueue", "SimClock"]
 
 
 class EventKind(Enum):
-    """What a cluster event is; the value is its same-time priority."""
+    """What a cluster event is; the value is its same-time priority.
+
+    Failures sort with completions (before arrivals) at the same
+    instant: a node that dies at ``t`` must be invisible to the
+    scheduling pass that places an arrival at ``t``, and a node that
+    finishes rebooting at ``t`` must be visible to it.
+    """
 
     JOB_FINISH = 0
-    JOB_ARRIVAL = 1
-    EARDBD_FLUSH = 2
+    NODE_FAIL = 1
+    NODE_RECOVER = 2
+    JOB_ARRIVAL = 3
+    EARDBD_FLUSH = 4
 
 
 @dataclass(frozen=True)

@@ -34,10 +34,13 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field, replace
 
+import numpy as np
+
 from ..ear.accounting import AccountingDB, NodeJobRecord
 from ..ear.config import EarConfig
 from ..ear.eargm import Eargm, EargmConfig, WarningLevel
 from ..errors import ConfigError, ExperimentError
+from ..experiments.resilient import FailedRun
 from ..sim.faults import FaultPlan
 from ..sim.result import RunResult
 from ..telemetry.recorder import NULL_RECORDER, EventRecorder, NodeTelemetry, Recorder
@@ -45,7 +48,17 @@ from .eardbd import Eardbd, EardbdConfig, EardbdStats, NodeReport
 from .events import EventKind, EventQueue, SimClock
 from .traces import TraceJob
 
-__all__ = ["ClusterConfig", "JobOutcome", "ClusterReport", "ClusterSimulation"]
+__all__ = [
+    "ClusterConfig",
+    "JobFailure",
+    "JobOutcome",
+    "ClusterReport",
+    "ClusterSimulation",
+]
+
+#: Salt mixed into the infra RNG seed so the control-plane fault stream
+#: is decorrelated from every per-node hardware injector stream.
+_INFRA_SEED_SALT = 0xC1A5
 
 
 @dataclass(frozen=True)
@@ -106,6 +119,29 @@ class JobOutcome:
 
 
 @dataclass(frozen=True)
+class JobFailure:
+    """One job attempt the cluster gave up on.
+
+    Either a node crash consumed the job's retry budget
+    (``node_id >= 0``: the node that died under the final attempt), or
+    the experiment pool quarantined the job's run as a poison job
+    (``node_id == -1``).
+    """
+
+    index: int
+    job_id: int
+    workload: str
+    n_nodes: int
+    submit_s: float
+    start_s: float
+    fail_s: float
+    #: crashed cluster node id, or -1 for a pool-quarantined run.
+    node_id: int
+    #: 1-based attempt number that failed terminally.
+    attempt: int
+
+
+@dataclass(frozen=True)
 class ClusterReport:
     """What one campaign did, cluster-wide."""
 
@@ -128,6 +164,13 @@ class ClusterReport:
     cap_changes: int = 0
     #: cluster-scope telemetry snapshot (node -1), if recorded.
     telemetry: NodeTelemetry | None = None
+    #: jobs that terminally failed (crash retry budget exhausted or
+    #: pool-quarantined); empty on the clean path.
+    failures: tuple[JobFailure, ...] = ()
+    #: crash-killed job attempts that were requeued.
+    n_requeues: int = 0
+    #: node-crash events injected by the infra fault channel.
+    n_node_failures: int = 0
 
     @property
     def n_jobs(self) -> int:
@@ -151,7 +194,25 @@ class ClusterReport:
                 "forwarded": self.eardbd.forwarded,
                 "dropped": self.eardbd.dropped,
                 "flushes": self.eardbd.flushes,
+                "restarts": self.eardbd.restarts,
+                "replayed": self.eardbd.replayed,
             },
+            "n_requeues": self.n_requeues,
+            "n_node_failures": self.n_node_failures,
+            "failures": [
+                {
+                    "index": f.index,
+                    "job_id": f.job_id,
+                    "workload": f.workload,
+                    "n_nodes": f.n_nodes,
+                    "submit_s": f.submit_s,
+                    "start_s": f.start_s,
+                    "fail_s": f.fail_s,
+                    "node_id": f.node_id,
+                    "attempt": f.attempt,
+                }
+                for f in self.failures
+            ],
             "budget_j": self.budget_j,
             "consumed_j": self.consumed_j,
             "final_level": self.final_level.name if self.final_level else None,
@@ -204,6 +265,9 @@ class _Running:
     start_s: float
     end_s: float
     result: RunResult
+    #: set when a scheduled NODE_FAIL will kill this attempt before its
+    #: JOB_FINISH event; the finish handler ignores killed attempts.
+    killed: bool = False
 
 
 class _FreeProfile:
@@ -313,6 +377,25 @@ class ClusterSimulation:
         self._outcomes: list[JobOutcome] = []
         self._makespan_s = 0.0
         self._ran = False
+        # -- control-plane fault channel state (inert without a plan
+        # carrying infra rates: no RNG is built, no draws happen, the
+        # clean path stays bit-identical) --------------------------------
+        plan = config.fault_plan
+        self._infra_plan = plan if plan is not None and plan.infra_enabled else None
+        self._infra_rng = (
+            np.random.default_rng(
+                np.random.SeedSequence([self._infra_plan.seed, _INFRA_SEED_SALT])
+            )
+            if self._infra_plan is not None
+            else None
+        )
+        #: crashed node id -> absolute recovery time.
+        self._rebooting: dict[int, float] = {}
+        #: trace index -> crash-killed attempts so far.
+        self._attempts: dict[int, int] = {}
+        self._failures: list[JobFailure] = []
+        self._n_requeues = 0
+        self._n_node_failures = 0
 
     # -- public API ----------------------------------------------------------
 
@@ -334,6 +417,10 @@ class ClusterSimulation:
                 self._on_arrival(event.payload)
             elif event.kind is EventKind.JOB_FINISH:
                 self._on_finish(event.payload)
+            elif event.kind is EventKind.NODE_FAIL:
+                self._on_node_fail(event.payload)
+            elif event.kind is EventKind.NODE_RECOVER:
+                self._on_node_recover(event.payload)
             else:
                 self._on_flush()
         if self.eardbd.pending:
@@ -357,6 +444,10 @@ class ClusterSimulation:
         self._schedule_pass()
 
     def _on_finish(self, running: _Running) -> None:
+        if running.killed:
+            # a NODE_FAIL consumed this attempt before its scheduled
+            # completion; the requeue/fail decision already happened.
+            return
         now = self.clock.now
         start = running.start
         self._makespan_s = max(self._makespan_s, now)
@@ -395,8 +486,97 @@ class ClusterSimulation:
         )
         self._schedule_pass()
 
+    def _on_node_fail(self, payload: tuple[_Running, int]) -> None:
+        """A node died under a running job (infra fault channel).
+
+        Surviving nodes free immediately; the victim reboots for
+        ``node_reboot_s`` before rejoining the pool.  The killed
+        attempt ships *nothing* to EARDBD/EARGM (its counters died with
+        the node), so accounting reconciliation stays exact.  The job
+        requeues at the head of the FCFS queue while its retry budget
+        lasts, then is recorded as a terminal :class:`JobFailure`.
+        """
+        running, node_id = payload
+        assert self._infra_plan is not None
+        now = self.clock.now
+        start = running.start
+        running.killed = True
+        del self._running[start.job_id]
+        self._n_node_failures += 1
+        self._makespan_s = max(self._makespan_s, now)
+        self._free.update(n for n in start.placement if n != node_id)
+        recover_at = now + self._infra_plan.node_reboot_s
+        self._rebooting[node_id] = recover_at
+        self._events.push(recover_at, EventKind.NODE_RECOVER, node_id)
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "cluster",
+                "node_fail",
+                node_id=node_id,
+                job_id=start.job_id,
+                index=start.job.index,
+                workload=start.job.workload.name,
+                recover_s=recover_at,
+            )
+        attempt = self._attempts.get(start.job.index, 0) + 1
+        self._attempts[start.job.index] = attempt
+        if attempt <= self._infra_plan.job_max_retries:
+            self._n_requeues += 1
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "cluster",
+                    "requeue",
+                    index=start.job.index,
+                    workload=start.job.workload.name,
+                    attempt=attempt,
+                )
+            # head of the queue: a crash victim does not lose its FCFS
+            # position to jobs that arrived after it started.
+            self._queue.appendleft(_Queued(start.job))
+        else:
+            self._failures.append(
+                JobFailure(
+                    index=start.job.index,
+                    job_id=start.job_id,
+                    workload=start.job.workload.name,
+                    n_nodes=start.job.workload.n_nodes,
+                    submit_s=start.job.submit_s,
+                    start_s=running.start_s,
+                    fail_s=now,
+                    node_id=node_id,
+                    attempt=attempt,
+                )
+            )
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "cluster",
+                    "job_fail",
+                    index=start.job.index,
+                    workload=start.job.workload.name,
+                    attempt=attempt,
+                )
+        self._schedule_pass()
+
+    def _on_node_recover(self, node_id: int) -> None:
+        """A crashed node finished rebooting; it can host jobs again."""
+        self._rebooting.pop(node_id, None)
+        self._free.add(node_id)
+        if self.telemetry.enabled:
+            self.telemetry.event("cluster", "node_recover", node_id=node_id)
+        self._schedule_pass()
+
     def _on_flush(self) -> None:
-        self.eardbd.flush(time_s=self.clock.now)
+        restart = (
+            self._infra_plan is not None
+            and self._infra_plan.eardbd_restart_rate > 0.0
+            and self._infra_rng.random() < self._infra_plan.eardbd_restart_rate
+        )
+        if restart:
+            # the daemon was down this tick: buffered reports replay
+            # from its WAL, the flush is skipped, nothing is lost.
+            self.eardbd.restart(time_s=self.clock.now)
+        else:
+            self.eardbd.flush(time_s=self.clock.now)
         if self._unarrived or self._queue or self._running:
             self._events.push(
                 self.clock.now + self.config.eardbd.flush_interval_s,
@@ -477,6 +657,9 @@ class ClusterSimulation:
         releases += [
             (now + s.job.est_time_s, len(s.placement)) for s in already_started
         ]
+        # crashed nodes rejoin the pool at their recovery times, so
+        # reservations are recomputed against the post-reboot capacity.
+        releases += [(recover_at, 1) for recover_at in self._rebooting.values()]
         profile = _FreeProfile(now, len(self._free), releases)
         started: list[_Starting] = []
         remaining: deque[_Queued] = deque()
@@ -527,11 +710,42 @@ class ClusterSimulation:
             for s in starters
         ]
         results = self.pool.run_many(requests)
+        quarantined = False
         for start, result in zip(starters, results):
+            if isinstance(result, FailedRun):
+                # the experiment pool gave up on this job's run (poison
+                # job): record a terminal failure, free the claimed
+                # nodes, ship nothing to accounting.
+                quarantined = True
+                self._makespan_s = max(self._makespan_s, now)
+                self._free.update(start.placement)
+                self._failures.append(
+                    JobFailure(
+                        index=start.job.index,
+                        job_id=start.job_id,
+                        workload=start.job.workload.name,
+                        n_nodes=start.job.workload.n_nodes,
+                        submit_s=start.job.submit_s,
+                        start_s=now,
+                        fail_s=now,
+                        node_id=-1,
+                        attempt=result.n_attempts,
+                    )
+                )
+                if self.telemetry.enabled:
+                    self.telemetry.event(
+                        "cluster",
+                        "job_fail",
+                        index=start.job.index,
+                        workload=start.job.workload.name,
+                        attempt=result.n_attempts,
+                    )
+                continue
             end = now + result.time_s
             running = _Running(start=start, start_s=now, end_s=end, result=result)
             self._running[start.job_id] = running
             self._events.push(end, EventKind.JOB_FINISH, running)
+            self._maybe_schedule_crash(running, now)
             if self.telemetry.enabled:
                 self.telemetry.event(
                     "cluster",
@@ -543,6 +757,32 @@ class ClusterSimulation:
                     backfilled=start.backfilled,
                     pstate_offset=start.offset,
                 )
+        if quarantined and self._queue:
+            # nodes freed by quarantined jobs can host queued work now,
+            # and no future event is guaranteed to trigger a pass.
+            self._schedule_pass()
+
+    def _maybe_schedule_crash(self, running: _Running, now: float) -> None:
+        """Draw the infra fault channel for one started attempt.
+
+        One Bernoulli draw per attempt with success probability
+        ``1 - (1 - rate)^n_nodes`` (any of the job's nodes may die); a
+        firing crash picks a victim node and a uniform point inside the
+        attempt's duration, and schedules the NODE_FAIL there.  Draw
+        order follows launch order, so the schedule is deterministic
+        for a given (trace, plan) pair.
+        """
+        plan = self._infra_plan
+        if plan is None or plan.node_crash_rate <= 0.0:
+            return
+        placement = running.start.placement
+        p_crash = 1.0 - (1.0 - plan.node_crash_rate) ** len(placement)
+        if self._infra_rng.random() >= p_crash:
+            return
+        frac = self._infra_rng.uniform(0.05, 0.95)
+        victim = placement[int(self._infra_rng.integers(0, len(placement)))]
+        fail_at = now + frac * running.result.time_s
+        self._events.push(fail_at, EventKind.NODE_FAIL, (running, victim))
 
     # -- reporting -----------------------------------------------------------
 
@@ -574,4 +814,9 @@ class ClusterSimulation:
             final_level=self.eargm.level() if self.eargm else None,
             cap_changes=self._cap_changes,
             telemetry=snapshot,
+            failures=tuple(
+                sorted(self._failures, key=lambda f: (f.fail_s, f.index))
+            ),
+            n_requeues=self._n_requeues,
+            n_node_failures=self._n_node_failures,
         )

@@ -19,7 +19,10 @@ and :func:`repro.experiments.runner.compare`:
 :class:`RunCache`
     Two-layer result cache: an in-process dict in front of an optional
     on-disk store (``results/.cache/`` by convention).  Disk entries
-    are versioned; a format bump invalidates them wholesale.
+    are versioned; a format bump invalidates them wholesale.  Disk
+    failures (full disk, revoked permissions, corrupt pickles) degrade
+    the cache to its memory layer — counted and warned about once,
+    never fatal to the batch and never silently swallowed.
 
 :class:`ExperimentPool`
     Fans a batch of requests out over ``concurrent.futures``
@@ -28,9 +31,24 @@ and :func:`repro.experiments.runner.compare`:
     independent of completion order, so averaged numbers are
     bit-identical to a serial run of the same seeds.
 
+    The pool is *fault-tolerant*: a worker killed mid-batch
+    (``BrokenProcessPool``) is respawned and only the incomplete
+    requests are resubmitted; a request exceeding the
+    :class:`~repro.experiments.resilient.RetryPolicy` wall-clock
+    timeout has its worker killed and is retried under seeded
+    exponential backoff; a request that keeps failing is quarantined
+    and returned as a structured
+    :class:`~repro.experiments.resilient.FailedRun` instead of raising,
+    so a three-hour campaign never collapses to an exception at hour
+    three.  An optional
+    :class:`~repro.experiments.journal.CampaignJournal` records every
+    submitted/completed/failed request as it happens (fsync'd), which
+    is what makes campaigns resumable.
+
 All simulation stochasticity flows from the per-run seed, so executing
 a request in a worker process yields exactly the bytes a serial
-execution would.
+execution would — including after crash recovery and retries, which
+change *when* a request executes but never *what* it computes.
 """
 
 from __future__ import annotations
@@ -41,21 +59,31 @@ import json
 import os
 import pickle
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+import time
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..ear.config import EarConfig
+from ..errors import ExperimentError
 from ..sim.engine import DEFAULT_NOISE_SIGMA, run_workload
 from ..sim.faults import FaultPlan
 from ..sim.result import RunResult
+from ..telemetry.recorder import NULL_RECORDER, Recorder
 from ..workloads.app import Workload
+from .journal import CampaignJournal
+from .resilient import DEFAULT_RETRY_POLICY, AttemptRecord, FailedRun, RetryPolicy
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
     "CacheStats",
     "ExperimentPool",
+    "FailedRun",
+    "RetryPolicy",
     "RunCache",
     "RunRequest",
     "configure_defaults",
@@ -79,6 +107,10 @@ __all__ = [
 #: (scalar/batched).  The engines are equivalent only to 1e-9, not
 #: bit-exactly, so a cached scalar run must never answer a batched
 #: request (or vice versa) — the engine is part of the key.
+#: (The PR-7 infrastructure fault channels deliberately did NOT bump
+#: this version: they are ``compare=False`` fields on FaultPlan, never
+#: part of the content hash, because they perturb the *execution tier*,
+#: not the job physics.)
 #: This comment block is the authoritative version history; docs point
 #: here instead of repeating the number.
 CACHE_FORMAT_VERSION = 6
@@ -130,9 +162,11 @@ class RunRequest:
     node_speed_spread: float = 0.0
     #: fault regime of the run; part of the cache key, so a cached
     #: clean run is never returned for a faulted request (or vice
-    #: versa).  An all-zero (disabled) plan is canonicalised to None so
-    #: it shares the clean run's cache entry, which it is bit-identical
-    #: to by construction.
+    #: versa).  Only the *hardware* channels participate: the
+    #: infrastructure channels (node crash, EARDBD restart) are
+    #: ``compare=False`` fields that perturb the cluster control plane,
+    #: never the job physics, so a plan with nothing but infra rates
+    #: canonicalises to None and shares the clean run's cache entry.
     fault_plan: FaultPlan | None = None
     #: inner-loop implementation (see :class:`repro.sim.engine
     #: .SimulationEngine`); part of the cache key because the two
@@ -189,9 +223,42 @@ class RunRequest:
 
 
 def _execute_request(item: tuple[str, RunRequest]) -> tuple[str, RunResult]:
-    """Module-level worker entry point (must be picklable)."""
+    """Module-level worker entry point (must be picklable).
+
+    The ``REPRO_TEST_KILL_WORKER`` / ``REPRO_TEST_HANG_WORKER``
+    environment hooks let the chaos suite kill or wedge exactly one
+    worker deterministically (the first execution creates the sentinel
+    file, so retries proceed normally); both are inert unless the
+    variable is set.
+    """
     key, request = item
+    _chaos_hook()
     return key, request.execute()
+
+
+def _chaos_hook() -> None:
+    """Test-only worker sabotage, armed via environment sentinels."""
+    kill_sentinel = os.environ.get("REPRO_TEST_KILL_WORKER")
+    if kill_sentinel:
+        try:
+            fd = os.open(kill_sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
+        else:
+            os.close(fd)
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)
+    hang_sentinel = os.environ.get("REPRO_TEST_HANG_WORKER")
+    if hang_sentinel:
+        try:
+            fd = os.open(hang_sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            pass
+        else:
+            os.close(fd)
+            while True:  # wedged worker: only a SIGKILL gets us out
+                time.sleep(3600)
 
 
 # -- the cache ---------------------------------------------------------------
@@ -205,10 +272,16 @@ class CacheStats:
     misses: int = 0
     disk_hits: int = 0
     stores: int = 0
+    #: disk writes that failed (full disk, permissions); the result
+    #: stays served from the memory layer.
+    write_failures: int = 0
+    #: corrupt/foreign/stale disk entries dropped on load.
+    corrupt_drops: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
         self.hits = self.misses = self.disk_hits = self.stores = 0
+        self.write_failures = self.corrupt_drops = 0
 
 
 class RunCache:
@@ -218,6 +291,11 @@ class RunCache:
     default.  With a directory, every stored run is pickled to
     ``<key>.run`` together with the format version, atomically
     (tempfile + rename), and survives across processes and sessions.
+
+    Disk-layer failures never propagate: a failed write is counted in
+    :attr:`CacheStats.write_failures` and warned about once per cache
+    instance (the batch continues on the memory layer), a corrupt entry
+    is dropped and counted in :attr:`CacheStats.corrupt_drops`.
     """
 
     def __init__(
@@ -230,6 +308,7 @@ class RunCache:
         self.version = version
         self.stats = CacheStats()
         self._memory: dict[str, RunResult] = {}
+        self._warned_write_failure = False
 
     # -- lookup --------------------------------------------------------------
 
@@ -249,11 +328,29 @@ class RunCache:
         return None
 
     def put(self, key: str, result: RunResult) -> None:
-        """Store a result in memory and (if configured) on disk."""
+        """Store a result in memory and (if configured) on disk.
+
+        A disk failure degrades this put to memory-only: counted,
+        warned once per cache instance, never raised — losing cache
+        persistence must not lose the batch.
+        """
         self._memory[key] = result
         self.stats.stores += 1
-        if self.directory is not None:
+        if self.directory is None:
+            return
+        try:
             self._store_disk(key, result)
+        except Exception as exc:
+            self.stats.write_failures += 1
+            if not self._warned_write_failure:
+                self._warned_write_failure = True
+                warnings.warn(
+                    f"run-cache disk write to {self.directory} failed "
+                    f"({exc!r}); continuing with the in-memory layer only "
+                    "(further failures are counted, not repeated)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def clear(self, *, disk: bool = False) -> None:
         """Drop the in-memory layer; with ``disk=True`` also the files."""
@@ -281,7 +378,8 @@ class RunCache:
         except FileNotFoundError:
             return None
         except Exception:
-            # corrupt or foreign file: treat as a miss and drop it
+            # corrupt or foreign file: drop it, count it, treat as miss
+            self.stats.corrupt_drops += 1
             path.unlink(missing_ok=True)
             return None
         if version != self.version or not isinstance(result, RunResult):
@@ -314,10 +412,22 @@ class PoolStats:
 
     simulations: int = 0
     batches: int = 0
+    #: resubmissions after a failed attempt (any kind).
+    retries: int = 0
+    #: attempts lost to a per-job wall-clock timeout.
+    timeouts: int = 0
+    #: worker-pool breakages survived (respawn + resubmit).
+    worker_crashes: int = 0
+    #: requests quarantined as poison jobs (returned as FailedRun).
+    quarantined: int = 0
+    #: disk-cache write failures observed while storing results.
+    cache_write_failures: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
         self.simulations = self.batches = 0
+        self.retries = self.timeouts = self.worker_crashes = 0
+        self.quarantined = self.cache_write_failures = 0
 
 
 class ExperimentPool:
@@ -328,13 +438,32 @@ class ExperimentPool:
     misses out over a ``ProcessPoolExecutor``.  Results always come
     back ordered by submission, so any reduction over them (averaging,
     comparison) is bit-identical to the serial execution.
+
+    ``retry`` is the pool's :class:`RetryPolicy` — worker crashes and
+    timeouts are retried under seeded exponential backoff, and a
+    request that exhausts its attempts comes back as a
+    :class:`FailedRun` in the result tuple instead of raising.
+    ``recorder`` receives the resilience telemetry
+    (``pool/retry|timeout|worker_crash|quarantine|cache_write_failure``);
+    ``journal`` (assignable after construction) receives a write-ahead
+    record of every submitted/completed/failed request.
     """
 
     def __init__(
-        self, *, jobs: int | None = None, cache: RunCache | None = None
+        self,
+        *,
+        jobs: int | None = None,
+        cache: RunCache | None = None,
+        retry: RetryPolicy | None = None,
+        recorder: Recorder = NULL_RECORDER,
+        journal: CampaignJournal | None = None,
     ) -> None:
         self.jobs = max(1, int(jobs)) if jobs else 1
         self.cache = cache
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
+        self.recorder = recorder
+        #: write-ahead campaign journal; assign/clear around a campaign.
+        self.journal = journal
         self.stats = PoolStats()
         #: memo of assembled AveragedResult objects so repeated identical
         #: requests return the same object (cheap identity-based reuse
@@ -343,14 +472,18 @@ class ExperimentPool:
 
     # -- execution -----------------------------------------------------------
 
-    def run_many(self, requests: Sequence[RunRequest]) -> tuple[RunResult, ...]:
+    def run_many(
+        self, requests: Sequence[RunRequest]
+    ) -> tuple[RunResult | FailedRun, ...]:
         """Execute a batch; return results in submission order.
 
         Duplicate requests inside one batch execute once.  Cache misses
-        run concurrently when ``jobs > 1``.
+        run concurrently when ``jobs > 1``.  Requests that exhaust the
+        retry policy come back as :class:`FailedRun` entries (never
+        cached) — the batch itself does not raise for a poison job.
         """
         keyed = [(req.key(), req) for req in requests]
-        results: dict[str, RunResult] = {}
+        results: dict[str, RunResult | FailedRun] = {}
         pending: dict[str, RunRequest] = {}
         for key, req in keyed:
             # a telemetry-wanting duplicate upgrades an already-pending
@@ -360,7 +493,7 @@ class ExperimentPool:
                     pending[key] = req
                 continue
             if key in results:
-                if req.telemetry and not results[key].has_telemetry:
+                if req.telemetry and not getattr(results[key], "has_telemetry", True):
                     pending[key] = req
                     del results[key]
                 continue
@@ -370,26 +503,303 @@ class ExperimentPool:
                 # request can hit a telemetry-free entry; re-run it and
                 # upgrade the entry in place (same physics, more info).
                 results[key] = cached
+                if self.journal is not None:
+                    self.journal.submitted(key, workload=req.workload.name, seed=req.seed)
+                    self.journal.completed(key, cached=True)
             else:
                 pending[key] = req
         if pending:
             self.stats.batches += 1
             self.stats.simulations += len(pending)
-            for key, result in self._execute(pending):
+            if self.journal is not None:
+                for key, req in pending.items():
+                    self.journal.submitted(
+                        key, workload=req.workload.name, seed=req.seed
+                    )
+            for key, result in self._execute(pending, self._on_done):
                 results[key] = result
-                if self.cache is not None:
-                    self.cache.put(key, result)
         return tuple(results[key] for key, _ in keyed)
 
+    def _on_done(self, key: str, result: RunResult | FailedRun) -> None:
+        """Per-completion hook: cache + journal as soon as it is known."""
+        if isinstance(result, FailedRun):
+            if self.journal is not None:
+                self.journal.failed(
+                    key,
+                    error=result.error or result.error_kind,
+                    attempts=result.n_attempts,
+                )
+            return
+        if self.cache is not None:
+            before = self.cache.stats.write_failures
+            self.cache.put(key, result)
+            failures = self.cache.stats.write_failures - before
+            if failures:
+                self.stats.cache_write_failures += failures
+                if self.recorder.enabled:
+                    self.recorder.event(
+                        "pool", "cache_write_failure", key=key
+                    )
+        if self.journal is not None:
+            self.journal.completed(key)
+
+    # -- the resilient execution core ----------------------------------------
+
     def _execute(
-        self, pending: Mapping[str, RunRequest]
-    ) -> Iterable[tuple[str, RunResult]]:
+        self,
+        pending: Mapping[str, RunRequest],
+        on_done: Callable[[str, RunResult | FailedRun], None],
+    ) -> Iterable[tuple[str, RunResult | FailedRun]]:
         items = list(pending.items())
-        if self.jobs <= 1 or len(items) <= 1:
-            return [_execute_request(item) for item in items]
-        workers = min(self.jobs, len(items))
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            return list(executor.map(_execute_request, items))
+        needs_pool = self.jobs > 1 and (
+            len(items) > 1 or self.retry.timeout_s is not None
+        )
+        if not needs_pool:
+            return self._execute_serial(items, on_done)
+        return self._execute_parallel(items, on_done)
+
+    def _execute_serial(
+        self,
+        items: list[tuple[str, RunRequest]],
+        on_done: Callable[[str, RunResult | FailedRun], None],
+    ) -> list[tuple[str, RunResult | FailedRun]]:
+        """In-process execution with bounded retry and quarantine.
+
+        No worker process means no crash recovery and no enforceable
+        wall-clock timeout — but task errors still quarantine instead
+        of killing the batch, with the same attempt accounting as the
+        pooled path.
+        """
+        out: list[tuple[str, RunResult | FailedRun]] = []
+        for key, req in items:
+            attempts: list[AttemptRecord] = []
+            while True:
+                try:
+                    result: RunResult | FailedRun = req.execute()
+                except Exception as exc:  # quarantine boundary
+                    attempt_no = len(attempts) + 1
+                    if attempt_no < self.retry.attempts_for("task_error"):
+                        delay = self.retry.backoff_s(key, attempt_no)
+                        attempts.append(
+                            AttemptRecord(attempt_no, "task_error", repr(exc), delay)
+                        )
+                        self._note_retry(key, "task_error", delay)
+                        if delay > 0:
+                            time.sleep(delay)
+                        continue
+                    attempts.append(AttemptRecord(attempt_no, "task_error", repr(exc)))
+                    result = self._quarantine(key, req, attempts)
+                on_done(key, result)
+                out.append((key, result))
+                break
+        return out
+
+    def _execute_parallel(
+        self,
+        items: list[tuple[str, RunRequest]],
+        on_done: Callable[[str, RunResult | FailedRun], None],
+    ) -> list[tuple[str, RunResult | FailedRun]]:
+        """Worker-pool execution with crash recovery and timeouts.
+
+        The loop keeps three pieces of state: ``ready`` (keys awaiting
+        submission), ``inflight`` (future → key on the live executor)
+        and ``resolved`` (final results).  A broken pool charges every
+        in-flight request one ``worker_crash`` attempt (the pool cannot
+        attribute the death) and respawns; an expired per-job deadline
+        kills the pool — the only way to stop a running worker — and
+        charges only the overdue request, resubmitting bystanders free
+        of charge.
+        """
+        policy = self.retry
+        requests = dict(items)
+        attempts: dict[str, list[AttemptRecord]] = {key: [] for key, _ in items}
+        resolved: dict[str, RunResult | FailedRun] = {}
+        ready: deque[str] = deque(requests)
+        inflight: dict = {}
+        deadlines: dict[str, float] = {}
+        executor: ProcessPoolExecutor | None = None
+        backoff_due = 0.0
+        try:
+            while ready or inflight:
+                if executor is None:
+                    executor = ProcessPoolExecutor(
+                        max_workers=max(1, min(self.jobs, len(ready) + len(inflight)))
+                    )
+                if backoff_due > 0:
+                    time.sleep(backoff_due)
+                    backoff_due = 0.0
+                while ready:
+                    key = ready.popleft()
+                    future = executor.submit(_execute_request, (key, requests[key]))
+                    inflight[future] = key
+                    if policy.timeout_s is not None:
+                        deadlines[key] = time.monotonic() + policy.timeout_s
+                wait_s = None
+                if deadlines:
+                    wait_s = max(
+                        0.0,
+                        min(deadlines[k] for k in inflight.values())
+                        - time.monotonic(),
+                    )
+                done, _ = wait(set(inflight), timeout=wait_s, return_when=FIRST_COMPLETED)
+                if not done:
+                    # a per-job deadline expired with nothing finishing:
+                    # the overdue worker must be killed, which costs us
+                    # the whole pool.
+                    now = time.monotonic()
+                    overdue = {
+                        k
+                        for k in inflight.values()
+                        if deadlines.get(k, now + 1.0) <= now
+                    }
+                    self._kill_executor(executor)
+                    executor = None
+                    for future, key in list(inflight.items()):
+                        del inflight[future]
+                        deadlines.pop(key, None)
+                        if key in overdue:
+                            self.stats.timeouts += 1
+                            if self.recorder.enabled:
+                                self.recorder.event(
+                                    "pool", "timeout", key=key,
+                                    timeout_s=policy.timeout_s,
+                                )
+                            backoff_due = max(
+                                backoff_due,
+                                self._charge(
+                                    key, "timeout", "", requests, attempts,
+                                    resolved, ready, on_done,
+                                ),
+                            )
+                        else:
+                            ready.append(key)
+                    continue
+                crashed = False
+                for future in done:
+                    key = inflight.pop(future)
+                    deadlines.pop(key, None)
+                    try:
+                        _, result = future.result()
+                    except BrokenProcessPool:
+                        crashed = True
+                        backoff_due = max(
+                            backoff_due,
+                            self._charge(
+                                key, "worker_crash", "", requests, attempts,
+                                resolved, ready, on_done,
+                            ),
+                        )
+                    except Exception as exc:
+                        backoff_due = max(
+                            backoff_due,
+                            self._charge(
+                                key, "task_error", repr(exc), requests,
+                                attempts, resolved, ready, on_done,
+                            ),
+                        )
+                    else:
+                        resolved[key] = result
+                        on_done(key, result)
+                if crashed:
+                    # the executor is dead; every remaining in-flight
+                    # request lost its work with it.
+                    self.stats.worker_crashes += 1
+                    if self.recorder.enabled:
+                        self.recorder.event(
+                            "pool", "worker_crash", n_inflight=len(inflight)
+                        )
+                    for future, key in list(inflight.items()):
+                        del inflight[future]
+                        deadlines.pop(key, None)
+                        backoff_due = max(
+                            backoff_due,
+                            self._charge(
+                                key, "worker_crash", "", requests, attempts,
+                                resolved, ready, on_done,
+                            ),
+                        )
+                    self._kill_executor(executor)
+                    executor = None
+        except BaseException:
+            if executor is not None:
+                self._kill_executor(executor)
+            raise
+        if executor is not None:
+            executor.shutdown(wait=True)
+        return [(key, resolved[key]) for key, _ in items]
+
+    def _charge(
+        self,
+        key: str,
+        kind: str,
+        error: str,
+        requests: Mapping[str, RunRequest],
+        attempts: dict[str, list[AttemptRecord]],
+        resolved: dict[str, RunResult | FailedRun],
+        ready: deque,
+        on_done: Callable[[str, RunResult | FailedRun], None],
+    ) -> float:
+        """Charge one failed attempt; requeue or quarantine.
+
+        Returns the backoff delay owed before the next submission round
+        (0 when the request was quarantined).
+        """
+        attempt_no = len(attempts[key]) + 1
+        if attempt_no < self.retry.attempts_for(kind):
+            delay = self.retry.backoff_s(key, attempt_no)
+            attempts[key].append(AttemptRecord(attempt_no, kind, error, delay))
+            self._note_retry(key, kind, delay)
+            ready.append(key)
+            return delay
+        attempts[key].append(AttemptRecord(attempt_no, kind, error))
+        failed = self._quarantine(key, requests[key], attempts[key])
+        resolved[key] = failed
+        on_done(key, failed)
+        return 0.0
+
+    def _note_retry(self, key: str, kind: str, delay: float) -> None:
+        self.stats.retries += 1
+        if self.recorder.enabled:
+            self.recorder.event(
+                "pool", "retry", key=key, kind=kind, backoff_s=delay
+            )
+
+    def _quarantine(
+        self, key: str, req: RunRequest, attempts: list[AttemptRecord]
+    ) -> FailedRun:
+        failed = FailedRun(
+            key=key,
+            workload=req.workload.name,
+            seed=req.seed,
+            attempts=tuple(attempts),
+        )
+        self.stats.quarantined += 1
+        if self.recorder.enabled:
+            self.recorder.event(
+                "pool",
+                "quarantine",
+                key=key,
+                workload=failed.workload,
+                seed=failed.seed,
+                kind=failed.error_kind,
+                attempts=failed.n_attempts,
+            )
+        warnings.warn(
+            f"experiment pool quarantined a poison job: {failed.describe()}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return failed
+
+    @staticmethod
+    def _kill_executor(executor: ProcessPoolExecutor) -> None:
+        """Forcibly tear a pool down (wedged or broken workers)."""
+        for proc in list(getattr(executor, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except Exception:
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
 
     # -- high-level operations ----------------------------------------------
 
@@ -409,6 +819,10 @@ class ExperimentPool:
         stamped on the assembled :class:`AveragedResult` at retrieval,
         so a cache warmed under one name never leaks it to another
         requester — the staleness bug of the old module-global cache.
+
+        Quarantined seeds are *excluded* from the average and counted
+        in ``AveragedResult.n_failed`` (coverage degrades gracefully);
+        only a batch with zero surviving seeds raises.
         """
         from .runner import AveragedResult
 
@@ -428,8 +842,29 @@ class ExperimentPool:
         if memoed is not None:
             return memoed
         runs = self.run_many(requests)
-        avg = AveragedResult.from_runs(workload.name, config_name, runs)
-        self._averaged_memo[memo_key] = avg
+        failures = tuple(r for r in runs if isinstance(r, FailedRun))
+        survivors = tuple(r for r in runs if not isinstance(r, FailedRun))
+        if not survivors:
+            raise ExperimentError(
+                f"all {len(runs)} seeded runs of {workload.name!r} "
+                f"({config_name or 'unnamed config'}) failed; first: "
+                f"{failures[0].describe()}"
+            )
+        if failures:
+            warnings.warn(
+                f"{workload.name} ({config_name or 'unnamed config'}): "
+                f"averaging over {len(survivors)}/{len(runs)} seeds — "
+                + "; ".join(f.describe() for f in failures),
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        avg = AveragedResult.from_runs(
+            workload.name, config_name, survivors, n_failed=len(failures)
+        )
+        if not failures:
+            # a degraded average is never memoised: the next request
+            # should retry the failed seeds, not pin the gap.
+            self._averaged_memo[memo_key] = avg
         return avg
 
     def compare(
@@ -525,14 +960,17 @@ def configure_defaults(
     jobs: int | None = None,
     cache_dir: str | os.PathLike | None = None,
     use_cache: bool = True,
+    retry: RetryPolicy | None = None,
 ) -> ExperimentPool:
     """Replace the process-default pool (CLI / benchmark harness hook).
 
     ``jobs=None`` keeps serial in-process execution; ``cache_dir=None``
     keeps the cache memory-only; ``use_cache=False`` disables caching
-    entirely (every request simulates).
+    entirely (every request simulates).  ``retry`` installs a
+    non-default :class:`RetryPolicy` (the CLI's ``--retries`` /
+    ``--timeout`` flags).
     """
     global _default_pool
     cache = RunCache(cache_dir) if use_cache else None
-    _default_pool = ExperimentPool(jobs=jobs, cache=cache)
+    _default_pool = ExperimentPool(jobs=jobs, cache=cache, retry=retry)
     return _default_pool

@@ -17,7 +17,7 @@ the standard comparison exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..ear.config import EarConfig
 from ..sim.faults import FaultPlan, NodeHealth
@@ -27,9 +27,13 @@ from .parallel import RunRequest
 from .runner import DEFAULT_SEEDS, _pool_for
 
 __all__ = [
+    "InfraResiliencePoint",
+    "InfraResilienceSweep",
     "ResiliencePoint",
     "ResilienceSweep",
+    "infra_resilience_sweep",
     "reference_fault_plan",
+    "reference_infra_plan",
     "resilience_sweep",
 ]
 
@@ -162,4 +166,116 @@ def resilience_sweep(
         )
     return ResilienceSweep(
         workload=workload.name, config_name=config_name, points=tuple(points)
+    )
+
+
+# -- control-plane (infrastructure) resilience --------------------------------
+
+
+def reference_infra_plan(*, seed: int = 0) -> FaultPlan:
+    """The intensity-1.0 *infrastructure* regime.
+
+    Layers the control-plane channels — node crashes mid-job, EARDBD
+    restarts — on top of the hardware reference regime, so one
+    intensity knob scales both domains together (the production
+    situation: a cluster losing nodes is also a cluster with flaky
+    meters).
+    """
+    return replace(
+        reference_fault_plan(seed=seed),
+        node_crash_rate=0.08,
+        node_reboot_s=90.0,
+        eardbd_restart_rate=0.2,
+    )
+
+
+@dataclass(frozen=True)
+class InfraResiliencePoint:
+    """One infra fault intensity: completion, requeue and retry tallies."""
+
+    intensity: float
+    n_jobs: int
+    n_completed: int
+    n_failed: int
+    #: crash-killed attempts the scheduler requeued.
+    n_requeues: int
+    #: node-crash events injected.
+    n_node_failures: int
+    #: EARDBD daemon restarts survived (buffered reports replayed).
+    eardbd_restarts: int
+    #: experiment-pool retries observed while this point executed.
+    pool_retries: int
+    makespan_s: float
+    total_energy_j: float
+    #: True when the EARDBD conservation law held exactly at the end.
+    eardbd_reconciled: bool
+
+
+@dataclass(frozen=True)
+class InfraResilienceSweep:
+    """A full infra-intensity sweep of one cluster campaign."""
+
+    policy: str
+    n_nodes: int
+    n_jobs: int
+    points: tuple[InfraResiliencePoint, ...]
+
+
+def infra_resilience_sweep(
+    *,
+    intensities=DEFAULT_INTENSITIES,
+    n_jobs: int = 10,
+    n_nodes: int = 6,
+    seed: int = 0,
+    scale: float = 0.3,
+    config: EarConfig | None = None,
+    jobs: int | None = None,
+    base_plan: FaultPlan | None = None,
+) -> InfraResilienceSweep:
+    """Sweep the control-plane fault channels over a cluster campaign.
+
+    Replays the same seeded trace at each intensity of the reference
+    infra regime (:func:`reference_infra_plan`, hardware channels
+    included) and tallies what the resilient control plane did: jobs
+    completed vs. terminally failed, crash requeues, EARDBD restarts
+    survived, pool retries — plus makespan/energy so the cost of the
+    churn is visible.  Intensity 0 is the clean campaign.
+    """
+    from ..cluster.scheduler import ClusterConfig, ClusterSimulation
+    from ..cluster.traces import TraceConfig, generate_trace
+
+    trace = generate_trace(TraceConfig(n_jobs=n_jobs, seed=seed, scale=scale))
+    base = base_plan if base_plan is not None else reference_infra_plan()
+    pool = _pool_for(jobs)
+    points = []
+    for intensity in tuple(intensities):
+        plan = base.scaled(intensity) if intensity > 0 else None
+        cluster = ClusterConfig(
+            n_nodes=n_nodes, ear_config=config, fault_plan=plan
+        )
+        retries_before = pool.stats.retries
+        sim = ClusterSimulation(trace, cluster, pool=pool)
+        report = sim.run()
+        points.append(
+            InfraResiliencePoint(
+                intensity=intensity,
+                n_jobs=n_jobs,
+                n_completed=len(report.jobs),
+                n_failed=len(report.failures),
+                n_requeues=report.n_requeues,
+                n_node_failures=report.n_node_failures,
+                eardbd_restarts=report.eardbd.restarts,
+                pool_retries=pool.stats.retries - retries_before,
+                makespan_s=report.makespan_s,
+                total_energy_j=report.total_energy_j,
+                eardbd_reconciled=report.eardbd.reconciles_with(
+                    sim.accounting, pending=sim.eardbd.pending
+                ),
+            )
+        )
+    return InfraResilienceSweep(
+        policy=config.policy if config is not None else "none",
+        n_nodes=n_nodes,
+        n_jobs=n_jobs,
+        points=tuple(points),
     )

@@ -51,10 +51,20 @@ class AveragedResult:
     avg_imc_freq_ghz: float
     n_runs: int
     runs: tuple[RunResult, ...]
+    #: seeds excluded from the average because their runs were
+    #: quarantined by the pool (0 on the clean path).  ``n_runs`` counts
+    #: the surviving seeds only, so coverage is ``n_runs / (n_runs +
+    #: n_failed)``.
+    n_failed: int = 0
 
     @classmethod
     def from_runs(
-        cls, workload: str, config_name: str, runs: tuple[RunResult, ...]
+        cls,
+        workload: str,
+        config_name: str,
+        runs: tuple[RunResult, ...],
+        *,
+        n_failed: int = 0,
     ) -> "AveragedResult":
         """Average seeded runs into one result (field-wise mean)."""
         n = len(runs)
@@ -70,6 +80,7 @@ class AveragedResult:
             avg_imc_freq_ghz=sum(r.avg_imc_freq_ghz for r in runs) / n,
             n_runs=n,
             runs=runs,
+            n_failed=n_failed,
         )
 
 

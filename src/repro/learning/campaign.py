@@ -20,13 +20,15 @@ and EARL only measures.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 
 from ..ear.config import EarConfig
 from ..ear.models import CoefficientTable, coefficients_file, save_coefficients
 from ..ear.signature import Signature
 from ..errors import LearningError
-from ..experiments.parallel import ExperimentPool, RunRequest, default_pool
+from ..experiments.journal import CampaignJournal, campaign_id
+from ..experiments.parallel import ExperimentPool, FailedRun, RunRequest, default_pool
 from ..hw.node import NodeConfig
 from ..sim.result import RunResult
 from ..telemetry.recorder import NULL_RECORDER, Recorder
@@ -126,6 +128,11 @@ class LearningCampaign:
         Telemetry sink for the campaign-scope events
         (``learning/grid_run``, ``learning/fit``, ``learning/validate``);
         silent by default.
+    journal:
+        Optional :class:`~repro.experiments.journal.CampaignJournal`;
+        when set, every grid request is write-ahead journaled through
+        the pool while :meth:`measure` runs, which is what makes
+        ``repro-ear learn --resume`` possible.
     """
 
     def __init__(
@@ -136,12 +143,14 @@ class LearningCampaign:
         grid: LearningGrid | None = None,
         pool: ExperimentPool | None = None,
         recorder: Recorder = NULL_RECORDER,
+        journal: CampaignJournal | None = None,
     ) -> None:
         self.node_config = node_config
         self.kernels = kernels if kernels is not None else default_kernels(node_config)
         self.grid = grid if grid is not None else LearningGrid.full(node_config)
         self.pool = pool if pool is not None else default_pool()
         self.recorder = recorder
+        self.journal = journal
         for w in self.kernels:
             if w.node_config.name != node_config.name:
                 raise LearningError(
@@ -157,11 +166,13 @@ class LearningCampaign:
 
     # -- stages ---------------------------------------------------------
 
-    def measure(self) -> tuple[GridObservation, ...]:
-        """Run the whole grid through the pool; return all observations.
+    def grid_requests(self) -> tuple[list[tuple], list[RunRequest]]:
+        """The campaign's grid as (points, run requests), both flat.
 
-        The batch is submitted flat (every kernel × P-state × uncore ×
-        seed at once) so cache misses saturate the worker pool.
+        ``points`` are ``(kernel, pstate, uncore, seed)`` tuples aligned
+        index-for-index with the requests.  Exposed separately from
+        :meth:`measure` because the request keys also *identify* the
+        campaign (see :meth:`journal_id`).
         """
         freqs = self.node_config.pstates.frequencies_ghz
         points = [
@@ -182,7 +193,39 @@ class LearningCampaign:
             )
             for kernel, pstate, uncore, seed in points
         ]
-        results = self.pool.run_many(requests)
+        return points, requests
+
+    def journal_id(self) -> str:
+        """Content-derived campaign identity for the journal filename.
+
+        A hash over the sorted grid request keys plus the node type:
+        the same campaign (same kernels, grid, scale, seeds) resumes
+        into the same journal; any change to the grid gets a fresh one.
+        """
+        _, requests = self.grid_requests()
+        return campaign_id(
+            "learn", self.node_config.name, sorted(r.key() for r in requests)
+        )
+
+    def measure(self) -> tuple[GridObservation, ...]:
+        """Run the whole grid through the pool; return all observations.
+
+        The batch is submitted flat (every kernel × P-state × uncore ×
+        seed at once) so cache misses saturate the worker pool.  Grid
+        points whose runs were quarantined by the pool are *excluded*
+        (the fit degrades gracefully and coverage is warned about); only
+        a grid with zero surviving points raises.
+        """
+        points, requests = self.grid_requests()
+        previous_journal = self.pool.journal
+        if self.journal is not None:
+            self.pool.journal = self.journal
+        try:
+            results = self.pool.run_many(requests)
+        finally:
+            if self.journal is not None:
+                self.pool.journal = previous_journal
+        failures = [r for r in results if isinstance(r, FailedRun)]
         observations = tuple(
             GridObservation(
                 kernel=kernel.name,
@@ -192,7 +235,30 @@ class LearningCampaign:
                 signature=self._steady_of(kernel, result),
             )
             for (kernel, pstate, uncore, seed), result in zip(points, results)
+            if not isinstance(result, FailedRun)
         )
+        if not observations:
+            raise LearningError(
+                f"all {len(results)} grid runs failed; first: "
+                f"{failures[0].describe()}"
+            )
+        if failures:
+            coverage = len(observations) / len(results)
+            warnings.warn(
+                f"learning grid: {len(failures)}/{len(results)} points "
+                f"quarantined and excluded from the fit "
+                f"(coverage {coverage:.0%})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.recorder.event(
+                "learning",
+                "coverage",
+                node_type=self.node_config.name,
+                n_points=len(results),
+                n_failed=len(failures),
+                coverage=coverage,
+            )
         for kernel in self.kernels:
             self.recorder.event(
                 "learning",

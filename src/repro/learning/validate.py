@@ -12,11 +12,12 @@ mispredicts held-out codes must never reach a policy.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..ear.models import Avx512Model, CoefficientTable
 from ..errors import LearningError
-from ..experiments.parallel import ExperimentPool, RunRequest, default_pool
+from ..experiments.parallel import ExperimentPool, FailedRun, RunRequest, default_pool
 from ..hw.node import NodeConfig
 from ..workloads.app import Workload
 
@@ -206,6 +207,23 @@ def validate_table(
         for w, p in points
     ]
     results = dict(zip(points, pool.run_many(requests)))
+    failed = {w.name for (w, _), r in results.items() if isinstance(r, FailedRun)}
+    if failed:
+        # a workload with any quarantined run cannot be judged fairly;
+        # exclude it and validate on the survivors (coverage warning),
+        # unless nothing survives.
+        if failed == {w.name for w in workloads}:
+            raise LearningError(
+                "validation impossible: every held-out workload had "
+                "quarantined runs"
+            )
+        warnings.warn(
+            "validation excluded workloads with quarantined runs: "
+            + ", ".join(sorted(failed)),
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        workloads = tuple(w for w in workloads if w.name not in failed)
 
     validations = []
     for w in workloads:

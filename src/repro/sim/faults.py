@@ -38,7 +38,7 @@ Layering
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, field, fields, replace
 
 import numpy as np
 
@@ -60,6 +60,15 @@ _RATE_FIELDS = (
     "msr_failure_rate",
     "rapl_wrap_rate",
     "throttle_rate",
+)
+
+#: Infrastructure (control-plane) channels: they perturb the *cluster*
+#: — node crashes, daemon restarts — never the physics of a single
+#: job's run, so they are ``compare=False`` and invisible to the run
+#: cache's content hash.
+_INFRA_RATE_FIELDS = (
+    "node_crash_rate",
+    "eardbd_restart_rate",
 )
 
 
@@ -95,9 +104,26 @@ class FaultPlan:
     throttle_rate: float = 0.0
     throttle_duration_s: float = 8.0
     throttle_ghz: float = 1.6
+    # -- infrastructure (control-plane) channels ------------------------------
+    # All compare=False: they drive the cluster control plane (node
+    # crashes, daemon restarts), not the per-job physics, so a plan
+    # carrying only infra rates canonicalises like no plan at all and
+    # the run-cache key shape is unchanged (no CACHE_FORMAT_VERSION
+    # bump needed).
+    #: probability per node-second (approximated per job-node) that a
+    #: node crashes mid-job in the cluster simulation.
+    node_crash_rate: float = field(default=0.0, compare=False)
+    #: how long a crashed node stays down before rejoining the free pool.
+    node_reboot_s: float = field(default=120.0, compare=False)
+    #: how many times the cluster requeues a crash-killed job before
+    #: recording it as failed.
+    job_max_retries: int = field(default=2, compare=False)
+    #: probability per flush tick that the EARDBD daemon restarts
+    #: (buffered reports replayed from its WAL, the flush skipped).
+    eardbd_restart_rate: float = field(default=0.0, compare=False)
 
     def __post_init__(self) -> None:
-        for name in _RATE_FIELDS:
+        for name in _RATE_FIELDS + _INFRA_RATE_FIELDS:
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ExperimentError(f"{name}={rate} outside [0, 1]")
@@ -109,21 +135,40 @@ class FaultPlan:
             raise ExperimentError("throttle_duration_s must be positive")
         if self.throttle_ghz <= 0:
             raise ExperimentError("throttle_ghz must be positive")
+        if self.node_reboot_s <= 0:
+            raise ExperimentError("node_reboot_s must be positive")
+        if self.job_max_retries < 0:
+            raise ExperimentError("job_max_retries cannot be negative")
 
     @property
     def enabled(self) -> bool:
-        """True when any fault channel can fire."""
+        """True when any *hardware* fault channel can fire.
+
+        Deliberately excludes the infrastructure channels: the per-job
+        engine consults ``enabled`` to decide whether to build an
+        injector, and infra faults never reach the engine.
+        """
         return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
 
+    @property
+    def infra_enabled(self) -> bool:
+        """True when any control-plane (cluster) channel can fire."""
+        return any(getattr(self, name) > 0.0 for name in _INFRA_RATE_FIELDS)
+
     def scaled(self, factor: float) -> "FaultPlan":
-        """Copy with every rate multiplied by ``factor`` (clamped to 1)."""
+        """Copy with every rate multiplied by ``factor`` (clamped to 1).
+
+        Scales the hardware and the infrastructure rates alike, so a
+        resilience sweep turns one reference plan's intensity knob for
+        both domains.
+        """
         if factor < 0:
             raise ExperimentError("fault scale factor cannot be negative")
         return replace(
             self,
             **{
                 name: min(1.0, getattr(self, name) * factor)
-                for name in _RATE_FIELDS
+                for name in _RATE_FIELDS + _INFRA_RATE_FIELDS
             },
         )
 

@@ -1,0 +1,193 @@
+"""Control-plane fault channels: node crashes, EARDBD restarts, gating."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster.scheduler import ClusterConfig, ClusterSimulation
+from repro.cluster.traces import TraceConfig, generate_trace
+from repro.errors import ExperimentError
+from repro.experiments.parallel import ExperimentPool, RunCache, RunRequest
+from repro.experiments.resilience import (
+    infra_resilience_sweep,
+    reference_infra_plan,
+)
+from repro.sim.faults import FaultPlan
+from tests.conftest import make_fast_workload
+
+
+def fresh_pool():
+    return ExperimentPool(jobs=1, cache=RunCache())
+
+
+def small_trace(n_jobs=6, seed=0):
+    return generate_trace(
+        TraceConfig(n_jobs=n_jobs, seed=seed, scale=0.2, mean_interarrival_s=10.0)
+    )
+
+
+def crashy_plan(**kwargs):
+    defaults = dict(seed=0, node_crash_rate=0.35, node_reboot_s=40.0)
+    defaults.update(kwargs)
+    return FaultPlan(**defaults)
+
+
+class TestFaultPlanInfraFields:
+    def test_defaults_are_clean(self):
+        plan = FaultPlan()
+        assert not plan.enabled
+        assert not plan.infra_enabled
+
+    def test_infra_rates_do_not_enable_hardware_channels(self):
+        plan = FaultPlan(node_crash_rate=0.1, eardbd_restart_rate=0.1)
+        assert plan.infra_enabled
+        assert not plan.enabled  # hardware-only property, unchanged
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            FaultPlan(node_crash_rate=1.5)
+        with pytest.raises(ExperimentError):
+            FaultPlan(eardbd_restart_rate=-0.1)
+        with pytest.raises(ExperimentError):
+            FaultPlan(node_reboot_s=0.0)
+        with pytest.raises(ExperimentError):
+            FaultPlan(job_max_retries=-1)
+
+    def test_scaled_scales_infra_rates(self):
+        plan = FaultPlan(node_crash_rate=0.2, eardbd_restart_rate=0.1)
+        half = plan.scaled(0.5)
+        assert half.node_crash_rate == pytest.approx(0.1)
+        assert half.eardbd_restart_rate == pytest.approx(0.05)
+        # scaling clamps at 1.0 like the hardware rates
+        assert plan.scaled(100.0).node_crash_rate == 1.0
+
+    def test_infra_rates_do_not_change_the_cache_key(self):
+        """Infra channels perturb the control plane, never the job
+        physics — a run under an infra-only plan shares the clean run's
+        cache entry."""
+        workload = make_fast_workload(n_iterations=60)
+        clean = RunRequest(workload=workload, ear_config=None, seed=1, scale=0.3)
+        infra = replace(
+            clean,
+            fault_plan=FaultPlan(node_crash_rate=0.5, eardbd_restart_rate=0.5),
+        )
+        hardware = replace(clean, fault_plan=FaultPlan(meter_stall_rate=0.1))
+        assert infra.key() == clean.key()
+        assert hardware.key() != clean.key()
+
+
+class TestNodeCrashes:
+    def test_every_job_is_accounted_for(self):
+        trace = small_trace()
+        config = ClusterConfig(n_nodes=4, fault_plan=crashy_plan())
+        report = ClusterSimulation(trace, config, pool=fresh_pool()).run()
+        assert len(report.jobs) + len(report.failures) == len(trace)
+        assert report.n_node_failures > 0  # the channel actually fired
+        assert report.n_requeues + len(report.failures) >= report.n_node_failures
+
+    def test_crashes_are_deterministic(self):
+        trace = small_trace()
+        config = ClusterConfig(n_nodes=4, fault_plan=crashy_plan())
+        a = ClusterSimulation(trace, config, pool=fresh_pool()).run()
+        b = ClusterSimulation(trace, config, pool=fresh_pool()).run()
+        assert a.makespan_s == b.makespan_s
+        assert a.failures == b.failures
+        assert a.n_requeues == b.n_requeues
+        assert [j.end_s for j in a.jobs] == [j.end_s for j in b.jobs]
+
+    def test_retry_budget_zero_fails_terminally(self):
+        trace = small_trace()
+        plan = crashy_plan(node_crash_rate=0.9, job_max_retries=0)
+        config = ClusterConfig(n_nodes=4, fault_plan=plan)
+        report = ClusterSimulation(trace, config, pool=fresh_pool()).run()
+        assert report.n_requeues == 0
+        assert len(report.failures) > 0
+        for failure in report.failures:
+            assert failure.attempt == 1
+            assert failure.node_id >= 0
+
+    def test_eardbd_reconciles_under_crashes(self):
+        trace = small_trace()
+        config = ClusterConfig(n_nodes=4, fault_plan=crashy_plan())
+        sim = ClusterSimulation(trace, config, pool=fresh_pool())
+        report = sim.run()
+        assert report.eardbd.reconciles_with(
+            sim.accounting, pending=sim.eardbd.pending
+        )
+
+
+class TestEardbdRestarts:
+    def test_restarts_replay_the_buffer(self):
+        trace = small_trace()
+        plan = FaultPlan(eardbd_restart_rate=1.0)  # every flush tick
+        config = ClusterConfig(n_nodes=4, fault_plan=plan)
+        sim = ClusterSimulation(trace, config, pool=fresh_pool())
+        report = sim.run()
+        assert report.eardbd.restarts > 0
+        # nothing lost: the conservation law holds across restarts
+        assert report.eardbd.dropped == 0
+        assert report.eardbd.reconciles_with(
+            sim.accounting, pending=sim.eardbd.pending
+        )
+        # the restart-only plan perturbs reporting, never the schedule
+        clean = ClusterSimulation(
+            trace, ClusterConfig(n_nodes=4), pool=fresh_pool()
+        ).run()
+        assert report.makespan_s == clean.makespan_s
+
+
+class TestCleanPathGating:
+    def test_zero_rate_plan_is_bit_identical_to_no_plan(self):
+        trace = small_trace()
+        clean = ClusterSimulation(
+            trace, ClusterConfig(n_nodes=4), pool=fresh_pool()
+        ).run()
+        gated = ClusterSimulation(
+            trace,
+            ClusterConfig(n_nodes=4, fault_plan=FaultPlan()),
+            pool=fresh_pool(),
+        ).run()
+        assert gated.makespan_s == clean.makespan_s
+        assert gated.total_energy_j == clean.total_energy_j
+        assert [j.end_s for j in gated.jobs] == [j.end_s for j in clean.jobs]
+        assert gated.failures == ()
+        assert gated.n_requeues == 0
+        assert gated.n_node_failures == 0
+
+    def test_report_dict_carries_the_fault_tallies(self):
+        trace = small_trace()
+        config = ClusterConfig(n_nodes=4, fault_plan=crashy_plan())
+        report = ClusterSimulation(trace, config, pool=fresh_pool()).run()
+        d = report.to_dict()
+        assert d["n_node_failures"] == report.n_node_failures
+        assert d["n_requeues"] == report.n_requeues
+        assert d["eardbd"]["restarts"] == report.eardbd.restarts
+        assert len(d["failures"]) == len(report.failures)
+
+
+class TestInfraSweep:
+    def test_reference_plan_layers_infra_on_hardware(self):
+        plan = reference_infra_plan()
+        assert plan.enabled  # hardware channels present
+        assert plan.infra_enabled
+        assert plan.node_crash_rate > 0
+        assert plan.eardbd_restart_rate > 0
+
+    def test_sweep_accounts_for_every_job(self):
+        sweep = infra_resilience_sweep(
+            intensities=(0.0, 2.0), n_jobs=4, n_nodes=4, scale=0.2
+        )
+        assert len(sweep.points) == 2
+        for point in sweep.points:
+            assert point.n_completed + point.n_failed == point.n_jobs
+            assert point.eardbd_reconciled
+
+    def test_intensity_zero_is_the_clean_campaign(self):
+        sweep = infra_resilience_sweep(
+            intensities=(0.0,), n_jobs=4, n_nodes=4, scale=0.2
+        )
+        point = sweep.points[0]
+        assert point.n_failed == 0
+        assert point.n_requeues == 0
+        assert point.n_node_failures == 0
+        assert point.eardbd_restarts == 0

@@ -1,0 +1,196 @@
+"""Campaign journal: crash-safe JSONL WAL + resume semantics."""
+
+import json
+
+import pytest
+
+from repro.experiments.journal import (
+    CampaignJournal,
+    JournalState,
+    campaign_id,
+)
+from repro.experiments.parallel import ExperimentPool, RunCache, RunRequest
+from tests.conftest import make_fast_workload
+
+
+@pytest.fixture()
+def workload():
+    return make_fast_workload(n_iterations=60)
+
+
+def _request(workload, **kwargs):
+    defaults = dict(ear_config=None, seed=1, scale=0.3)
+    defaults.update(kwargs)
+    return RunRequest(workload=workload, **defaults)
+
+
+class TestCampaignId:
+    def test_deterministic(self):
+        assert campaign_id("learn", "SD530", ["k1", "k2"]) == campaign_id(
+            "learn", "SD530", ["k1", "k2"]
+        )
+
+    def test_sensitive_to_every_part(self):
+        base = campaign_id("learn", "SD530", ["k1"])
+        assert campaign_id("cluster", "SD530", ["k1"]) != base
+        assert campaign_id("learn", "SD650", ["k1"]) != base
+        assert campaign_id("learn", "SD530", ["k2"]) != base
+
+    def test_shape(self):
+        cid = campaign_id("x")
+        assert len(cid) == 16
+        assert int(cid, 16) >= 0  # hex
+
+
+class TestJournalRoundTrip:
+    def test_records_replay(self, tmp_path):
+        with CampaignJournal.for_campaign(
+            "abc123", directory=tmp_path, meta={"kind": "learn"}
+        ) as journal:
+            journal.submitted("k1", workload="STREAM", seed=1)
+            journal.submitted("k2", workload="STREAM", seed=2)
+            journal.completed("k1")
+            journal.failed("k2", error="ValueError('boom')", attempts=3)
+            journal.finish(n_runs=2)
+
+        state = CampaignJournal(tmp_path / "abc123.jsonl").replay()
+        assert state.header == {"campaign": "abc123", "kind": "learn"}
+        assert state.submitted == {"k1", "k2"}
+        assert state.completed == {"k1"}
+        assert state.failed == {"k2": "ValueError('boom')"}
+        assert state.finished
+        assert state.corrupt_lines == 0
+
+    def test_appends_are_idempotent_per_key(self, tmp_path):
+        with CampaignJournal.for_campaign("c", directory=tmp_path) as journal:
+            for _ in range(3):
+                journal.submitted("k1")
+                journal.completed("k1")
+        lines = (tmp_path / "c.jsonl").read_text().strip().split("\n")
+        # header + one submitted + one completed
+        assert len(lines) == 3
+
+    def test_fresh_open_truncates_previous_campaign(self, tmp_path):
+        with CampaignJournal.for_campaign("c", directory=tmp_path) as journal:
+            journal.completed("old")
+        with CampaignJournal.for_campaign("c", directory=tmp_path) as journal:
+            journal.completed("new")
+        state = CampaignJournal(tmp_path / "c.jsonl").replay()
+        assert state.completed == {"new"}
+
+    def test_resume_extends_previous_campaign(self, tmp_path):
+        with CampaignJournal.for_campaign("c", directory=tmp_path) as journal:
+            journal.completed("k1")
+        with CampaignJournal.for_campaign(
+            "c", directory=tmp_path, resume=True
+        ) as journal:
+            journal.completed("k1")  # replayed: no duplicate record
+            journal.completed("k2")
+        state = CampaignJournal(tmp_path / "c.jsonl").replay()
+        assert state.completed == {"k1", "k2"}
+        lines = (tmp_path / "c.jsonl").read_text().strip().split("\n")
+        assert sum('"record": "completed"' in ln for ln in lines) == 2
+
+
+class TestTornTail:
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal.for_campaign("c", directory=tmp_path) as journal:
+            journal.completed("k1")
+            journal.completed("k2")
+        # simulate a crash mid-append: a torn, non-JSON final line
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"record": "completed", "key": "k3", "cach')
+        state = CampaignJournal(path).replay()
+        assert state.completed == {"k1", "k2"}
+        assert state.corrupt_lines == 1
+
+    def test_garbage_mid_file_is_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        records = [
+            json.dumps({"record": "completed", "key": "k1"}),
+            "not json at all",
+            json.dumps(["a", "list"]),
+            json.dumps({"record": "completed", "key": "k2"}),
+        ]
+        path.write_text("\n".join(records) + "\n")
+        state = CampaignJournal(path).replay()
+        assert state.completed == {"k1", "k2"}
+        assert state.corrupt_lines == 2
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        state = CampaignJournal(tmp_path / "nope.jsonl").replay()
+        assert state.total == 0
+        assert not state.finished
+
+
+class TestJournalState:
+    def test_coverage_and_describe(self):
+        state = JournalState(
+            submitted={"a", "b", "c", "d"},
+            completed={"a", "b", "c"},
+            failed={"d": "boom"},
+        )
+        assert state.total == 4
+        assert state.coverage() == pytest.approx(0.75)
+        assert state.describe() == "3/4 completed, 1 quarantined"
+
+    def test_empty_state(self):
+        state = JournalState()
+        assert state.coverage() == 0.0
+
+
+class TestPoolIntegration:
+    def test_pool_journals_submissions_and_completions(self, workload, tmp_path):
+        requests = [_request(workload, seed=s) for s in (1, 2)]
+        journal = CampaignJournal.for_campaign("pool", directory=tmp_path)
+        pool = ExperimentPool(jobs=1, cache=RunCache(), journal=journal)
+        pool.run_many(requests)
+        journal.close()
+
+        state = journal.replay()
+        keys = {r.key() for r in requests}
+        assert state.submitted == keys
+        assert state.completed == keys
+        assert not state.failed
+
+    def test_cache_hits_are_journaled_as_cached(self, workload, tmp_path):
+        req = _request(workload)
+        journal = CampaignJournal.for_campaign("pool", directory=tmp_path)
+        pool = ExperimentPool(jobs=1, cache=RunCache(), journal=journal)
+        pool.run_many([req])  # miss: simulated
+        pool.run_many([req])  # hit: would journal cached=True if not replayed
+        journal.close()
+        lines = journal.path.read_text().strip().split("\n")
+        completed = [json.loads(ln) for ln in lines if "completed" in ln]
+        assert len(completed) == 1  # idempotent: one completion per key
+
+    def test_resume_serves_completed_work_from_cache(self, workload, tmp_path):
+        """Acceptance: resumed campaigns re-simulate nothing that
+        completed before the interruption — 100% served from cache."""
+        requests = [_request(workload, seed=s) for s in (1, 2, 3)]
+
+        # "interrupted" first attempt: completes all three, then dies
+        # before the trailer (no finish()).
+        journal = CampaignJournal.for_campaign("c", directory=tmp_path)
+        first = ExperimentPool(
+            jobs=1, cache=RunCache(tmp_path / "cache"), journal=journal
+        )
+        first.run_many(requests)
+        journal.close()
+        assert first.stats.simulations == 3
+
+        # resume: fresh process, same journal + disk cache
+        resumed = CampaignJournal.for_campaign("c", directory=tmp_path, resume=True)
+        state = resumed.replay()
+        assert state.coverage() == 1.0
+        assert not state.finished
+        second = ExperimentPool(
+            jobs=1, cache=RunCache(tmp_path / "cache"), journal=resumed
+        )
+        second.run_many(requests)
+        resumed.finish()
+        resumed.close()
+        assert second.stats.simulations == 0  # >= 90% bar: all from cache
+        assert second.cache.stats.disk_hits == 3
+        assert resumed.replay().finished
