@@ -15,6 +15,9 @@ Subcommands::
     repro-ear cluster --n-jobs 12       # cluster campaign: scheduler + EARDBD + EARGM
     repro-ear eacct --db accounting.json  # query an exported accounting DB
     repro-ear export 3 -o t3.csv        # export a paper table as CSV
+    repro-ear serve --socket ear.sock   # persistent service: streaming submissions
+    repro-ear submit -w synt.cpu.1n     # stream a job into a running service
+    repro-ear status --drain            # query/drain/stop a running service
 
 The full reference lives in ``docs/CLI.md``, generated from the same
 argparse tree by ``repro-ear --dump-docs`` (so it can never drift from
@@ -803,6 +806,137 @@ def _cmd_learn(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import EarService, ServiceConfig
+
+    config = ServiceConfig(
+        socket_path=args.socket,
+        port=args.port,
+        name=args.name,
+        n_nodes=args.n_nodes,
+        policy=args.policy,
+        budget_mj=args.budget_mj,
+        horizon_s=args.horizon_s,
+        flush_interval_s=args.flush_interval_s,
+        max_pending=args.max_pending,
+        max_inflight=args.max_inflight,
+        journal=not args.no_journal,
+        journal_dir=args.journal_dir,
+        journal_fsync=not args.no_fsync,
+        resume=args.resume,
+    )
+    service = EarService(config)
+
+    async def _run() -> int:
+        await service.start()
+        listening = []
+        if config.socket_path:
+            listening.append(f"unix:{config.socket_path}")
+        if config.port is not None:
+            listening.append(f"tcp:{config.host}:{config.port}")
+        print(f"repro-ear service {config.name!r} listening on {', '.join(listening)}")
+        if args.resume and service.journal is not None:
+            print(
+                f"resumed journal {service.journal.path}: "
+                f"{service.resumed_runs} runs already completed"
+            )
+        print("endpoints: /metrics /events /status (HTTP) + JSON-line ops; "
+              "SIGTERM drains and exits")
+        return await service.serve_forever()
+
+    return asyncio.run(_run())
+
+
+def _service_client(args):
+    from .service import ServiceClient
+
+    return ServiceClient(args.socket, port=args.port, timeout=args.timeout)
+
+
+def _cmd_submit(args) -> int:
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        receipt = client.submit(
+            args.workload,
+            policy=args.policy,
+            seed=args.seed,
+            scale=args.scale,
+            count=args.count,
+            cluster=args.cluster,
+            submit_s=args.submit_s,
+            tag=args.tag,
+        )
+    except ServiceError as exc:
+        raise SystemExit(f"submit rejected: {exc}")
+    print(
+        f"accepted {receipt['accepted']} job(s) on cluster "
+        f"{receipt['cluster']!r} ({receipt['pending']} pending)"
+    )
+    return 0
+
+
+def _cmd_status(args) -> int:
+    import json
+
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.stop:
+            client.shutdown(drain=True)
+            print("shutdown requested (graceful drain)")
+            return 0
+        if args.metrics:
+            print(client.metrics(), end="")
+            return 0
+        if args.tail:
+            for line in client.tail(args.tail):
+                print(line)
+            return 0
+        status = client.drain() if args.drain else client.status()
+    except ServiceError as exc:
+        raise SystemExit(f"status failed: {exc}")
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"service {status['service']!r} protocol v{status['protocol']} "
+        f"({'accepting' if status['accepting'] else 'draining'})"
+    )
+    for name, row in status["clusters"].items():
+        line = (
+            f"  {name}: policy={row['policy']} submitted={row['submitted']} "
+            f"completed={row['completed']} failed={row['failed']} "
+            f"rejected={row['rejected']} pending={row['pending']} "
+            f"queued={row['queued']} running={row['running']} "
+            f"energy={row['energy_j'] / 1e6:.3f} MJ clock={row['clock_s']:.0f} s"
+        )
+        print(line)
+        if "eargm" in row:
+            g = row["eargm"]
+            print(
+                f"    eargm: {g['level']} horizon "
+                f"{g['horizon_consumed_j'] / 1e6:.3f}/{g['budget_j'] / 1e6:.3f} MJ, "
+                f"{g['horizons_completed']} horizon(s) completed"
+            )
+    ev = status["events"]
+    print(
+        f"  events: {ev['total']} total, {ev['buffered']} buffered, "
+        f"{ev['dropped']} dropped"
+    )
+    if "cache" in status:
+        c = status["cache"]
+        print(
+            f"  cache: {c['entries']} entries, {c['hits']} hits, "
+            f"{c['misses']} misses, {c['evictions']} evictions"
+        )
+    return 0
+
+
 def _default_cache_dir() -> pathlib.Path:
     """Persistent run-cache location: ``$REPRO_CACHE_DIR`` or ``results/.cache``."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -1171,6 +1305,201 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_learn.set_defaults(fn=_cmd_learn)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="persistent EAR service: streaming job submissions over a "
+        "unix socket/TCP, incremental telemetry, Prometheus scrape endpoint",
+    )
+    p_serve.add_argument(
+        "--socket",
+        default="ear.sock",
+        help="unix socket path to listen on (default ear.sock)",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="also listen on TCP 127.0.0.1:PORT (default: unix socket only)",
+    )
+    p_serve.add_argument(
+        "--name", default="default", help="service instance name (default 'default')"
+    )
+    p_serve.add_argument(
+        "--n-nodes",
+        type=int,
+        default=8,
+        dest="n_nodes",
+        help="nodes per auto-created cluster (default 8)",
+    )
+    p_serve.add_argument(
+        "--policy",
+        default="me_eufs",
+        choices=["none", "me", "me_eufs"],
+        help="default EAR policy for auto-created clusters (default me_eufs)",
+    )
+    p_serve.add_argument(
+        "--budget-mj",
+        type=float,
+        default=None,
+        dest="budget_mj",
+        help="EARGM energy budget per horizon in MJ (default: no budget)",
+    )
+    p_serve.add_argument(
+        "--horizon-s",
+        type=float,
+        default=4500.0,
+        dest="horizon_s",
+        help="EARGM rolling-horizon length in seconds (default 4500)",
+    )
+    p_serve.add_argument(
+        "--flush-interval-s",
+        type=float,
+        default=30.0,
+        dest="flush_interval_s",
+        help="EARDBD flush cadence in simulated seconds (default 30)",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        dest="max_pending",
+        help="per-cluster ingress bound; excess submissions are rejected "
+        "with a backpressure error (default 1024)",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=2,
+        dest="max_inflight",
+        help="concurrent blocking dispatches into the worker pool (default 2)",
+    )
+    p_serve.add_argument(
+        "--no-journal",
+        action="store_true",
+        dest="no_journal",
+        help="disable the write-ahead campaign journal",
+    )
+    p_serve.add_argument(
+        "--no-fsync",
+        action="store_true",
+        dest="no_fsync",
+        help="journal without fsync-per-record (faster, weaker crash safety)",
+    )
+    p_serve.add_argument(
+        "--journal-dir",
+        default=None,
+        dest="journal_dir",
+        help="campaign journal directory (default results/.journal)",
+    )
+    p_serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="extend the previous journal for this service name; completed "
+        "runs are served from the run cache, not re-simulated",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    def _client_flags(p) -> None:
+        p.add_argument(
+            "--socket",
+            default="ear.sock",
+            help="unix socket of the service (default ear.sock)",
+        )
+        p.add_argument(
+            "--port",
+            type=int,
+            default=None,
+            help="TCP port of the service (overrides --socket)",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=30.0,
+            help="client I/O timeout in seconds (default 30)",
+        )
+
+    p_submit = sub.add_parser(
+        "submit", help="stream job submissions to a running `repro-ear serve`"
+    )
+    _client_flags(p_submit)
+    p_submit.add_argument(
+        "-w", "--workload", required=True, help="workload name (see `repro-ear list`)"
+    )
+    p_submit.add_argument(
+        "-p",
+        "--policy",
+        default=None,
+        choices=["none", "me", "me_eufs"],
+        help="EAR policy for the target cluster (only on first submission "
+        "to a cluster; default: the server's --policy)",
+    )
+    p_submit.add_argument(
+        "--seed", type=int, default=1, help="simulation seed (default 1)"
+    )
+    p_submit.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="iteration-count scale for the workload (default 1.0)",
+    )
+    p_submit.add_argument(
+        "--count",
+        type=int,
+        default=1,
+        help="submit N copies with consecutive seeds (default 1)",
+    )
+    p_submit.add_argument(
+        "--cluster",
+        default="default",
+        help="target cluster name; unknown names auto-create a cluster",
+    )
+    p_submit.add_argument(
+        "--submit-s",
+        type=float,
+        default=None,
+        dest="submit_s",
+        help="pin the arrival on the simulation clock (default: now)",
+    )
+    p_submit.add_argument(
+        "--tag",
+        type=int,
+        default=None,
+        help="client-side ordering key; pending jobs are admitted in "
+        "(submit_s, tag) order",
+    )
+    p_submit.set_defaults(fn=_cmd_submit)
+
+    p_svc_status = sub.add_parser(
+        "status", help="query (or drain/stop) a running `repro-ear serve`"
+    )
+    _client_flags(p_svc_status)
+    p_svc_status.add_argument(
+        "--tail",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the last N telemetry event lines instead of the status",
+    )
+    p_svc_status.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the Prometheus exposition text instead of the status",
+    )
+    p_svc_status.add_argument(
+        "--drain",
+        action="store_true",
+        help="block until all submitted jobs have simulated, then report",
+    )
+    p_svc_status.add_argument(
+        "--stop",
+        action="store_true",
+        help="request a graceful shutdown (drain, journal trailer, exit)",
+    )
+    p_svc_status.add_argument(
+        "--json", action="store_true", help="print the raw status payload as JSON"
+    )
+    p_svc_status.set_defaults(fn=_cmd_status)
+
     return parser
 
 
@@ -1297,7 +1626,12 @@ def main(argv: list[str] | None = None) -> int:
         print("\ninterrupted", file=sys.stderr)
         if _RESUME_HINT:
             print(_RESUME_HINT, file=sys.stderr)
-        return 130
+        sys.stdout.flush()
+        sys.stderr.flush()
+        # Skip interpreter thread shutdown: joining the executor threads
+        # of an abandoned hung worker can block indefinitely or spew
+        # spurious tracebacks over the clean exit message.
+        os._exit(130)
     finally:
         if previous is not None:
             signal.signal(signal.SIGTERM, previous)

@@ -330,7 +330,21 @@ class _FreeProfile:
 
 
 class ClusterSimulation:
-    """Replay one trace on one cluster configuration."""
+    """Replay one trace on one cluster configuration.
+
+    Two driving modes share one event loop:
+
+    * **batch** (the default): :meth:`run` pushes the whole trace,
+      drives the loop to completion and returns the report — the
+      pre-service behaviour, bit-identical event for event.
+    * **streaming** (``streaming=True``): the trace may start empty;
+      :meth:`submit_job` admits jobs while the loop is live,
+      :meth:`step`/:meth:`drain_events` advance it incrementally, and
+      :meth:`harvest_outcomes`/:meth:`harvest_failures` drain finished
+      work so a long-lived driver keeps memory bounded.  Aggregate
+      statistics survive harvesting, so :meth:`finalize` still reports
+      totals over everything the simulation ever ran.
+    """
 
     def __init__(
         self,
@@ -339,10 +353,11 @@ class ClusterSimulation:
         *,
         pool=None,
         accounting: AccountingDB | None = None,
+        streaming: bool = False,
     ) -> None:
         from ..experiments.parallel import default_pool
 
-        if not trace:
+        if not trace and not streaming:
             raise ConfigError("a campaign needs at least one job")
         for job in trace:
             if job.workload.n_nodes > config.n_nodes:
@@ -351,6 +366,7 @@ class ClusterSimulation:
                     f"{job.workload.n_nodes} nodes; the cluster has {config.n_nodes}"
                 )
         self.trace = tuple(trace)
+        self.streaming = streaming
         self.config = config
         self.pool = pool if pool is not None else default_pool()
         self.accounting = accounting if accounting is not None else AccountingDB()
@@ -377,6 +393,20 @@ class ClusterSimulation:
         self._outcomes: list[JobOutcome] = []
         self._makespan_s = 0.0
         self._ran = False
+        self._started = False
+        self._finalized = False
+        self._flush_armed = False
+        # aggregates over *harvested* (drained) outcomes/failures, so
+        # finalize() reports totals even after streaming drivers pull
+        # finished work out of memory.  All start at additive/ordering
+        # identities, keeping the batch path bit-identical.
+        self._h_energy_j = 0.0
+        self._h_busy_node_s = 0.0
+        self._h_wait_sum_s = 0.0
+        self._h_wait_max_s = 0.0
+        self._h_jobs = 0
+        self._h_backfilled = 0
+        self._h_failures = 0
         # -- control-plane fault channel state (inert without a plan
         # carrying infra rates: no RNG is built, no draws happen, the
         # clean path stays bit-identical) --------------------------------
@@ -404,29 +434,165 @@ class ClusterSimulation:
         if self._ran:
             raise ExperimentError("a ClusterSimulation runs once; build a fresh one")
         self._ran = True
+        self.start()
+        while self.step():
+            pass
+        return self.finalize()
+
+    def start(self) -> None:
+        """Prime the event loop: trace arrivals, then the first flush.
+
+        Idempotent.  In streaming mode with an empty initial trace the
+        EARDBD flush tick is armed lazily by the first
+        :meth:`submit_job`, so an idle service does not advance the
+        event clock while nothing runs.
+        """
+        if self._started:
+            return
+        self._started = True
         for job in self.trace:
             self._events.push(job.submit_s, EventKind.JOB_ARRIVAL, job)
             self._unarrived += 1
-        self._events.push(
-            self.config.eardbd.flush_interval_s, EventKind.EARDBD_FLUSH
-        )
-        while self._events:
-            event = self._events.pop()
-            self.clock.advance(event.time_s)
-            if event.kind is EventKind.JOB_ARRIVAL:
-                self._on_arrival(event.payload)
-            elif event.kind is EventKind.JOB_FINISH:
-                self._on_finish(event.payload)
-            elif event.kind is EventKind.NODE_FAIL:
-                self._on_node_fail(event.payload)
-            elif event.kind is EventKind.NODE_RECOVER:
-                self._on_node_recover(event.payload)
-            else:
-                self._on_flush()
+        if self.trace or not self.streaming:
+            self._push_flush(self.config.eardbd.flush_interval_s)
+
+    def step(self) -> bool:
+        """Process exactly one event; False once the queue is empty."""
+        if not self._started:
+            self.start()
+        if not self._events:
+            return False
+        event = self._events.pop()
+        self.clock.advance(event.time_s)
+        if event.kind is EventKind.JOB_ARRIVAL:
+            self._on_arrival(event.payload)
+        elif event.kind is EventKind.JOB_FINISH:
+            self._on_finish(event.payload)
+        elif event.kind is EventKind.NODE_FAIL:
+            self._on_node_fail(event.payload)
+        elif event.kind is EventKind.NODE_RECOVER:
+            self._on_node_recover(event.payload)
+        else:
+            self._on_flush()
+        return True
+
+    def drain_events(self) -> int:
+        """Step until the event queue is empty; return events processed."""
+        n = 0
+        while self.step():
+            n += 1
+        return n
+
+    def finalize(self) -> ClusterReport:
+        """Flush the EARDBD residue and build the final report.
+
+        Runs once; the simulation accepts no further work afterwards.
+        """
+        if self._finalized:
+            raise ExperimentError("a ClusterSimulation finalizes once")
+        self._finalized = True
         if self.eardbd.pending:
             # final drain so nothing reported is lost at shutdown.
             self.eardbd.flush(time_s=self._makespan_s)
         return self._report()
+
+    # -- streaming API --------------------------------------------------------
+
+    def submit_job(self, job: TraceJob) -> TraceJob:
+        """Admit one job while the event loop is live (streaming mode).
+
+        A job whose ``submit_s`` lies in the simulation's past is
+        admitted *now* (the event clock never runs backwards); the
+        possibly re-timed job is returned.  Submissions that arrive
+        before the clock passes their submit time replay exactly like a
+        batch trace — same arrivals, same tie-breaking — which is what
+        makes the service path bit-identical to the batch path.
+        """
+        if not self.streaming:
+            raise ExperimentError("submit_job requires streaming=True")
+        if self._finalized:
+            raise ExperimentError("cannot submit to a finalized simulation")
+        if job.workload.n_nodes > self.config.n_nodes:
+            raise ConfigError(
+                f"job {job.index} ({job.workload.name}) needs "
+                f"{job.workload.n_nodes} nodes; the cluster has {self.config.n_nodes}"
+            )
+        if not self._started:
+            self.start()
+        if job.submit_s < self.clock.now:
+            job = replace(job, submit_s=self.clock.now)
+        self._events.push(job.submit_s, EventKind.JOB_ARRIVAL, job)
+        self._unarrived += 1
+        if not self._flush_armed:
+            self._push_flush(self.clock.now + self.config.eardbd.flush_interval_s)
+        return job
+
+    def harvest_outcomes(self) -> tuple[JobOutcome, ...]:
+        """Drain finished jobs, folding them into the report aggregates.
+
+        Streaming drivers call this after every pump cycle so a
+        long-lived simulation holds O(in-flight) state instead of the
+        whole history; :meth:`finalize` still reports exact totals.
+        """
+        out = tuple(self._outcomes)
+        self._outcomes.clear()
+        for j in out:
+            self._h_energy_j += j.dc_energy_j
+            self._h_busy_node_s += j.run_s * j.n_nodes
+            self._h_wait_sum_s += j.wait_s
+            self._h_wait_max_s = max(self._h_wait_max_s, j.wait_s)
+            self._h_jobs += 1
+            if j.backfilled:
+                self._h_backfilled += 1
+        return out
+
+    def harvest_failures(self) -> tuple[JobFailure, ...]:
+        """Drain terminal job failures (streaming counterpart of outcomes)."""
+        out = tuple(self._failures)
+        self._failures.clear()
+        self._h_failures += len(out)
+        return out
+
+    def drain_telemetry_events(self) -> tuple:
+        """Drain buffered cluster-scope telemetry events (bounded memory).
+
+        Counters/gauges/timers stay cumulative on the recorder; only the
+        per-event backlog is handed over, ready for an event ring.
+        """
+        if not self.telemetry.enabled:
+            return ()
+        events = tuple(self.telemetry.events)
+        self.telemetry.events.clear()
+        return events
+
+    @property
+    def n_running(self) -> int:
+        """Jobs currently executing on nodes."""
+        return len(self._running)
+
+    @property
+    def n_queued(self) -> int:
+        """Jobs waiting in the FCFS queue."""
+        return len(self._queue)
+
+    @property
+    def n_pending_events(self) -> int:
+        """Events still in the queue (arrivals, finishes, flush ticks)."""
+        return len(self._events)
+
+    @property
+    def jobs_completed(self) -> int:
+        """Total jobs finished so far (harvested + still buffered)."""
+        return self._h_jobs + len(self._outcomes)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total data-centre energy of all finished jobs so far."""
+        return self._h_energy_j + sum(j.dc_energy_j for j in self._outcomes)
+
+    def _push_flush(self, at_s: float) -> None:
+        self._events.push(at_s, EventKind.EARDBD_FLUSH)
+        self._flush_armed = True
 
     # -- event handlers ------------------------------------------------------
 
@@ -566,6 +732,7 @@ class ClusterSimulation:
         self._schedule_pass()
 
     def _on_flush(self) -> None:
+        self._flush_armed = False
         restart = (
             self._infra_plan is not None
             and self._infra_plan.eardbd_restart_rate > 0.0
@@ -578,10 +745,7 @@ class ClusterSimulation:
         else:
             self.eardbd.flush(time_s=self.clock.now)
         if self._unarrived or self._queue or self._running:
-            self._events.push(
-                self.clock.now + self.config.eardbd.flush_interval_s,
-                EventKind.EARDBD_FLUSH,
-            )
+            self._push_flush(self.clock.now + self.config.eardbd.flush_interval_s)
 
     # -- accounting + control ------------------------------------------------
 
@@ -787,10 +951,14 @@ class ClusterSimulation:
     # -- reporting -----------------------------------------------------------
 
     def _report(self) -> ClusterReport:
+        # The harvested aggregates are additive identities on the batch
+        # path (nothing was drained), so every expression below reduces
+        # bit-for-bit to the pre-streaming formula.
         outcomes = tuple(sorted(self._outcomes, key=lambda j: (j.start_s, j.index)))
         makespan = self._makespan_s
-        busy = sum(j.run_s * j.n_nodes for j in outcomes)
+        busy = self._h_busy_node_s + sum(j.run_s * j.n_nodes for j in outcomes)
         waits = [j.wait_s for j in outcomes]
+        n_jobs = self._h_jobs + len(waits)
         snapshot = self.telemetry.snapshot()
         return ClusterReport(
             n_nodes=self.config.n_nodes,
@@ -801,13 +969,15 @@ class ClusterSimulation:
             ),
             jobs=outcomes,
             makespan_s=makespan,
-            total_energy_j=sum(j.dc_energy_j for j in outcomes),
+            total_energy_j=self._h_energy_j + sum(j.dc_energy_j for j in outcomes),
             utilisation=(
                 busy / (self.config.n_nodes * makespan) if makespan > 0 else 0.0
             ),
-            mean_wait_s=sum(waits) / len(waits) if waits else 0.0,
-            max_wait_s=max(waits, default=0.0),
-            n_backfilled=sum(1 for j in outcomes if j.backfilled),
+            mean_wait_s=(
+                (self._h_wait_sum_s + sum(waits)) / n_jobs if n_jobs else 0.0
+            ),
+            max_wait_s=max(self._h_wait_max_s, max(waits, default=0.0)),
+            n_backfilled=self._h_backfilled + sum(1 for j in outcomes if j.backfilled),
             eardbd=self.eardbd.stats,
             budget_j=self.config.eargm.budget_j if self.config.eargm else None,
             consumed_j=self.eargm.consumed_j if self.eargm else None,

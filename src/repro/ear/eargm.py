@@ -7,6 +7,16 @@ frequency.  The paper focuses on the optimisation service, so this is
 the supporting implementation that completes the framework: budget
 tracking over a time horizon, graded warning levels, and a P-state cap
 pushed to the managed EARLs' configurations.
+
+The budget is *rolling*: ``budget_j`` joules are granted per
+``horizon_s`` window, and the accumulators reset at every horizon
+boundary.  A controller that outlives one horizon (the normal case for
+the long-lived service tier) therefore grades each window on its own
+consumption instead of ratcheting toward permanent PANIC on lifetime
+totals.  Reports that span a boundary are split pro-rata between the
+old and the new horizon; a report that ends exactly on the boundary is
+charged entirely to the closing horizon, so exhausting the budget in
+precisely one horizon still panics before the window rolls.
 """
 
 from __future__ import annotations
@@ -39,22 +49,36 @@ class WarningLevel(Enum):
 
 @dataclass(frozen=True)
 class EargmConfig:
-    """Energy budget over a horizon, e.g. 100 kWh per day."""
+    """Energy budget granted per rolling horizon, e.g. 100 kWh per day."""
 
     budget_j: float
     horizon_s: float
     warning1: float = 0.85
     warning2: float = 0.95
+    #: pace-grading grace, as a fraction of the horizon: the elapsed
+    #: share is floored at this value, so the first completions of a
+    #: fresh window (elapsed ~ 0, pace ratio ~ infinity) don't trip a
+    #: spurious warning.  PANIC is absolute and unaffected.
+    pace_grace: float = 0.01
 
     def __post_init__(self) -> None:
         if self.budget_j <= 0 or self.horizon_s <= 0:
             raise ConfigError("budget and horizon must be positive")
         if not 0 < self.warning1 < self.warning2 <= 1.0:
             raise ConfigError("warning thresholds must satisfy 0 < w1 < w2 <= 1")
+        if not 0 <= self.pace_grace < 1:
+            raise ConfigError("pace_grace must be in [0, 1)")
 
 
 class Eargm:
-    """Cluster energy-budget controller."""
+    """Cluster energy-budget controller with rolling horizons.
+
+    Grading happens on the *current* horizon's accumulators
+    (:attr:`horizon_consumed_j` / :attr:`horizon_elapsed_s`), which
+    reset at every horizon boundary.  The lifetime totals
+    (:attr:`consumed_j` / :attr:`elapsed_s`) keep accumulating for
+    accounting and reports, but never influence the warning level.
+    """
 
     def __init__(
         self, config: EargmConfig, *, telemetry: Recorder = NULL_RECORDER
@@ -63,14 +87,41 @@ class Eargm:
         self.telemetry = telemetry
         self._consumed_j = 0.0
         self._elapsed_s = 0.0
+        self._horizon_consumed_j = 0.0
+        self._horizon_elapsed_s = 0.0
+        self._horizons_completed = 0
         self._last_level = WarningLevel.OK
 
     def report(self, energy_j: float, seconds: float) -> WarningLevel:
-        """Feed one accounting interval; get the current warning level."""
+        """Feed one accounting interval; get the current warning level.
+
+        Intervals that extend past the current horizon's end are split
+        pro-rata: the slice up to the boundary is charged to the
+        closing horizon, the window rolls, and the remainder (possibly
+        spanning several more horizons) is charged onward.  The roll
+        only happens *strictly past* the boundary — an interval ending
+        exactly on it still belongs to the closing horizon, so a budget
+        exhausted in exactly one horizon panics before the reset.
+        """
         if energy_j < 0 or seconds < 0:
             raise ConfigError("cannot report negative energy/time")
         self._consumed_j += energy_j
         self._elapsed_s += seconds
+        horizon_s = self.config.horizon_s
+        remaining_s = seconds
+        remaining_j = energy_j
+        while (
+            remaining_s > 0
+            and self._horizon_elapsed_s + remaining_s > horizon_s
+        ):
+            span_s = horizon_s - self._horizon_elapsed_s
+            span_j = remaining_j * (span_s / remaining_s)
+            self._horizon_consumed_j += span_j
+            remaining_s -= span_s
+            remaining_j -= span_j
+            self._roll_horizon()
+        self._horizon_elapsed_s += remaining_s
+        self._horizon_consumed_j += remaining_j
         level = self.level()
         if level is not self._last_level:
             if self.telemetry.enabled:
@@ -85,21 +136,43 @@ class Eargm:
             self._last_level = level
         return level
 
-    def level(self) -> WarningLevel:
-        """Graded budget check.
+    def _roll_horizon(self) -> None:
+        """Close the current horizon and open a fresh budget window."""
+        self._horizons_completed += 1
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "eargm",
+                "horizon_rollover",
+                time_s=self._elapsed_s,
+                horizon=self._horizons_completed,
+                consumed_j=self._horizon_consumed_j,
+                budget_j=self.config.budget_j,
+            )
+        self._horizon_consumed_j = 0.0
+        self._horizon_elapsed_s = 0.0
 
-        PANIC only when the *absolute* budget is exhausted — a job that
-        merely runs ahead of the pro-rated pace (ratio >= 1) seconds
-        into the horizon still has virtually the whole budget left, so
-        pace overshoot grades as WARNING2, the strongest non-panic
-        reaction (a two-P-state default cap).
+    def level(self) -> WarningLevel:
+        """Graded budget check for the current horizon.
+
+        PANIC only when the *absolute* horizon budget is exhausted — a
+        job that merely runs ahead of the pro-rated pace (ratio >= 1)
+        seconds into the horizon still has virtually the whole budget
+        left, so pace overshoot grades as WARNING2, the strongest
+        non-panic reaction (a two-P-state default cap).
         """
-        if self._consumed_j > self.config.budget_j:
+        if self._horizon_consumed_j > self.config.budget_j:
             return WarningLevel.PANIC
-        elapsed_share = min(self._elapsed_s / self.config.horizon_s, 1.0)
+        # floor the elapsed share at the grace fraction: at the very
+        # start of a window the pace ratio is numerically meaningless
+        # (anything / ~0), and a compliant long-horizon service must
+        # not get capped for completing a job right after a rollover.
+        elapsed_share = (
+            max(self._horizon_elapsed_s, self.config.pace_grace * self.config.horizon_s)
+            / self.config.horizon_s
+        )
         if elapsed_share <= 0:
             return WarningLevel.OK
-        ratio = self._consumed_j / (self.config.budget_j * elapsed_share)
+        ratio = self._horizon_consumed_j / (self.config.budget_j * elapsed_share)
         if ratio >= self.config.warning2:
             return WarningLevel.WARNING2
         if ratio >= self.config.warning1:
@@ -122,10 +195,25 @@ class Eargm:
 
     @property
     def consumed_j(self) -> float:
-        """Energy consumed against the budget so far, in joules."""
+        """Lifetime energy consumed across all horizons, in joules."""
         return self._consumed_j
 
     @property
     def elapsed_s(self) -> float:
-        """Budget-period time elapsed so far, in seconds."""
+        """Lifetime budget-period time across all horizons, in seconds."""
         return self._elapsed_s
+
+    @property
+    def horizon_consumed_j(self) -> float:
+        """Energy consumed against the *current* horizon's budget."""
+        return self._horizon_consumed_j
+
+    @property
+    def horizon_elapsed_s(self) -> float:
+        """Time elapsed inside the *current* horizon."""
+        return self._horizon_elapsed_s
+
+    @property
+    def horizons_completed(self) -> int:
+        """How many full budget horizons have rolled over."""
+        return self._horizons_completed

@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping
@@ -110,6 +111,9 @@ class CampaignJournal:
         #: it off to keep thousands of appends fast.
         self.fsync = fsync
         self._fh = None
+        # appends can come from several pump threads when the service
+        # tier shares one journal; the lock keeps lines un-torn.
+        self._lock = threading.Lock()
         self._completed: set[str] = set()
         self._failed: set[str] = set()
         self._submitted: set[str] = set()
@@ -149,14 +153,15 @@ class CampaignJournal:
 
     def record(self, record: str, **payload) -> None:
         """Append one record and force it to stable storage."""
-        if self._fh is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = self.path.open("a", encoding="utf-8")
         line = json.dumps({"record": record, **payload}, sort_keys=True)
-        self._fh.write(line + "\n")
-        self._fh.flush()
-        if self.fsync:
-            os.fsync(self._fh.fileno())
+        with self._lock:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = self.path.open("a", encoding="utf-8")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
 
     def submitted(self, key: str, **meta) -> None:
         """Journal a request entering execution (idempotent per key)."""
@@ -185,9 +190,10 @@ class CampaignJournal:
 
     def close(self) -> None:
         """Flush and close the underlying file."""
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "CampaignJournal":
         return self

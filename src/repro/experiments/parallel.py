@@ -59,6 +59,7 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 import time
 import warnings
 from collections import deque
@@ -79,6 +80,7 @@ from .journal import CampaignJournal
 from .resilient import DEFAULT_RETRY_POLICY, AttemptRecord, FailedRun, RetryPolicy
 
 __all__ = [
+    "AsyncPoolBridge",
     "CACHE_FORMAT_VERSION",
     "CacheStats",
     "ExperimentPool",
@@ -277,11 +279,14 @@ class CacheStats:
     write_failures: int = 0
     #: corrupt/foreign/stale disk entries dropped on load.
     corrupt_drops: int = 0
+    #: memory-layer entries evicted by the LRU bound (disk copies, if
+    #: configured, survive and re-load on the next hit).
+    memory_evictions: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
         self.hits = self.misses = self.disk_hits = self.stores = 0
-        self.write_failures = self.corrupt_drops = 0
+        self.write_failures = self.corrupt_drops = self.memory_evictions = 0
 
 
 class RunCache:
@@ -296,6 +301,13 @@ class RunCache:
     :attr:`CacheStats.write_failures` and warned about once per cache
     instance (the batch continues on the memory layer), a corrupt entry
     is dropped and counted in :attr:`CacheStats.corrupt_drops`.
+
+    ``max_memory_entries`` bounds the memory layer with LRU eviction —
+    the knob the long-lived service tier uses to keep a read-through
+    cache from growing without bound.  Evicted entries that were
+    persisted to disk transparently re-load on their next hit.  The
+    memory layer is guarded by a lock, so concurrently pumping service
+    workers can share one cache.
     """
 
     def __init__(
@@ -303,26 +315,36 @@ class RunCache:
         directory: str | os.PathLike | None = None,
         *,
         version: int = CACHE_FORMAT_VERSION,
+        max_memory_entries: int | None = None,
     ) -> None:
+        if max_memory_entries is not None and max_memory_entries < 1:
+            raise ExperimentError("max_memory_entries must be >= 1 (or None)")
         self.directory = Path(directory) if directory is not None else None
         self.version = version
+        self.max_memory_entries = max_memory_entries
         self.stats = CacheStats()
         self._memory: dict[str, RunResult] = {}
+        self._lock = threading.RLock()
         self._warned_write_failure = False
 
     # -- lookup --------------------------------------------------------------
 
     def get(self, key: str) -> RunResult | None:
         """Cached result for a key, trying memory then disk."""
-        result = self._memory.get(key)
-        if result is not None:
-            self.stats.hits += 1
-            return result
+        with self._lock:
+            result = self._memory.get(key)
+            if result is not None:
+                if self.max_memory_entries is not None:
+                    self._memory[key] = self._memory.pop(key)  # LRU touch
+                self.stats.hits += 1
+                return result
         result = self._load_disk(key)
         if result is not None:
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
-            self._memory[key] = result
+            with self._lock:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._memory[key] = result
+                self._evict_over_bound()
             return result
         self.stats.misses += 1
         return None
@@ -334,8 +356,12 @@ class RunCache:
         warned once per cache instance, never raised — losing cache
         persistence must not lose the batch.
         """
-        self._memory[key] = result
-        self.stats.stores += 1
+        with self._lock:
+            if self.max_memory_entries is not None:
+                self._memory.pop(key, None)  # re-insert at LRU tail
+            self._memory[key] = result
+            self.stats.stores += 1
+            self._evict_over_bound()
         if self.directory is None:
             return
         try:
@@ -352,9 +378,19 @@ class RunCache:
                     stacklevel=2,
                 )
 
+    def _evict_over_bound(self) -> None:
+        """Drop least-recently-used entries past the memory bound."""
+        if self.max_memory_entries is None:
+            return
+        while len(self._memory) > self.max_memory_entries:
+            oldest = next(iter(self._memory))
+            del self._memory[oldest]
+            self.stats.memory_evictions += 1
+
     def clear(self, *, disk: bool = False) -> None:
         """Drop the in-memory layer; with ``disk=True`` also the files."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         if disk and self.directory is not None and self.directory.exists():
             for path in self.directory.glob("*.run"):
                 path.unlink(missing_ok=True)
@@ -943,6 +979,72 @@ class ExperimentPool:
         self.stats.reset()
         if self.cache is not None:
             self.cache.stats.reset()
+
+
+# -- async submission bridge -------------------------------------------------
+
+
+class AsyncPoolBridge:
+    """Bounded asyncio façade over a (blocking) :class:`ExperimentPool`.
+
+    The service tier's event loop must never block on simulation work,
+    and must not buffer unbounded work either.  The bridge runs
+    blocking callables (``pool.run_many`` batches, or whole
+    simulation-stepping closures) on worker threads, capped at
+    ``max_inflight`` concurrent dispatches: excess callers queue on the
+    internal semaphore, and :attr:`saturated` lets the ingress path
+    shed load *before* queueing (the backpressure signal the server
+    turns into a ``backpressure`` rejection).
+    """
+
+    def __init__(self, pool: ExperimentPool, *, max_inflight: int = 2) -> None:
+        import asyncio
+
+        if max_inflight < 1:
+            raise ExperimentError("max_inflight must be >= 1")
+        self.pool = pool
+        self.max_inflight = max_inflight
+        self._semaphore = asyncio.Semaphore(max_inflight)
+        self._inflight = 0
+        self._peak_inflight = 0
+        self._dispatched = 0
+
+    async def call(self, fn: Callable, /, *args, **kwargs):
+        """Run one blocking callable on a worker thread, bounded."""
+        import asyncio
+
+        async with self._semaphore:
+            self._inflight += 1
+            self._peak_inflight = max(self._peak_inflight, self._inflight)
+            self._dispatched += 1
+            try:
+                return await asyncio.to_thread(fn, *args, **kwargs)
+            finally:
+                self._inflight -= 1
+
+    async def run_many(self, requests: Sequence[RunRequest]):
+        """Async counterpart of :meth:`ExperimentPool.run_many`."""
+        return await self.call(self.pool.run_many, list(requests))
+
+    @property
+    def inflight(self) -> int:
+        """Dispatches currently executing on worker threads."""
+        return self._inflight
+
+    @property
+    def peak_inflight(self) -> int:
+        """High-water mark of concurrent dispatches."""
+        return self._peak_inflight
+
+    @property
+    def dispatched(self) -> int:
+        """Total dispatches since construction."""
+        return self._dispatched
+
+    @property
+    def saturated(self) -> bool:
+        """True when a new call would have to wait for a slot."""
+        return self._semaphore.locked()
 
 
 # -- process-default pool ----------------------------------------------------

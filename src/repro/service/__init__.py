@@ -1,0 +1,31 @@
+"""EAR as a service: the persistent asyncio control tier.
+
+Layout::
+
+    protocol.py   wire format: JSON-line ops, JobSpec, envelopes
+    server.py     EarService + ClusterWorker (asyncio, streaming sims)
+    client.py     synchronous stdlib-socket client
+
+The batch CLI simulates one campaign and exits; this package keeps the
+simulation alive: ``repro-ear serve`` listens on a unix socket (or TCP
+port), clients stream job submissions in, named cluster workers
+multiplex streaming :class:`~repro.cluster.scheduler.ClusterSimulation`
+instances over the shared cache-aware experiment pool, and telemetry
+streams out incrementally — a JSONL event tail and a Prometheus scrape
+endpoint served from the same socket.
+"""
+
+from .client import ServiceClient, ServiceError
+from .protocol import PROTOCOL_VERSION, JobSpec
+from .server import ClusterWorker, EarService, ServiceConfig, service_workloads
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "JobSpec",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceConfig",
+    "ClusterWorker",
+    "EarService",
+    "service_workloads",
+]

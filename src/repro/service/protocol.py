@@ -1,0 +1,135 @@
+"""Wire protocol of the EAR service tier.
+
+One transport, two dialects on a single port/socket:
+
+* **JSON lines** — each request is one JSON object terminated by
+  ``\\n`` with an ``op`` discriminator (``ping``/``submit``/``status``/
+  ``tail``/``metrics``/``drain``/``shutdown``); each response is one
+  JSON object with ``ok`` plus op-specific payload.  Connections are
+  persistent: a client may pipeline many requests.
+* **HTTP GET** — a connection whose first bytes spell ``GET `` is
+  answered as a one-shot HTTP/1.1 exchange: ``/metrics`` (Prometheus
+  text exposition), ``/events`` (JSONL tail), ``/status`` (JSON).
+  This is what lets a stock Prometheus scraper or ``curl`` talk to the
+  same endpoint the JSON clients use.
+
+Everything here is transport-agnostic data plumbing; the asyncio
+machinery lives in :mod:`repro.service.server`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "JobSpec",
+    "encode",
+    "decode",
+    "ok",
+    "error",
+]
+
+#: Bump when a request/response shape changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Operations a JSON-line client may request.
+KNOWN_OPS = ("ping", "submit", "status", "tail", "metrics", "drain", "shutdown")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One streamed job submission, as it crosses the wire.
+
+    ``workload`` names an entry of the server's workload registry (the
+    synthetic campaign mix plus the paper kernels); ``scale`` rescales
+    its iteration count, exactly like ``TraceConfig.scale`` does for
+    batch traces.  ``submit_s`` pins the arrival on the *simulation*
+    clock — submissions that reach the server before the clock passes
+    that instant replay exactly like a batch trace; later ones are
+    admitted at the clock's current time.  ``tag`` is an optional
+    client-side ordering key: pending jobs are sorted by
+    ``(submit_s, tag)`` before admission, which is what makes
+    concurrent multi-client submission order-independent.
+    """
+
+    workload: str
+    policy: str | None = None
+    seed: int = 1
+    scale: float = 1.0
+    submit_s: float | None = None
+    cluster: str = "default"
+    tag: int | None = None
+    est_margin: float = 1.3
+
+    def __post_init__(self) -> None:
+        if not self.workload:
+            raise ConfigError("a job spec needs a workload name")
+        if self.scale <= 0:
+            raise ConfigError("scale must be positive")
+        if self.est_margin < 1.0:
+            raise ConfigError("est_margin below 1 would make backfill optimistic")
+        if self.submit_s is not None and self.submit_s < 0:
+            raise ConfigError("submit_s cannot be negative")
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JobSpec":
+        """Build a spec from a decoded request, rejecting unknown keys."""
+        known = {
+            "workload",
+            "policy",
+            "seed",
+            "scale",
+            "submit_s",
+            "cluster",
+            "tag",
+            "est_margin",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(f"unknown job-spec fields: {sorted(unknown)}")
+        if "workload" not in payload:
+            raise ConfigError("a job spec needs a workload name")
+        return cls(
+            workload=str(payload["workload"]),
+            policy=payload.get("policy"),
+            seed=int(payload.get("seed", 1)),
+            scale=float(payload.get("scale", 1.0)),
+            submit_s=(
+                float(payload["submit_s"])
+                if payload.get("submit_s") is not None
+                else None
+            ),
+            cluster=str(payload.get("cluster", "default")),
+            tag=int(payload["tag"]) if payload.get("tag") is not None else None,
+            est_margin=float(payload.get("est_margin", 1.3)),
+        )
+
+
+def encode(message: dict) -> bytes:
+    """One message as a compact JSON line (the wire unit)."""
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line: bytes | str) -> dict:
+    """Parse one wire line; raise ``ConfigError`` on malformed input."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as err:
+        raise ConfigError(f"malformed request line: {err}") from None
+    if not isinstance(message, dict):
+        raise ConfigError("a request must be a JSON object")
+    return message
+
+
+def ok(**payload) -> dict:
+    """A success response envelope."""
+    return {"ok": True, **payload}
+
+
+def error(code: str, message: str, **payload) -> dict:
+    """A failure response envelope (``code`` is machine-matchable)."""
+    return {"ok": False, "error": code, "message": message, **payload}

@@ -17,15 +17,24 @@ Layout
 :mod:`repro.telemetry.exporters`
     JSONL event logs, Prometheus-style text metrics and per-stage
     timing summaries.
+:mod:`repro.telemetry.stream`
+    Bounded event rings, incremental metric aggregation and strict
+    exposition-format validation for the persistent service tier.
 :mod:`repro.telemetry.views`
     Human-readable policy-descent and degradation-ladder timelines
     (the ``repro-ear telemetry`` subcommand).
 """
 
 from .exporters import (
+    canonical_scalar,
     events_to_jsonl,
     metrics_to_prometheus,
     stage_timing_summary,
+)
+from .stream import (
+    EventRing,
+    MetricsAggregator,
+    validate_exposition,
 )
 from .recorder import (
     NULL_RECORDER,
@@ -45,10 +54,13 @@ from .views import (
 __all__ = [
     "NULL_RECORDER",
     "EventRecorder",
+    "EventRing",
+    "MetricsAggregator",
     "NodeTelemetry",
     "NullRecorder",
     "Recorder",
     "TelemetryEvent",
+    "canonical_scalar",
     "events_to_jsonl",
     "ladder_event_counts",
     "metrics_to_prometheus",
@@ -56,4 +68,5 @@ __all__ = [
     "render_degradation_ladder",
     "render_descent_timeline",
     "stage_timing_summary",
+    "validate_exposition",
 ]

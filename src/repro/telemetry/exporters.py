@@ -6,20 +6,47 @@ All exporters accept either a :class:`~repro.sim.result.RunResult`
 snapshots) or the raw snapshots/events, so they work on anything the
 run cache returns.  Output is deterministic: metric families and labels
 are emitted in sorted order, events in timeline order.
+
+Two contracts matter for *streaming* consumers (the service tier
+scrapes these continuously):
+
+- JSONL payload values are canonicalized to JSON-native scalars (enum
+  members export their ``name``, numpy scalars their Python value) and
+  anything else fails loudly instead of degrading to an opaque
+  ``repr`` string.
+- Prometheus family names are deduplicated *after* sanitization, so
+  two distinct raw names that sanitize identically (``earl.window`` vs
+  ``earl/window``) get distinct final names and each ``# TYPE`` line is
+  emitted exactly once — a strict scraper rejects duplicates.  Sample
+  values are formatted at full precision (shortest round-trip form),
+  not the 6-significant-digit ``%g``.
 """
 
 from __future__ import annotations
 
+import enum
 import json
+import math
 import re
 from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
 
 from .recorder import NodeTelemetry, TelemetryEvent
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.result import RunResult
 
-__all__ = ["events_to_jsonl", "metrics_to_prometheus", "stage_timing_summary"]
+__all__ = [
+    "canonical_scalar",
+    "events_to_jsonl",
+    "event_to_json_line",
+    "format_metric_value",
+    "assign_metric_names",
+    "render_metric_families",
+    "metrics_to_prometheus",
+    "stage_timing_summary",
+]
 
 _METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 
@@ -46,25 +73,117 @@ def _events(source) -> tuple[TelemetryEvent, ...]:
 # -- JSONL event log ----------------------------------------------------------
 
 
+def canonical_scalar(value):
+    """Coerce one telemetry payload value to a JSON-native scalar.
+
+    Enum members export their ``name``; numpy scalars their Python
+    value.  Anything that is not JSON-native after that raises
+    ``TypeError`` — downstream consumers are typed and an opaque
+    ``repr`` string would silently break them.
+    """
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, np.generic):
+        item = value.item()
+        if isinstance(item, (bool, int, float, str)):
+            return item
+    raise TypeError(
+        f"telemetry payload value {value!r} ({type(value).__name__}) "
+        "is not a JSON-canonical scalar"
+    )
+
+
+def event_to_json_line(event: TelemetryEvent) -> str:
+    """One event as a compact JSON object with canonical scalar values."""
+    raw = event.to_dict()
+    try:
+        clean = {key: canonical_scalar(value) for key, value in raw.items()}
+    except TypeError as err:
+        raise TypeError(
+            f"event {event.subsystem}/{event.kind} at t={event.time_s}: {err}"
+        ) from err
+    return json.dumps(clean, separators=(",", ":"))
+
+
 def events_to_jsonl(source) -> str:
     """One compact JSON object per event, in timeline order.
 
     The flat layout (payload keys inlined next to ``time_s``/``node``/
     ``subsystem``/``kind``) grep-s and loads line-by-line — the shape
-    every structured-log pipeline expects.
+    every structured-log pipeline expects.  Payload values are
+    canonicalized (see :func:`canonical_scalar`); a non-canonical value
+    raises instead of serializing as an opaque repr string.
     """
-    lines = [
-        json.dumps(e.to_dict(), separators=(",", ":"), default=repr)
-        for e in _events(source)
-    ]
+    lines = [event_to_json_line(e) for e in _events(source)]
     return "\n".join(lines) + ("\n" if lines else "")
 
 
 # -- Prometheus-style text metrics -------------------------------------------
 
 
-def _metric_name(prefix: str, name: str) -> str:
-    return _METRIC_NAME_RE.sub("_", f"{prefix}_{name}")
+def format_metric_value(value: float) -> str:
+    """Full-precision exposition value: shortest round-trip float form.
+
+    ``%g`` keeps only 6 significant digits, which silently truncates
+    large joule counters between scrapes; ``repr`` of a float is the
+    shortest string that parses back to the same double.  Non-finite
+    values use the exposition-format spellings.
+    """
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def assign_metric_names(raw_names: Sequence[str]) -> dict[str, str]:
+    """Map raw family names to unique sanitized exposition names.
+
+    Sanitization replaces every non ``[a-zA-Z0-9_]`` character with
+    ``_``, which can collapse distinct raw names onto one final name.
+    Collisions get deterministic numeric suffixes (``_2``, ``_3``, ...)
+    in the order the raw names are supplied, so callers that supply a
+    sorted sequence get a stable mapping across exports.
+    """
+    assigned: dict[str, str] = {}
+    used: set[str] = set()
+    for raw in raw_names:
+        if raw in assigned:
+            continue
+        base = _METRIC_NAME_RE.sub("_", raw)
+        candidate = base
+        n = 1
+        while candidate in used:
+            n += 1
+            candidate = f"{base}_{n}"
+        assigned[raw] = candidate
+        used.add(candidate)
+    return assigned
+
+
+def render_metric_families(
+    families: Sequence[tuple[str, str, Sequence[tuple[str, float]]]],
+) -> str:
+    """Render ``(raw_name, kind, [(labels, value), ...])`` families.
+
+    Emits exactly one ``# TYPE`` line per family (names deduplicated
+    post-sanitization via :func:`assign_metric_names`), samples in the
+    order supplied by the caller, values at full precision.  ``labels``
+    is the rendered label set without braces (e.g. ``node="0"``) or
+    ``""``.
+    """
+    names = assign_metric_names([raw for raw, _, _ in families])
+    out: list[str] = []
+    for raw, kind, samples in families:
+        name = names[raw]
+        out.append(f"# TYPE {name} {kind}")
+        for labels, value in samples:
+            label_part = f"{{{labels}}}" if labels else ""
+            out.append(f"{name}{label_part} {format_metric_value(value)}")
+    return "\n".join(out) + ("\n" if out else "")
 
 
 def metrics_to_prometheus(source, *, prefix: str = "repro") -> str:
@@ -72,7 +191,8 @@ def metrics_to_prometheus(source, *, prefix: str = "repro") -> str:
 
     Timers expand into ``*_count`` and ``*_seconds_total`` pairs, the
     conventional summary encoding.  Every sample is labelled with its
-    node id.
+    node id.  The output is exposition-valid: one ``# TYPE`` per final
+    family name even when distinct raw names sanitize identically.
     """
     telemetries = _telemetries(source)
     counters: dict[str, list[tuple[int, float]]] = {}
@@ -86,22 +206,30 @@ def metrics_to_prometheus(source, *, prefix: str = "repro") -> str:
         for name, count, total in t.timers:
             timers.setdefault(name, []).append((t.node, count, total))
 
-    out: list[str] = []
+    def node_samples(samples: Iterable[tuple[int, float]]) -> list[tuple[str, float]]:
+        return [(f'node="{node}"', value) for node, value in sorted(samples)]
 
-    def emit(name: str, kind: str, samples: list[tuple[int, float]]) -> None:
-        out.append(f"# TYPE {name} {kind}")
-        for node, value in sorted(samples):
-            out.append(f'{name}{{node="{node}"}} {value:g}')
-
+    families: list[tuple[str, str, list[tuple[str, float]]]] = []
     for name in sorted(counters):
-        emit(_metric_name(prefix, name), "counter", counters[name])
+        families.append((f"{prefix}_{name}", "counter", node_samples(counters[name])))
     for name in sorted(gauges):
-        emit(_metric_name(prefix, name), "gauge", gauges[name])
+        families.append((f"{prefix}_{name}", "gauge", node_samples(gauges[name])))
     for name in sorted(timers):
-        base = _metric_name(prefix, name)
-        emit(f"{base}_count", "counter", [(n, float(c)) for n, c, _ in timers[name]])
-        emit(f"{base}_seconds_total", "counter", [(n, s) for n, _, s in timers[name]])
-    return "\n".join(out) + ("\n" if out else "")
+        families.append(
+            (
+                f"{prefix}_{name}_count",
+                "counter",
+                node_samples((n, float(c)) for n, c, _ in timers[name]),
+            )
+        )
+        families.append(
+            (
+                f"{prefix}_{name}_seconds_total",
+                "counter",
+                node_samples((n, s) for n, _, s in timers[name]),
+            )
+        )
+    return render_metric_families(families)
 
 
 # -- per-stage timing summary -------------------------------------------------

@@ -66,6 +66,77 @@ class TestLevels:
         assert gm.elapsed_s == pytest.approx(10.0)
 
 
+class TestRollingHorizons:
+    def test_three_horizons_at_compliant_pace_stay_ok(self):
+        # Regression: before rolling horizons the accumulators never
+        # reset, so a compliant controller past one horizon_s ratcheted
+        # toward permanent PANIC.  Three full horizons at half-budget
+        # pace must grade OK the whole way.
+        gm = make(budget_j=1000.0, horizon_s=100.0)
+        for _ in range(30):  # 3 horizons of 10 s steps at 50 % pace
+            assert gm.report(energy_j=50.0, seconds=10.0) is WarningLevel.OK
+        assert gm.horizons_completed == 2  # boundary reports close horizons lazily
+        assert gm.level() is WarningLevel.OK
+
+    def test_rollover_cold_start_does_not_warn(self):
+        # Regression: the first completion right after a rollover lands
+        # with horizon_elapsed ~ 0, making the raw pace ratio blow up
+        # (anything / ~0 -> WARNING2 at fully compliant pace).  The
+        # grace floor keeps grading honest across the boundary.
+        gm = make(budget_j=1000.0, horizon_s=100.0)
+        gm.report(energy_j=500.0, seconds=100.0)  # one full compliant horizon
+        # 5 J a hundredth of a second into the fresh window: on pace.
+        # (the boundary closes lazily, on this report's arrival)
+        assert gm.report(energy_j=5.0, seconds=0.01) is WarningLevel.OK
+        assert gm.horizons_completed == 1
+        # a genuine burst through the grace floor still warns
+        assert gm.report(energy_j=900.0, seconds=0.01) is WarningLevel.WARNING2
+
+    def test_level_recovers_after_exhausted_horizon(self):
+        gm = make(budget_j=1000.0, horizon_s=100.0)
+        assert gm.report(energy_j=1100.0, seconds=100.0) is WarningLevel.PANIC
+        # next horizon starts fresh: compliant pace grades OK again
+        assert gm.report(energy_j=40.0, seconds=10.0) is WarningLevel.OK
+        assert gm.horizons_completed == 1
+        assert gm.horizon_consumed_j == pytest.approx(40.0)
+
+    def test_boundary_spanning_report_splits_pro_rata(self):
+        gm = make(budget_j=1000.0, horizon_s=100.0)
+        gm.report(energy_j=500.0, seconds=90.0)
+        # 20 s interval: 10 s close the horizon, 10 s open the next,
+        # energy split pro-rata (100 J each side).
+        gm.report(energy_j=200.0, seconds=20.0)
+        assert gm.horizons_completed == 1
+        assert gm.horizon_elapsed_s == pytest.approx(10.0)
+        assert gm.horizon_consumed_j == pytest.approx(100.0)
+
+    def test_report_spanning_many_horizons(self):
+        gm = make(budget_j=1000.0, horizon_s=100.0)
+        # 3.5 horizons in one report at 40 % pace: rolls three times.
+        assert gm.report(energy_j=1400.0, seconds=350.0) is WarningLevel.OK
+        assert gm.horizons_completed == 3
+        assert gm.horizon_elapsed_s == pytest.approx(50.0)
+        assert gm.horizon_consumed_j == pytest.approx(200.0)
+
+    def test_lifetime_accumulators_keep_counting(self):
+        gm = make(budget_j=1000.0, horizon_s=100.0)
+        gm.report(energy_j=600.0, seconds=150.0)
+        assert gm.consumed_j == pytest.approx(600.0)
+        assert gm.elapsed_s == pytest.approx(150.0)
+        assert gm.horizon_elapsed_s == pytest.approx(50.0)
+
+    def test_rollover_emits_telemetry(self):
+        from repro.telemetry.recorder import EventRecorder
+
+        rec = EventRecorder(node=0)
+        gm = Eargm(
+            EargmConfig(budget_j=1000.0, horizon_s=100.0), telemetry=rec
+        )
+        gm.report(energy_j=300.0, seconds=150.0)
+        kinds = [e.kind for e in rec.events if e.subsystem == "eargm"]
+        assert "horizon_rollover" in kinds
+
+
 class TestValidation:
     def test_bad_budget_rejected(self):
         with pytest.raises(ConfigError):

@@ -1,0 +1,61 @@
+"""Wire-protocol round-trips and JobSpec validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service.protocol import JobSpec, decode, encode, error, ok
+
+
+class TestEnvelopes:
+    def test_encode_decode_round_trip(self):
+        msg = {"op": "submit", "workload": "synt.cpu.1n", "seed": 3}
+        assert decode(encode(msg)) == msg
+
+    def test_encode_is_one_line(self):
+        line = encode({"op": "ping"})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            decode(b"not json\n")
+        with pytest.raises(ConfigError):
+            decode(b"[1,2,3]\n")
+
+    def test_ok_and_error_envelopes(self):
+        assert ok(x=1) == {"ok": True, "x": 1}
+        err = error("backpressure", "try later", pending=5)
+        assert err["ok"] is False
+        assert err["error"] == "backpressure"
+        assert err["pending"] == 5
+
+
+class TestJobSpec:
+    def test_from_payload_defaults(self):
+        spec = JobSpec.from_payload({"workload": "synt.cpu.1n"})
+        assert spec.seed == 1
+        assert spec.scale == 1.0
+        assert spec.cluster == "default"
+        assert spec.submit_s is None
+
+    def test_from_payload_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError, match="unknown job-spec"):
+            JobSpec.from_payload({"workload": "x", "bogus": 1})
+
+    def test_from_payload_requires_workload(self):
+        with pytest.raises(ConfigError):
+            JobSpec.from_payload({})
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            JobSpec(workload="x", scale=0.0)
+        with pytest.raises(ConfigError):
+            JobSpec(workload="x", est_margin=0.5)
+        with pytest.raises(ConfigError):
+            JobSpec(workload="x", submit_s=-1.0)
+
+    def test_none_values_accepted_in_payload(self):
+        spec = JobSpec.from_payload(
+            {"workload": "x", "policy": None, "submit_s": None, "tag": None}
+        )
+        assert spec.policy is None and spec.tag is None

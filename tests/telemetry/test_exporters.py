@@ -99,3 +99,80 @@ class TestStageTiming:
         assert rows == [
             {"node": 0, "name": "stage.STABLE", "count": 1, "total_s": 5.0, "mean_s": 5.0}
         ]
+
+
+class TestJsonlTypeFidelity:
+    def test_enum_and_numpy_payloads_round_trip(self):
+        import enum
+
+        import numpy as np
+
+        class Phase(enum.Enum):
+            STABLE = 1
+
+        rec = EventRecorder(node=0)
+        rec.events.append(  # bypass Scalar typing to exercise export canonicalization
+            TelemetryEvent(
+                node=0,
+                time_s=1.0,
+                subsystem="policy",
+                kind="decision",
+                payload=(
+                    ("phase", Phase.STABLE),
+                    ("freq", np.float64(2.3)),
+                    ("count", np.int64(7)),
+                    ("flag", np.bool_(True)),
+                ),
+            )
+        )
+        line = events_to_jsonl(rec.snapshot()).splitlines()[0]
+        row = json.loads(line)
+        assert row["phase"] == "STABLE"
+        assert row["freq"] == 2.3 and isinstance(row["freq"], float)
+        assert row["count"] == 7 and isinstance(row["count"], int)
+        assert row["flag"] is True
+
+    def test_non_canonical_payload_fails_loudly(self):
+        import pytest
+
+        rec = EventRecorder(node=0)
+        rec.events.append(
+            TelemetryEvent(
+                node=0, time_s=0.0, subsystem="x", kind="y",
+                payload=(("bad", object()),),
+            )
+        )
+        with pytest.raises(TypeError, match="x/y"):
+            events_to_jsonl(rec.snapshot())
+
+
+class TestPrometheusFidelity:
+    def test_sanitization_collisions_get_unique_families(self):
+        # 'earl.window' and 'earl/window' both sanitize to
+        # repro_earl_window: the exporter must not emit two identical
+        # # TYPE blocks (invalid exposition format).
+        rec = EventRecorder(node=0)
+        rec.counter("earl.window", 1.0)
+        rec.counter("earl/window", 2.0)
+        text = metrics_to_prometheus(rec.snapshot())
+        assert text.count("# TYPE repro_earl_window counter") == 1
+        assert "# TYPE repro_earl_window_2 counter" in text
+        from repro.telemetry.stream import validate_exposition
+
+        validate_exposition(text)
+
+    def test_full_precision_values(self):
+        # %g kept 6 significant digits; large joule counters must not
+        # silently lose precision between scrapes.
+        rec = EventRecorder(node=0)
+        rec.counter("eard.dc_energy_j", 123456789.25)
+        text = metrics_to_prometheus(rec.snapshot())
+        assert "123456789.25" in text
+        assert "1.23457e+08" not in text
+
+    def test_output_is_exposition_valid(self):
+        from repro.telemetry.stream import validate_exposition
+
+        kinds = validate_exposition(metrics_to_prometheus(make_snapshot()))
+        assert kinds["repro_eard_applies"] == "counter"
+        assert kinds["repro_eard_rapl_pck_joules"] == "gauge"

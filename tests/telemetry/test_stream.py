@@ -1,0 +1,117 @@
+"""Streaming telemetry layer: ring, aggregator and strict checker."""
+
+import json
+
+import pytest
+
+from repro.telemetry.recorder import EventRecorder
+from repro.telemetry.stream import EventRing, MetricsAggregator, validate_exposition
+
+
+def events(n, node=0, subsystem="svc", kind="tick"):
+    rec = EventRecorder(node=node)
+    for i in range(n):
+        rec.event(subsystem, kind, time_s=float(i), seq=i)
+    return rec.events
+
+
+class TestEventRing:
+    def test_bounded_with_totals(self):
+        ring = EventRing(capacity=10)
+        ring.extend(events(25))
+        assert len(ring) == 10
+        assert ring.total_seen == 25
+        assert ring.dropped == 15
+
+    def test_tail_returns_most_recent_jsonl(self):
+        ring = EventRing(capacity=10)
+        ring.extend(events(25))
+        rows = [json.loads(line) for line in ring.tail(3)]
+        assert [r["seq"] for r in rows] == [22, 23, 24]
+
+    def test_tail_bounds(self):
+        ring = EventRing(capacity=4)
+        ring.extend(events(2))
+        assert len(ring.tail(100)) == 2
+        assert ring.tail(0) == []
+        assert len(ring.tail()) == 2
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            EventRing(capacity=0)
+
+
+class TestMetricsAggregator:
+    def make_snapshot(self, node=0, applies=3.0):
+        rec = EventRecorder(node=node)
+        rec.counter("eard.applies", applies)
+        rec.gauge("eard.power_w", 100.0 + node)
+        rec.observe("engine.iteration_s", 0.5)
+        return rec.snapshot()
+
+    def test_update_source_replaces_not_accumulates(self):
+        agg = MetricsAggregator()
+        agg.update_source("cluster:a", [self.make_snapshot(applies=3.0)])
+        agg.update_source("cluster:a", [self.make_snapshot(applies=5.0)])
+        text = agg.render()
+        assert 'repro_eard_applies{node="0"} 5.0' in text
+
+    def test_sources_merge_per_node(self):
+        agg = MetricsAggregator()
+        agg.update_source("a", [self.make_snapshot(node=0)])
+        agg.update_source("b", [self.make_snapshot(node=1)])
+        text = agg.render()
+        assert 'node="0"' in text and 'node="1"' in text
+        validate_exposition(text)
+
+    def test_service_level_series(self):
+        agg = MetricsAggregator()
+        agg.set_gauge("service.pending", 4, labels='cluster="default"')
+        agg.set_counter("service.submitted", 10, labels='cluster="default"')
+        kinds = validate_exposition(agg.render())
+        assert kinds["repro_service_pending"] == "gauge"
+        assert kinds["repro_service_submitted"] == "counter"
+
+    def test_bounded_series_count(self):
+        agg = MetricsAggregator()
+        for round_ in range(50):
+            agg.update_source("a", [self.make_snapshot(applies=float(round_))])
+        assert agg.series_count() == 3
+
+    def test_render_is_exposition_valid_with_collisions(self):
+        agg = MetricsAggregator()
+        rec = EventRecorder(node=0)
+        rec.counter("earl.window", 1.0)
+        rec.counter("earl/window", 2.0)
+        agg.update_source("a", [rec.snapshot()])
+        validate_exposition(agg.render())
+
+
+class TestValidateExposition:
+    def test_accepts_valid_text(self):
+        text = '# TYPE a counter\na{node="0"} 1.0\na{node="1"} +Inf\n'
+        assert validate_exposition(text) == {"a": "counter"}
+
+    def test_rejects_duplicate_type(self):
+        with pytest.raises(ValueError, match="duplicate # TYPE"):
+            validate_exposition("# TYPE a counter\na 1\n# TYPE a counter\na 2\n")
+
+    def test_rejects_undeclared_family(self):
+        with pytest.raises(ValueError, match="no preceding # TYPE"):
+            validate_exposition("a 1\n")
+
+    def test_rejects_duplicate_series(self):
+        with pytest.raises(ValueError, match="duplicate series"):
+            validate_exposition('# TYPE a counter\na{x="1"} 1\na{x="1"} 2\n')
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError, match="bad sample value"):
+            validate_exposition("# TYPE a counter\na one\n")
+
+    def test_rejects_bad_label(self):
+        with pytest.raises(ValueError, match="bad label"):
+            validate_exposition('# TYPE a counter\na{1x="y"} 1\n')
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError, match="bad metric kind"):
+            validate_exposition("# TYPE a widget\na 1\n")
