@@ -88,8 +88,23 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _with_backend(wl, backend: str | None):
+    """Rebind a workload's node type to another uncore backend.
+
+    ``None`` (and the node type's own backend) leave the workload —
+    and therefore every cache key and golden — untouched.
+    """
+    if backend is None or backend == wl.node_config.uncore_backend:
+        return wl
+    import dataclasses
+
+    return wl.retargeted(
+        dataclasses.replace(wl.node_config, uncore_backend=backend)
+    )
+
+
 def _cmd_run(args) -> int:
-    wl = _find_workload(args.workload)
+    wl = _with_backend(_find_workload(args.workload), args.uncore_backend)
     configs = standard_configs(
         cpu_policy_th=args.cpu_th,
         unc_policy_th=args.unc_th,
@@ -385,9 +400,14 @@ def _cmd_cluster(args) -> int:
         render_cluster_report,
         render_comparison,
     )
+    from .cluster.pool import parse_node_mix
     from .ear.eargm import EargmConfig
     from .experiments.resilience import reference_fault_plan
 
+    node_mix = parse_node_mix(args.node_mix) if args.node_mix else None
+    n_nodes = (
+        sum(count for _, count in node_mix) if node_mix is not None else args.nodes
+    )
     trace = generate_trace(
         TraceConfig(
             n_jobs=args.n_jobs,
@@ -408,7 +428,7 @@ def _cmd_cluster(args) -> int:
         else None
     )
     cluster = ClusterConfig(
-        n_nodes=args.nodes,
+        n_nodes=n_nodes,
         eargm=eargm,
         eardbd=EardbdConfig(
             flush_interval_s=args.flush_interval_s, buffer_limit=args.buffer_limit
@@ -416,6 +436,10 @@ def _cmd_cluster(args) -> int:
         backfill=not args.no_backfill,
         fault_plan=plan,
         telemetry=True,
+        node_mix=node_mix,
+        # mixed campaigns arm per-job telemetry so the per-die
+        # uncore/limit_write streams land in the node results.
+        job_telemetry=node_mix is not None,
     )
     configs = standard_configs(cpu_policy_th=args.cpu_th, unc_policy_th=args.unc_th)
     if args.policy == "compare":
@@ -437,12 +461,13 @@ def _cmd_cluster(args) -> int:
         args.interarrival_s,
         args.burst,
         args.scale,
-        args.nodes,
+        n_nodes,
         args.fault_intensity,
         args.budget_mj,
         args.cpu_th,
         args.unc_th,
         not args.no_backfill,
+        args.node_mix or "",
     )
     journal = CampaignJournal.for_campaign(
         cid,
@@ -577,7 +602,7 @@ def _cmd_export(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    wl = _find_workload(args.workload)
+    wl = _with_backend(_find_workload(args.workload), args.uncore_backend)
     sweep = uncore_sweep(
         wl, cpu_ghz=args.cpu_ghz, scale=args.scale, engine=args.engine
     )
@@ -713,13 +738,18 @@ def _cmd_learn(args) -> int:
 
     from .ear.models import DEFAULT_COEFFICIENTS_DIR
     from .errors import LearningError
+    from .cluster.pool import GENERATIONS
     from .hw.node import BROADWELL_NODE, GPU_NODE, SD530
     from .learning import LearningCampaign, LearningGrid, default_kernels
     from .telemetry.recorder import EventRecorder
 
-    node = {"sd530": SD530, "gpu": GPU_NODE, "broadwell": BROADWELL_NODE}[
-        args.node_type
-    ]
+    node = {
+        "sd530": SD530,
+        "gpu": GPU_NODE,
+        "broadwell": BROADWELL_NODE,
+        # the mixed-cluster generation: TPMI backend, per-die uncore.
+        "graniterapids": GENERATIONS["graniterapids"],
+    }[args.node_type]
     grid = (
         LearningGrid.full(node) if args.grid == "full" else LearningGrid.coarse(node)
     )
@@ -792,7 +822,8 @@ def _cmd_learn(args) -> int:
     if out_dir is not None:
         from .ear.models import coefficients_file
 
-        print(f"saved to {coefficients_file(out_dir, node.name)}")
+        backend = None if node.uncore_backend == "msr" else node.uncore_backend
+        print(f"saved to {coefficients_file(out_dir, node.name, backend=backend)}")
         print(
             "use it with EarConfig(coefficients_path=...) or delete the file "
             "to return to the analytic fallback"
@@ -1031,6 +1062,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="fitted coefficient table (file) or directory of per-node-type "
         "tables; default: the analytic coefficients (see docs/MODELS.md)",
     )
+    p_run.add_argument(
+        "--uncore-backend",
+        default=None,
+        choices=["msr", "sysfs", "tpmi"],
+        dest="uncore_backend",
+        help="uncore control path to run the workload's node type on "
+        "(default: the node type's own backend; SD530 uses msr)",
+    )
     p_run.set_defaults(fn=_cmd_run)
 
     p_table = sub.add_parser("table", help="regenerate a paper table (1-7)")
@@ -1047,6 +1086,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("-w", "--workload", required=True)
     p_sweep.add_argument("--cpu-ghz", type=float, default=2.4, dest="cpu_ghz")
     p_sweep.add_argument("--scale", type=float, default=1.0)
+    p_sweep.add_argument(
+        "--uncore-backend",
+        default=None,
+        choices=["msr", "sysfs", "tpmi"],
+        dest="uncore_backend",
+        help="uncore control path to sweep on (default: the node type's own)",
+    )
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_res = sub.add_parser(
@@ -1140,6 +1186,14 @@ def build_parser() -> argparse.ArgumentParser:
         "EARDBD aggregation, EARGM actuation",
     )
     p_clu.add_argument("--nodes", type=int, default=8)
+    p_clu.add_argument(
+        "--node-mix",
+        default=None,
+        dest="node_mix",
+        help="heterogeneous pool as <generation>=<count>[,...], e.g. "
+        "skylake=8,graniterapids=8 (generations: skylake, broadwell, "
+        "graniterapids); overrides --nodes and arms per-job telemetry",
+    )
     p_clu.add_argument("--n-jobs", type=int, default=12, dest="n_jobs")
     p_clu.add_argument("--seed", type=int, default=0, help="trace seed")
     p_clu.add_argument(
@@ -1247,9 +1301,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_learn.add_argument(
         "--node-type",
         default="sd530",
-        choices=["sd530", "gpu", "broadwell"],
+        choices=["sd530", "gpu", "broadwell", "graniterapids"],
         dest="node_type",
-        help="node type to fit coefficients for (default sd530)",
+        help="node type to fit coefficients for (default sd530); "
+        "graniterapids fits the TPMI-backed generation and saves a "
+        "backend-qualified table",
     )
     p_learn.add_argument(
         "--grid",

@@ -34,6 +34,7 @@ at a time; this package adds the missing middle tier around it:
 
 from .eardbd import Eardbd, EardbdConfig, EardbdStats, NodeReport
 from .events import Event, EventKind, EventQueue, SimClock
+from .pool import GENERATIONS, NodePool, parse_node_mix
 from .report import compare_cluster_policies, render_cluster_report, render_comparison
 from .scheduler import ClusterConfig, ClusterReport, ClusterSimulation, JobOutcome
 from .traces import TraceConfig, TraceJob, generate_trace, trace_workload_mix
@@ -48,8 +49,11 @@ __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
+    "GENERATIONS",
     "JobOutcome",
+    "NodePool",
     "NodeReport",
+    "parse_node_mix",
     "SimClock",
     "TraceConfig",
     "TraceJob",

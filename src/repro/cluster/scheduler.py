@@ -46,6 +46,7 @@ from ..sim.result import RunResult
 from ..telemetry.recorder import NULL_RECORDER, EventRecorder, NodeTelemetry, Recorder
 from .eardbd import Eardbd, EardbdConfig, EardbdStats, NodeReport
 from .events import EventKind, EventQueue, SimClock
+from .pool import NodePool
 from .traces import TraceJob
 
 __all__ = [
@@ -80,10 +81,24 @@ class ClusterConfig:
     #: record the cluster-scope telemetry stream (job_submit/start/end,
     #: eardbd_flush/drop, eargm_cap).
     telemetry: bool = False
+    #: heterogeneous pool layout: ordered (generation, count) pairs
+    #: naming :data:`repro.cluster.pool.GENERATIONS` entries.  None is
+    #: the homogeneous cluster — the pre-mix scheduling path,
+    #: bit-identical event for event.
+    node_mix: tuple[tuple[str, int], ...] | None = None
+    #: arm per-node telemetry inside every job's simulation engine (the
+    #: mixed-cluster runs use it to surface per-die limit_write events).
+    job_telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ConfigError("a cluster needs at least one node")
+        if self.node_mix is not None:
+            total = sum(count for _, count in self.node_mix)
+            if total != self.n_nodes:
+                raise ConfigError(
+                    f"node mix totals {total} nodes but n_nodes is {self.n_nodes}"
+                )
 
 
 @dataclass(frozen=True)
@@ -359,12 +374,20 @@ class ClusterSimulation:
 
         if not trace and not streaming:
             raise ConfigError("a campaign needs at least one job")
+        self.config = config
+        #: generation layout of a heterogeneous pool (None = homogeneous).
+        self.node_pool = (
+            NodePool(config.node_mix) if config.node_mix is not None else None
+        )
+        # a job must fit inside one generation: allocations never span
+        # generations (one engine run models one node type).
+        self._max_job_nodes = (
+            self.node_pool.max_generation_size
+            if self.node_pool is not None
+            else config.n_nodes
+        )
         for job in trace:
-            if job.workload.n_nodes > config.n_nodes:
-                raise ConfigError(
-                    f"job {job.index} ({job.workload.name}) needs "
-                    f"{job.workload.n_nodes} nodes; the cluster has {config.n_nodes}"
-                )
+            self._check_job_fits(job)
         self.trace = tuple(trace)
         self.streaming = streaming
         self.config = config
@@ -512,11 +535,7 @@ class ClusterSimulation:
             raise ExperimentError("submit_job requires streaming=True")
         if self._finalized:
             raise ExperimentError("cannot submit to a finalized simulation")
-        if job.workload.n_nodes > self.config.n_nodes:
-            raise ConfigError(
-                f"job {job.index} ({job.workload.name}) needs "
-                f"{job.workload.n_nodes} nodes; the cluster has {self.config.n_nodes}"
-            )
+        self._check_job_fits(job)
         if not self._started:
             self.start()
         if job.submit_s < self.clock.now:
@@ -593,6 +612,18 @@ class ClusterSimulation:
     def _push_flush(self, at_s: float) -> None:
         self._events.push(at_s, EventKind.EARDBD_FLUSH)
         self._flush_armed = True
+
+    def _check_job_fits(self, job: TraceJob) -> None:
+        if job.workload.n_nodes > self._max_job_nodes:
+            where = (
+                f"the largest generation has {self._max_job_nodes} nodes"
+                if self.node_pool is not None
+                else f"the cluster has {self.config.n_nodes}"
+            )
+            raise ConfigError(
+                f"job {job.index} ({job.workload.name}) needs "
+                f"{job.workload.n_nodes} nodes; {where}"
+            )
 
     # -- event handlers ------------------------------------------------------
 
@@ -800,12 +831,25 @@ class ClusterSimulation:
     def _schedule_pass(self) -> None:
         now = self.clock.now
         starters: list[_Starting] = []
-        while self._queue and len(self._free) >= self._queue[0].job.workload.n_nodes:
+        while self._queue and self._fits_now(self._queue[0].job):
             starters.append(self._claim(self._queue.popleft().job, backfilled=False))
         if self._queue and self.config.backfill:
             starters.extend(self._backfill_pass(now, starters))
         if starters:
             self._launch(starters, now)
+
+    def _fits_now(self, job: TraceJob) -> bool:
+        """Can the job start immediately on some (single) generation?"""
+        need = job.workload.n_nodes
+        if self.node_pool is None:
+            return len(self._free) >= need
+        return any(
+            self._free_in(gen) >= need for gen in self.node_pool.generations
+        )
+
+    def _free_in(self, generation: str) -> int:
+        ids = self.node_pool.node_ids(generation)
+        return sum(1 for n in self._free if n in ids)
 
     def _backfill_pass(
         self, now: float, already_started: list[_Starting]
@@ -813,6 +857,8 @@ class ClusterSimulation:
         """Conservative backfill: reserve for every queued job in order;
         start any whose earliest reservation is *now* (it then delays
         nobody ahead of it by construction)."""
+        if self.node_pool is not None:
+            return self._backfill_hetero(now, already_started)
         releases = [
             (run.end_s, len(run.start.placement)) for run in self._running.values()
         ]
@@ -839,9 +885,87 @@ class ClusterSimulation:
         self._queue = remaining
         return started
 
-    def _claim(self, job: TraceJob, *, backfilled: bool) -> _Starting:
+    def _backfill_hetero(
+        self, now: float, already_started: list[_Starting]
+    ) -> list[_Starting]:
+        """Conservative backfill over a mixed pool: one free-node
+        profile per generation (allocations never span generations);
+        each queued job reserves on the generation whose earliest fit
+        is soonest, mix order breaking ties."""
+        pool = self.node_pool
+        releases: dict[str, list[tuple[float, int]]] = {
+            gen: [] for gen in pool.generations
+        }
+        for run in self._running.values():
+            gen = pool.generation_of(run.start.placement[0])
+            releases[gen].append((run.end_s, len(run.start.placement)))
+        for s in already_started:
+            gen = pool.generation_of(s.placement[0])
+            releases[gen].append((now + s.job.est_time_s, len(s.placement)))
+        for node_id, recover_at in self._rebooting.items():
+            releases[pool.generation_of(node_id)].append((recover_at, 1))
+        free_now = {gen: self._free_in(gen) for gen in pool.generations}
+        profiles = {
+            gen: _FreeProfile(now, free_now[gen], releases[gen])
+            for gen in pool.generations
+        }
+        started: list[_Starting] = []
+        remaining: deque[_Queued] = deque()
+        for queued in self._queue:
+            job = queued.job
+            need = job.workload.n_nodes
+            best_gen, best_at = None, float("inf")
+            for gen in pool.generations:
+                if need > len(pool.node_ids(gen)):
+                    continue
+                at = profiles[gen].earliest_fit(need, job.est_time_s)
+                if at < best_at - 1e-12:
+                    best_gen, best_at = gen, at
+            assert best_gen is not None  # job width is pre-validated
+            profiles[best_gen].reserve(best_at, job.est_time_s, need)
+            if best_at <= now + 1e-12 and need <= free_now[best_gen]:
+                started.append(
+                    self._claim(job, backfilled=True, generation=best_gen)
+                )
+                free_now[best_gen] -= need
+            else:
+                remaining.append(queued)
+        self._queue = remaining
+        return started
+
+    def _claim(
+        self, job: TraceJob, *, backfilled: bool, generation: str | None = None
+    ) -> _Starting:
         need = job.workload.n_nodes
-        placement = tuple(sorted(self._free)[:need])
+        if self.node_pool is None:
+            placement = tuple(sorted(self._free)[:need])
+        else:
+            # pick the requested generation, else the first in mix
+            # order with capacity; retarget the workload to its silicon
+            # so the engine builds the right node type and coefficient
+            # resolution sees the right (node, backend) pair.
+            gens = (
+                (generation,)
+                if generation is not None
+                else self.node_pool.generations
+            )
+            placement = None
+            for gen in gens:
+                ids = self.node_pool.node_ids(gen)
+                free = sorted(n for n in self._free if n in ids)
+                if len(free) >= need:
+                    placement = tuple(free[:need])
+                    job = replace(
+                        job,
+                        workload=job.workload.retargeted(
+                            self.node_pool.config(gen)
+                        ),
+                    )
+                    break
+            if placement is None:
+                raise ExperimentError(
+                    f"no generation can host job {job.index} right now"
+                )
         self._free.difference_update(placement)
         if self.eargm is not None:
             level = self.eargm.level()
@@ -870,6 +994,7 @@ class ClusterSimulation:
                 ear_config=s.config,
                 seed=s.job.seed,
                 fault_plan=self.config.fault_plan,
+                telemetry=self.config.job_telemetry,
             )
             for s in starters
         ]

@@ -81,10 +81,11 @@ class Eard:
         #: True after an apply exhausted its retries: the hardware may
         #: still be running the previous selection.
         self.degraded = False
-        #: silicon uncore range, read from the MSR at daemon start-up
-        #: (the paper: "the available uncore frequency range ... can be
-        #: read from this MSR register after the boot").
-        limits = node.sockets[0].msr.read_uncore_limits()
+        #: silicon uncore range, read from the control path at daemon
+        #: start-up (the paper: "the available uncore frequency range ...
+        #: can be read from this MSR register after the boot"; on newer
+        #: generations the backend reads sysfs/TPMI instead).
+        limits = node.uncore_backend.silicon_range()
         self.imc_max_ghz = limits.max_ghz
         self.imc_min_ghz = limits.min_ghz
         # wrap-aware package-energy accumulation: remember the raw
@@ -226,4 +227,4 @@ class Eard:
         """The uncore frequency the HW control loop is running right now
         (averaged over sockets)."""
         sockets = self.node.sockets
-        return sum(s.uncore.freq_ghz for s in sockets) / len(sockets)
+        return sum(s.uncore_freq_ghz for s in sockets) / len(sockets)

@@ -78,9 +78,11 @@ def resolve_coefficients(
     1. ``None`` — the in-process analytic learning phase
        (:func:`train_coefficients`), bit-identical to the behaviour
        before fitted tables existed.
-    2. a directory — load ``<dir>/<node-slug>.json`` if present,
-       otherwise fall back to the analytic table (a campaign may have
-       fitted only some node types).
+    2. a directory — prefer the backend-qualified
+       ``<dir>/<node-slug>.<backend>.json`` (what a campaign for a
+       non-MSR node type writes), then plain ``<dir>/<node-slug>.json``
+       (the MSR-era spelling), otherwise fall back to the analytic
+       table (a campaign may have fitted only some node types).
     3. a file — must load; a missing or corrupt explicit file raises
        :class:`~repro.errors.ModelError` instead of silently projecting
        with different numbers than the caller asked for.
@@ -92,7 +94,12 @@ def resolve_coefficients(
         return train_coefficients(node_config)
     path = pathlib.Path(source)
     if path.is_dir():
-        candidate = coefficients_file(path, node_config.name)
+        qualified = coefficients_file(
+            path, node_config.name, backend=node_config.uncore_backend
+        )
+        candidate = qualified if qualified.exists() else coefficients_file(
+            path, node_config.name
+        )
         if not candidate.exists():
             return train_coefficients(node_config)
         table = load_coefficients(candidate)

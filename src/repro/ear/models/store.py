@@ -58,9 +58,24 @@ def node_slug(node_name: str) -> str:
     return slug
 
 
-def coefficients_file(directory: str | pathlib.Path, node_name: str) -> pathlib.Path:
-    """The per-node-type coefficient file inside a coefficients directory."""
-    return pathlib.Path(directory) / f"{node_slug(node_name)}.json"
+def coefficients_file(
+    directory: str | pathlib.Path, node_name: str, backend: str | None = None
+) -> pathlib.Path:
+    """The per-node-type coefficient file inside a coefficients directory.
+
+    With ``backend`` the name is qualified per control path
+    (``<slug>.<backend>.json``): heterogeneous clusters train one table
+    per (node type, uncore backend) because the backend shapes the
+    signatures the models fit (per-die clamping, ELC floors).  Plain
+    ``<slug>.json`` remains the un-qualified spelling the MSR-era
+    tooling wrote, and the preferred-fallback order in
+    :func:`repro.ear.models.resolve_coefficients` keeps those files
+    loading.
+    """
+    slug = node_slug(node_name)
+    if backend is not None:
+        return pathlib.Path(directory) / f"{slug}.{backend}.json"
+    return pathlib.Path(directory) / f"{slug}.json"
 
 
 def _quality_payload(quality: TableQuality) -> dict:

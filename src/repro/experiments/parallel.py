@@ -113,9 +113,13 @@ __all__ = [
 #: this version: they are ``compare=False`` fields on FaultPlan, never
 #: part of the content hash, because they perturb the *execution tier*,
 #: not the job physics.)
+#: v7: NodeConfig grew ``uncore_backend`` and ``dies_per_socket``
+#: (compared fields — the control path changes the physics on TPMI via
+#: the ELC floor), so the canonical node encoding inside every key
+#: changed shape.
 #: This comment block is the authoritative version history; docs point
 #: here instead of repeating the number.
-CACHE_FORMAT_VERSION = 6
+CACHE_FORMAT_VERSION = 7
 
 
 # -- content hashing ---------------------------------------------------------

@@ -8,6 +8,14 @@ energy, and the hardware UFS control loop the paper's explicit UFS
 competes with.
 """
 
+from .backends import (
+    BACKEND_NAMES,
+    MsrBackend,
+    SysfsBackend,
+    TpmiBackend,
+    UncoreBackend,
+    create_backend,
+)
 from .cpu import Socket
 from .dram import DDR4_2400_12DIMM, DramConfig
 from .gpu import TESLA_V100, GpuModel
@@ -23,6 +31,7 @@ from .msr import (
 from .node import (
     BROADWELL_NODE,
     GPU_NODE,
+    GRANITE_RAPIDS_NODE,
     SD530,
     Cluster,
     Node,
@@ -35,6 +44,7 @@ from .pstates import (
     TURBO_PSTATE,
     XEON_6142M,
     XEON_6148,
+    XEON_6747P,
     XEON_E5_2620V4,
     PState,
     PStateTable,
@@ -65,7 +75,15 @@ __all__ = [
     "SD530",
     "GPU_NODE",
     "BROADWELL_NODE",
+    "GRANITE_RAPIDS_NODE",
     "XEON_E5_2620V4",
+    "XEON_6747P",
+    "UncoreBackend",
+    "MsrBackend",
+    "SysfsBackend",
+    "TpmiBackend",
+    "BACKEND_NAMES",
+    "create_backend",
     "PowerModelParams",
     "SocketPowerBreakdown",
     "VoltageCurve",

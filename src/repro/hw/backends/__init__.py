@@ -1,0 +1,52 @@
+"""Uncore control backends: one interface over three Intel control paths.
+
+See :mod:`repro.hw.backends.base` for the interface and the design
+rationale.  :func:`create_backend` is the registry entry point a
+:class:`~repro.hw.node.Node` uses at construction; the backend name
+lives on :class:`~repro.hw.node.NodeConfig` (``uncore_backend``,
+default ``"msr"``) so it participates in run-cache keys and the
+learning phase's per-node-type coefficient resolution.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...errors import ConfigError
+from .base import UncoreBackend
+from .msr import MsrBackend
+from .sysfs import SysfsBackend
+from .tpmi import TpmiBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..node import Node
+
+__all__ = [
+    "BACKEND_NAMES",
+    "MsrBackend",
+    "SysfsBackend",
+    "TpmiBackend",
+    "UncoreBackend",
+    "create_backend",
+]
+
+_REGISTRY: dict[str, type[UncoreBackend]] = {
+    MsrBackend.name: MsrBackend,
+    SysfsBackend.name: SysfsBackend,
+    TpmiBackend.name: TpmiBackend,
+}
+
+#: the valid ``NodeConfig.uncore_backend`` values, registry order.
+BACKEND_NAMES: tuple[str, ...] = tuple(_REGISTRY)
+
+
+def create_backend(name: str, node: "Node") -> UncoreBackend:
+    """Instantiate the named backend for one node."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown uncore backend {name!r}; expected one of "
+            f"{', '.join(BACKEND_NAMES)}"
+        ) from None
+    return cls(node)

@@ -1,0 +1,46 @@
+"""The Skylake-SP MSR 0x620 uncore backend (the paper's control path)."""
+
+from __future__ import annotations
+
+from ..msr import UncoreRatioLimit
+from .base import UncoreBackend
+
+__all__ = ["MsrBackend"]
+
+
+class MsrBackend(UncoreBackend):
+    """Package-scoped ``UNCORE_RATIO_LIMIT`` control, bit-identical to
+    the pre-backend register path.
+
+    Reads and writes go straight through each socket's
+    :class:`~repro.hw.msr.MsrFile`; the register's write hook applies
+    the limits to the socket's uncore domain exactly as before, and the
+    MSR's own ``write_generation`` keeps invalidating the batched
+    kernel's plans, so every existing golden is unchanged.
+    """
+
+    name = "msr"
+    #: 0x620 is one register per package — no per-die addressing.
+    die_granular = False
+    writable_min = True
+
+    def read_limits(self, socket: int, die: int = 0) -> UncoreRatioLimit:
+        """Decode the socket's 0x620 register (die index is ignored)."""
+        return self.node.sockets[socket].msr.read_uncore_limits()
+
+    def write_limits(
+        self,
+        limits: UncoreRatioLimit,
+        *,
+        privileged: bool = False,
+        socket: int | None = None,
+        die: int | None = None,
+    ) -> None:
+        """Write 0x620 on the targeted sockets (``die`` is ignored)."""
+        for s in self._target_sockets(socket):
+            if self.telemetry.enabled:
+                old = s.msr.read_uncore_limits()
+                s.msr.write_uncore_limits(limits, privileged=privileged)
+                self._emit_limit_write(s, 0, old, s.msr.read_uncore_limits())
+            else:
+                s.msr.write_uncore_limits(limits, privileged=privileged)

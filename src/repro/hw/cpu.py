@@ -63,6 +63,9 @@ class Socket:
     idle_core_freq_ghz: float | None = None
     msr: MsrFile = field(default_factory=MsrFile)
     uncore: UncoreDomain = field(default_factory=UncoreDomain)
+    #: additional uncore dies beyond :attr:`uncore` (die 0); empty on
+    #: single-die parts, populated on Granite Rapids-class processors.
+    extra_dies: tuple[UncoreDomain, ...] = ()
     #: True when software pinned the core ratio (EAR acquired control);
     #: False means the out-of-the-box HWP governor drives frequency.
     pinned: bool = False
@@ -104,7 +107,10 @@ class Socket:
     # -- MSR side effects ----------------------------------------------------
 
     def _uncore_limit_written(self, value: int) -> None:
-        self.uncore.set_limits(UncoreRatioLimit.decode(value))
+        # 0x620 is package-scoped: one write clamps every die.
+        limits = UncoreRatioLimit.decode(value)
+        for die in self.dies:
+            die.set_limits(limits)
 
     def _perf_ctl_written(self, value: int) -> None:
         ratio = (value >> 8) & 0xFF
@@ -123,6 +129,26 @@ class Socket:
     def n_cores(self) -> int:
         """Cores in this socket."""
         return self.pstates.n_cores
+
+    @property
+    def dies(self) -> tuple[UncoreDomain, ...]:
+        """All uncore dies of this package, die 0 first."""
+        return (self.uncore, *self.extra_dies)
+
+    @property
+    def uncore_freq_ghz(self) -> float:
+        """Mean current uncore frequency over the package's dies.
+
+        With a single die this is exactly ``uncore.freq_ghz``
+        (``sum([x]) / 1 == x``), so every MSR-path golden is unchanged.
+        """
+        dies = self.dies
+        return sum(d.freq_ghz for d in dies) / len(dies)
+
+    def average_uncore_freq_ghz(self) -> float:
+        """Mean time-weighted average uncore frequency over the dies."""
+        dies = self.dies
+        return sum(d.average_freq_ghz() for d in dies) / len(dies)
 
     @property
     def target_freq_ghz(self) -> float:
@@ -167,7 +193,8 @@ class Socket:
         mean = (n_active * busy + (self.n_cores - n_active) * idle) / self.n_cores
         self._freq_seconds += mean * seconds
         self._seconds += seconds
-        self.uncore.account(seconds)
+        for die in self.dies:
+            die.account(seconds)
 
     def average_freq_ghz(self) -> float:
         """Time-weighted average core frequency over all cores."""
@@ -179,4 +206,5 @@ class Socket:
         """Zero the frequency-accounting accumulators."""
         self._freq_seconds = 0.0
         self._seconds = 0.0
-        self.uncore.reset_accounting()
+        for die in self.dies:
+            die.reset_accounting()

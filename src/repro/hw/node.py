@@ -20,11 +20,12 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..errors import HardwareError
+from .backends import create_backend
 from .dram import DDR4_2400_12DIMM, DramConfig
 from .gpu import TESLA_V100, GpuModel
 from .ipmi import NodeManagerEnergyCounter
 from .power import PowerModelParams, socket_power
-from .pstates import XEON_6142M, XEON_6148, XEON_E5_2620V4, PStateTable
+from .pstates import XEON_6142M, XEON_6148, XEON_6747P, XEON_E5_2620V4, PStateTable
 from .rapl import RaplDomain
 from .ufs import UfsController, UfsInputs
 from .units import ghz_to_ratio
@@ -38,6 +39,7 @@ __all__ = [
     "SD530",
     "GPU_NODE",
     "BROADWELL_NODE",
+    "GRANITE_RAPIDS_NODE",
 ]
 
 
@@ -107,6 +109,12 @@ class NodeConfig:
     #: silicon uncore frequency range (BCLK ratios).
     uncore_max_ratio: int = 24
     uncore_min_ratio: int = 12
+    #: uncore control path for this generation — a key into
+    #: :data:`repro.hw.backends.BACKEND_NAMES` (``"msr"`` is the
+    #: paper's Skylake-SP register path and the default).
+    uncore_backend: str = "msr"
+    #: uncore dies per package; >1 only on TPMI-era multi-die parts.
+    dies_per_socket: int = 1
 
     @property
     def n_cores(self) -> int:
@@ -149,6 +157,33 @@ GPU_NODE = NodeConfig(
     gpus=(TESLA_V100, TESLA_V100),
 )
 
+#: A Granite Rapids node: 2x Xeon 6747P, DDR5, two uncore (compute)
+#: dies per package, controlled through the TPMI backend with ELC
+#: hints.  The uncore range is wider at both ends than Skylake's
+#: (0.8 .. 2.5 GHz) and the mesh spans two dies, hence the larger
+#: dynamic uncore coefficient.
+GRANITE_RAPIDS_NODE = NodeConfig(
+    name="Granite Rapids node (2x Xeon 6747P)",
+    pstates=XEON_6747P,
+    dram=DramConfig(
+        peak_node_gbs=430.0,
+        f_half_ghz=1.2,
+        f_max_ghz=3.2,
+        static_power_w=22.0,
+        power_w_per_gbs=0.12,
+    ),
+    power=PowerModelParams(
+        pck_base_w=32.0,
+        core_dyn_w=1.55,
+        uncore_dyn_w=22.0,
+        platform_w=78.0,
+    ),
+    uncore_max_ratio=25,
+    uncore_min_ratio=8,
+    uncore_backend="tpmi",
+    dies_per_socket=2,
+)
+
 
 class Node:
     """A live compute node instance."""
@@ -158,18 +193,31 @@ class Node:
         self.node_id = node_id
         from .uncore import UncoreDomain
 
+        if config.dies_per_socket < 1:
+            raise HardwareError(
+                f"dies_per_socket must be >= 1, got {config.dies_per_socket}"
+            )
+
+        def _die(die_id: int) -> UncoreDomain:
+            return UncoreDomain(
+                hw_min_ratio=config.uncore_min_ratio,
+                hw_max_ratio=config.uncore_max_ratio,
+                die_id=die_id,
+            )
+
         self.sockets = [
             Socket(
                 pstates=config.pstates,
                 socket_id=i,
                 idle_core_freq_ghz=config.idle_core_freq_ghz,
-                uncore=UncoreDomain(
-                    hw_min_ratio=config.uncore_min_ratio,
-                    hw_max_ratio=config.uncore_max_ratio,
-                ),
+                uncore=_die(0),
+                extra_dies=tuple(_die(d) for d in range(1, config.dies_per_socket)),
             )
             for i in range(config.n_sockets)
         ]
+        #: the generation's uncore control path (limit reads/writes and
+        #: the ELC floor all go through this).
+        self.uncore_backend = create_backend(config.uncore_backend, self)
         self.rapl = RaplDomain(n_sockets=config.n_sockets)
         self.dc_meter = NodeManagerEnergyCounter()
         self.ufs = UfsController()
@@ -185,9 +233,8 @@ class Node:
             s.set_target_freq(freq_ghz, privileged=privileged)
 
     def set_uncore_limits(self, limits, *, privileged: bool = False) -> None:
-        """Write UNCORE_RATIO_LIMIT on every socket."""
-        for s in self.sockets:
-            s.msr.write_uncore_limits(limits, privileged=privileged)
+        """Program the uncore limits on every domain, via the backend."""
+        self.uncore_backend.write_limits(limits, privileged=privileged)
 
     def set_pkg_power_limit(
         self, watts: float | None, *, privileged: bool = False
@@ -203,8 +250,8 @@ class Node:
 
     @property
     def uncore_freq_ghz(self) -> float:
-        """The uncore's current frequency, in GHz."""
-        return self.sockets[0].uncore.freq_ghz
+        """The uncore's current frequency (socket 0, die mean), in GHz."""
+        return self.sockets[0].uncore_freq_ghz
 
     @property
     def elapsed_s(self) -> float:
@@ -221,7 +268,8 @@ class Node:
         is applied directly.
         """
         per_socket_active = op.n_active_cores / len(self.sockets)
-        for s in self.sockets:
+        backend = self.uncore_backend
+        for si, s in enumerate(self.sockets):
             if op.hw_active_fraction is not None:
                 active_frac = op.hw_active_fraction
             else:
@@ -237,13 +285,17 @@ class Node:
                 epb=s.msr.read_epb(),
                 follow_factor=op.hw_follow_factor,
             )
-            limits = s.msr.read_uncore_limits()
-            ratio = self.ufs.target_ratio(
-                inputs,
-                msr_min=max(limits.min_ratio, s.uncore.hw_min_ratio),
-                msr_max=min(limits.max_ratio, s.uncore.hw_max_ratio),
-            )
-            s.uncore.set_ratio(ratio)
+            # the backend's floor is 0 everywhere except TPMI's ELC,
+            # so the MSR path is bit-identical to the pre-backend loop.
+            floor = backend.ufs_floor_ratio(inputs)
+            for d, dom in enumerate(s.dies):
+                limits = backend.read_limits(si, d)
+                ratio = self.ufs.target_ratio(
+                    inputs,
+                    msr_min=max(limits.min_ratio, dom.hw_min_ratio, floor),
+                    msr_max=min(limits.max_ratio, dom.hw_max_ratio),
+                )
+                dom.set_ratio(ratio)
 
     # -- power & energy ---------------------------------------------------------
 
@@ -277,7 +329,7 @@ class Node:
                 # a fully idle socket's cores sit at the idle clock, not
                 # whatever target happens to be programmed.
                 f_core_ghz=op.effective_core_ghz if n_active else s.idle_core_freq_ghz,
-                f_uncore_ghz=s.uncore.freq_ghz,
+                f_uncore_ghz=s.uncore_freq_ghz,
                 n_active_cores=n_active,
                 n_idle_cores=s.n_cores - n_active,
                 activity=op.activity,
@@ -393,7 +445,9 @@ class Node:
 
     def average_imc_freq_ghz(self) -> float:
         """Node-average uncore (IMC) frequency over the whole run."""
-        return sum(s.uncore.average_freq_ghz() for s in self.sockets) / len(self.sockets)
+        return sum(s.average_uncore_freq_ghz() for s in self.sockets) / len(
+            self.sockets
+        )
 
 
 @dataclass

@@ -27,6 +27,7 @@ __all__ = [
     "PStateTable",
     "XEON_6148",
     "XEON_6142M",
+    "XEON_6747P",
     "XEON_E5_2620V4",
     "TURBO_PSTATE",
 ]
@@ -201,6 +202,19 @@ XEON_6142M = PStateTable(
     turbo_ghz=2.8,
     avx512_max_ghz=2.2,
     n_cores=16,
+)
+
+#: A 48-core Granite Rapids part: the first generation whose uncore is
+#: controlled through TPMI per-die domains with ELC hints instead of
+#: MSR 0x620.  The deep DVFS floor (800 MHz) and the wide range between
+#: nominal and all-core turbo are characteristic of the generation.
+XEON_6747P = PStateTable(
+    name="Intel Xeon 6747P",
+    nominal_ghz=2.7,
+    min_ghz=0.8,
+    turbo_ghz=3.1,
+    avx512_max_ghz=2.3,
+    n_cores=48,
 )
 
 #: The Broadwell part used by the related work the paper compares with

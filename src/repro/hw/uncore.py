@@ -39,6 +39,9 @@ class UncoreDomain:
     current_ratio: int = field(default=None)  # type: ignore[assignment]
     _ratio_seconds: float = 0.0
     _seconds: float = 0.0
+    #: index within the socket; only non-zero on multi-die parts
+    #: (Granite Rapids), where each compute die is its own domain.
+    die_id: int = 0
 
     def __post_init__(self) -> None:
         if not 0 < self.hw_min_ratio <= self.hw_max_ratio:

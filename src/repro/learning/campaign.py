@@ -73,6 +73,18 @@ def default_kernels(node_config: NodeConfig) -> tuple[Workload, ...]:
     )
     selected = tuple(w for w in battery if w.node_config.name == node_config.name)
     if not selected:
+        # a generation with no kernels anchored on it (Broadwell,
+        # Granite Rapids in a mixed cluster): retarget the CPU-only
+        # SD530 battery to its silicon — calibration is re-fitted on
+        # the new node type, GPU-anchored kernels stay out.
+        from ..hw.node import SD530
+
+        selected = tuple(
+            w.retargeted(node_config)
+            for w in battery
+            if w.node_config.name == SD530.name
+        )
+    if not selected:
         raise LearningError(
             f"no training kernels are defined for node type {node_config.name!r}"
         )
@@ -337,8 +349,18 @@ class LearningCampaign:
         return report
 
     def save(self, table: CoefficientTable, out_dir) -> str:
-        """Write the fitted table where the runtime resolver looks."""
-        path = coefficients_file(out_dir, self.node_config.name)
+        """Write the fitted table where the runtime resolver looks.
+
+        Non-MSR node types get the backend-qualified file name so one
+        directory can hold tables for every generation in a mixed
+        cluster; the MSR default keeps the historical plain name.
+        """
+        backend = self.node_config.uncore_backend
+        path = coefficients_file(
+            out_dir,
+            self.node_config.name,
+            backend=None if backend == "msr" else backend,
+        )
         save_coefficients(table, path)
         return str(path)
 

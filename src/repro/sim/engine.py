@@ -142,6 +142,20 @@ class SimulationEngine:
         self.noise_sigma = noise_sigma
         self.record_trace = record_trace
         self.cluster = Cluster(self.workload.node_config, self.workload.n_nodes)
+        self.telemetry_enabled = telemetry
+        self.recorders: dict[int, Recorder] = {}
+        for node in self.cluster:
+            if telemetry:
+                # clock bound to the node: every subsystem's events are
+                # stamped with that node's simulated elapsed time.
+                self.recorders[node.node_id] = EventRecorder(
+                    node=node.node_id, clock=(lambda n=node: n.elapsed_s)
+                )
+            else:
+                self.recorders[node.node_id] = NULL_RECORDER
+            # the backend emits uncore/limit_write on every landed limit
+            # write, including the pin writes just below.
+            node.uncore_backend.telemetry = self.recorders[node.node_id]
         for node in self.cluster:
             if pin_cpu_ghz is not None:
                 node.set_core_freq(pin_cpu_ghz, privileged=True)
@@ -157,17 +171,6 @@ class SimulationEngine:
         self.banks = {node.node_id: CounterBank() for node in self.cluster}
         self.fault_plan = fault_plan
         self.monitors = {node.node_id: HealthMonitor() for node in self.cluster}
-        self.telemetry_enabled = telemetry
-        self.recorders: dict[int, Recorder] = {}
-        for node in self.cluster:
-            if telemetry:
-                # clock bound to the node: every subsystem's events are
-                # stamped with that node's simulated elapsed time.
-                self.recorders[node.node_id] = EventRecorder(
-                    node=node.node_id, clock=(lambda n=node: n.elapsed_s)
-                )
-            else:
-                self.recorders[node.node_id] = NULL_RECORDER
         self.injectors: dict[int, FaultInjector] = {}
         if fault_plan is not None and fault_plan.enabled:
             for node in self.cluster:

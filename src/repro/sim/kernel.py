@@ -199,7 +199,9 @@ class BatchedKernel:
             eff_wait_ghz=eff_wait,
             n_active_per_socket=node.active_cores_per_socket(active),
             n_active_total=active,
-            uncore_ratios=tuple(s.uncore.current_ratio for s in node.sockets),
+            uncore_ratios=tuple(
+                d.current_ratio for s in node.sockets for d in s.dies
+            ),
             pck_w0=p0.pck_w,
             dram_w0=p0.dram_w,
             dc_w0=p0.dc_w,
@@ -226,7 +228,10 @@ class BatchedKernel:
         plan's UFS convergence produced, exactly as the scalar engine's
         per-iteration ``run_ufs`` call would.
         """
-        gen = 0
+        # non-MSR backends (sysfs/TPMI) bypass the MSR file, so their
+        # own write counter joins the invalidation tag; MsrBackend
+        # leaves it at zero and the tag reduces to the pre-backend sum.
+        gen = node.uncore_backend.write_generation
         for s in node.sockets:
             gen += s.msr.write_generation
         cached_gen, by_clamp = self._plans.get(node.node_id, (-1, {}))
@@ -238,9 +243,10 @@ class BatchedKernel:
             plan = self._physics(node, profile, clamp_ghz)
             by_clamp[clamp_ghz] = plan
         else:
-            for s, ratio in zip(node.sockets, plan.uncore_ratios):
-                if s.uncore.current_ratio != ratio:
-                    s.uncore.set_ratio(ratio)
+            dies = [d for s in node.sockets for d in s.dies]
+            for dom, ratio in zip(dies, plan.uncore_ratios):
+                if dom.current_ratio != ratio:
+                    dom.set_ratio(ratio)
         return plan
 
     # -- energy commits ----------------------------------------------------

@@ -83,6 +83,19 @@ class Workload:
         )
         return replace(self, phases=phases, _calibrated=True)
 
+    def retargeted(self, node_config: NodeConfig) -> "Workload":
+        """Copy bound to a different node type (same name and phases).
+
+        A heterogeneous scheduler uses this when it places a job on a
+        generation other than the trace's default.  Calibration is
+        dropped so the power knobs are re-fitted for the new silicon;
+        the name is kept, so run-cache keys differ only through the
+        node configuration.
+        """
+        if node_config == self.node_config:
+            return self
+        return replace(self, node_config=node_config, _calibrated=False)
+
     def scaled_iterations(self, factor: float) -> "Workload":
         """Copy with iteration counts scaled (shorter test runs)."""
         if factor <= 0:

@@ -25,6 +25,19 @@ class TestConstruction:
     def test_gpu_node_has_a_battery(self):
         assert default_kernels(GPU_NODE)
 
+    def test_unanchored_generation_gets_retargeted_battery(self):
+        # generations without their own kernels (mixed-cluster node
+        # types) train on the SD530 CPU battery retargeted to their
+        # silicon; GPU-anchored kernels stay out.
+        from repro.hw.node import GRANITE_RAPIDS_NODE
+
+        battery = default_kernels(GRANITE_RAPIDS_NODE)
+        assert battery
+        names = {k.name for k in default_kernels(SD530)}
+        for kernel in battery:
+            assert kernel.node_config.name == GRANITE_RAPIDS_NODE.name
+            assert kernel.name in names
+
     def test_foreign_kernel_rejected(self, learning_pool):
         gpu_kernel = default_kernels(GPU_NODE)[0]
         with pytest.raises(LearningError, match="node type"):

@@ -20,7 +20,7 @@ from repro.ear.models import (
     train_coefficients,
 )
 from repro.errors import ModelError
-from repro.hw.node import GPU_NODE, SD530
+from repro.hw.node import GPU_NODE, GRANITE_RAPIDS_NODE, SD530
 from repro.sim.engine import run_workload
 from repro.workloads.kernels import bt_mz_c_openmp
 
@@ -85,3 +85,66 @@ class TestBitIdentity:
         a = EarConfig()
         b = EarConfig(coefficients_path="somewhere")
         assert a != b
+
+
+class TestBackendQualifiedResolution:
+    """Mixed clusters: one table per (node type, uncore backend)."""
+
+    def test_qualified_file_name(self, tmp_path):
+        path = coefficients_file(
+            tmp_path, GRANITE_RAPIDS_NODE.name, backend="tpmi"
+        )
+        assert path.name.endswith(".tpmi.json")
+        plain = coefficients_file(tmp_path, GRANITE_RAPIDS_NODE.name)
+        assert path.name == plain.name.replace(".json", ".tpmi.json")
+
+    def test_qualified_table_preferred_over_plain(self, tmp_path):
+        table = train_coefficients(GRANITE_RAPIDS_NODE)
+        save_coefficients(
+            table, coefficients_file(tmp_path, GRANITE_RAPIDS_NODE.name, backend="tpmi")
+        )
+        # if resolution ever preferred the plain spelling, loading this
+        # garbage would raise — preferring the qualified file skips it.
+        coefficients_file(tmp_path, GRANITE_RAPIDS_NODE.name).write_text("not json")
+        config = EarConfig(coefficients_path=str(tmp_path))
+        resolved = resolve_coefficients(GRANITE_RAPIDS_NODE, config)
+        assert resolved.node_name == table.node_name
+        assert resolved is not table  # loaded from disk, not the cache
+
+    def test_plain_spelling_still_loads(self, tmp_path):
+        # the MSR-era file name keeps working for any backend
+        table = train_coefficients(GRANITE_RAPIDS_NODE)
+        save_coefficients(
+            table, coefficients_file(tmp_path, GRANITE_RAPIDS_NODE.name)
+        )
+        config = EarConfig(coefficients_path=str(tmp_path))
+        resolved = resolve_coefficients(GRANITE_RAPIDS_NODE, config)
+        assert resolved is not table
+        assert resolved.node_name == table.node_name
+
+    def test_empty_directory_analytic_fallback_is_bit_identical(self, tmp_path):
+        config = EarConfig(coefficients_path=str(tmp_path))
+        assert resolve_coefficients(GRANITE_RAPIDS_NODE, config) is (
+            train_coefficients(GRANITE_RAPIDS_NODE)
+        )
+
+    def test_campaign_save_qualifies_non_msr_backends(
+        self, tmp_path, learning_pool, small_battery
+    ):
+        from repro.learning import LearningCampaign, LearningGrid
+
+        campaign = LearningCampaign(
+            GRANITE_RAPIDS_NODE,
+            kernels=tuple(
+                k.retargeted(GRANITE_RAPIDS_NODE) for k in small_battery
+            ),
+            grid=LearningGrid.coarse(GRANITE_RAPIDS_NODE),
+            pool=learning_pool,
+        )
+        saved = campaign.save(train_coefficients(GRANITE_RAPIDS_NODE), tmp_path)
+        assert saved.endswith(".tpmi.json")
+
+    def test_msr_campaign_save_keeps_plain_name(self, campaign, fitted_table, tmp_path):
+        saved = campaign.save(fitted_table, tmp_path)
+        assert saved.endswith(".json")
+        assert ".msr." not in saved

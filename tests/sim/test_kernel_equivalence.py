@@ -16,9 +16,12 @@ engine is the reference implementation, by construction.
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.ear.config import EarConfig
+from repro.hw.node import GRANITE_RAPIDS_NODE
 from repro.sim.engine import SimulationEngine, run_workload
 from repro.sim.faults import FaultPlan
 from repro.workloads import applications, kernels
@@ -133,6 +136,50 @@ def test_policy_decisions_identical():
         assert db.earl_state == ds.earl_state
         assert db.policy_state == ds.policy_state
         assert db.at_s == pytest.approx(ds.at_s, rel=REL_TOL)
+
+
+# -- non-MSR uncore backends ------------------------------------------------
+#
+# The batched kernel's plans cache flattened per-die uncore ratios and
+# invalidate on the backend's write_generation; sysfs and TPMI exercise
+# both (multi-die domains, non-MSR write counting, the TPMI ELC floor).
+
+
+def test_sysfs_backend_run_matches():
+    wl = applications.bqcd().scaled_iterations(0.1)
+    wl = wl.retargeted(
+        dataclasses.replace(
+            wl.node_config, uncore_backend="sysfs", dies_per_socket=2
+        )
+    )
+    assert_equivalent(*both(wl, seed=21))
+
+
+def test_sysfs_backend_ear_run_matches():
+    wl = applications.pop().scaled_iterations(0.2)
+    wl = wl.retargeted(
+        dataclasses.replace(wl.node_config, uncore_backend="sysfs")
+    )
+    assert_equivalent(*both(wl, seed=22, ear_config=EarConfig()))
+
+
+def test_tpmi_backend_run_matches():
+    wl = applications.hpcg().scaled_iterations(0.1)
+    assert_equivalent(*both(wl.retargeted(GRANITE_RAPIDS_NODE), seed=23))
+
+
+def test_tpmi_backend_ear_run_matches():
+    wl = applications.gromacs_lignocellulose().scaled_iterations(0.2)
+    scalar, batched = both(
+        wl.retargeted(GRANITE_RAPIDS_NODE), seed=24, ear_config=EarConfig()
+    )
+    assert_equivalent(scalar, batched)
+
+
+def test_tpmi_pinned_frequencies_match():
+    wl = kernels.stream_triad().scaled_iterations(0.1)
+    wl = wl.retargeted(GRANITE_RAPIDS_NODE)
+    assert_equivalent(*both(wl, seed=25, pin_cpu_ghz=2.0, pin_uncore_ghz=1.8))
 
 
 # -- fault injection --------------------------------------------------------
