@@ -6,6 +6,11 @@ watts and core watts come from the same budget.  A policy that trims
 uncore power a CPU-bound code doesn't need hands that budget to the
 cores — so under a cap, explicit UFS improves *performance*, not just
 energy.
+
+The cluster-scale generalisation of this what-if — jobs bidding for a
+shared power budget, the uncore ladder as the first compliance tool —
+is the power market (``repro.cluster.market``, bench
+``test_region_market.py``, derivation in docs/POLICIES.md).
 """
 
 import pytest

@@ -1,0 +1,74 @@
+"""Extension bench: region tables + the power-cap market, cluster scale.
+
+The acceptance scenario of docs/POLICIES.md: one seeded trace replayed
+under monitoring, global eUFS and the region-based variant, with the
+EARGM power market armed at a binding budget.  Asserted claims: the
+market keeps granted caps within the budget at every interval, and
+``me_eufs_regions`` still beats the monitoring baseline on cluster
+energy while capped.
+"""
+
+from repro.cluster.market import MarketConfig
+from repro.cluster.report import compare_cluster_policies, render_comparison
+from repro.cluster.scheduler import ClusterConfig
+from repro.cluster.traces import TraceConfig, generate_trace
+from repro.experiments.runner import standard_configs
+
+from .conftest import write_artefact
+
+BUDGET_W = 1500.0
+
+
+def test_region_market_campaign(benchmark, results_dir, scale):
+    def run():
+        trace = generate_trace(TraceConfig(n_jobs=12, seed=0, scale=scale))
+        configs = standard_configs(regions=True)
+        return compare_cluster_policies(
+            trace,
+            ClusterConfig(
+                n_nodes=8,
+                telemetry=True,
+                market=MarketConfig(budget_w=BUDGET_W),
+            ),
+            {
+                "monitoring": configs["none"],
+                "me_eufs": configs["me_eufs"],
+                "me_eufs_regions": configs["me_eufs_regions"],
+            },
+        )
+
+    campaigns = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [render_comparison(campaigns, reference="monitoring")]
+    for name, campaign in campaigns.items():
+        m = campaign.report.market
+        if m is not None and m.n_jobs:
+            lines.append(
+                f"{name}: {m.budget_w:.0f} W budget, peak grant "
+                f"{m.peak_granted_w:.0f} W, {m.n_capped_jobs}/{m.n_jobs} "
+                f"jobs capped over {len(m.intervals)} intervals"
+            )
+    write_artefact(results_dir, "region_market.txt", "\n".join(lines) + "\n")
+
+    monitoring = campaigns["monitoring"]
+    regions = campaigns["me_eufs_regions"]
+
+    # conservation: every interval of every policy-bearing campaign
+    # stays within the budget (the monitoring baseline is never capped,
+    # so its market records no admissions).
+    for name in ("me_eufs", "me_eufs_regions"):
+        market = campaigns[name].report.market
+        assert market is not None and market.n_jobs > 0
+        for interval in market.intervals:
+            if interval.n_jobs > 0:
+                assert interval.granted_w <= interval.budget_w + 1e-9
+        # the budget binds for this trace: someone got capped.
+        assert market.n_capped_jobs > 0
+
+    # and the optimisation still pays under the cap.
+    assert regions.energy_saving_vs(monitoring) > 0.0
+    # regions never lose to the global policy beyond noise: identical
+    # decisions on the (single-phase) corpus, by the fallback contract.
+    assert regions.report.total_energy_j <= (
+        campaigns["me_eufs"].report.total_energy_j * 1.01
+    )

@@ -109,6 +109,7 @@ def _cmd_run(args) -> int:
         cpu_policy_th=args.cpu_th,
         unc_policy_th=args.unc_th,
         coefficients_path=args.coefficients,
+        regions=True,
     )
     if args.policy != "all":
         if args.policy not in configs:
@@ -394,6 +395,7 @@ def _cmd_cluster(args) -> int:
     from .cluster import (
         ClusterConfig,
         EardbdConfig,
+        MarketConfig,
         TraceConfig,
         compare_cluster_policies,
         generate_trace,
@@ -427,6 +429,18 @@ def _cmd_cluster(args) -> int:
         if args.fault_intensity > 0
         else None
     )
+    market = None
+    if args.power_market:
+        # the power cap derives from the energy budget over the EARGM
+        # horizon unless pinned directly: B MJ over H seconds sustains
+        # exactly B*1e6/H watts.
+        if args.budget_w is not None:
+            budget_w = args.budget_w
+        elif args.budget_mj is not None:
+            budget_w = args.budget_mj * 1e6 / args.horizon_s
+        else:
+            raise SystemExit("--power-market needs --budget-w or --budget-mj")
+        market = MarketConfig(budget_w=budget_w)
     cluster = ClusterConfig(
         n_nodes=n_nodes,
         eargm=eargm,
@@ -440,15 +454,36 @@ def _cmd_cluster(args) -> int:
         # mixed campaigns arm per-job telemetry so the per-die
         # uncore/limit_write streams land in the node results.
         job_telemetry=node_mix is not None,
+        market=market,
     )
-    configs = standard_configs(cpu_policy_th=args.cpu_th, unc_policy_th=args.unc_th)
-    if args.policy == "compare":
+    configs = standard_configs(
+        cpu_policy_th=args.cpu_th, unc_policy_th=args.unc_th, regions=True
+    )
+    if args.policies:
+        # explicit comparison list; "monitoring" aliases the no-policy
+        # baseline under its service name.
+        names = {}
+        for raw in args.policies.split(","):
+            name = raw.strip()
+            if not name:
+                continue
+            key = "none" if name == "monitoring" else name
+            if key not in configs:
+                raise SystemExit(
+                    f"unknown policy {name!r}; use "
+                    "none|monitoring|me|me_eufs|me_eufs_regions"
+                )
+            names[name] = configs[key]
+        if not names:
+            raise SystemExit("--policies needs at least one policy name")
+    elif args.policy == "compare":
         names = {"none": None, "me": configs["me"], "me_eufs": configs["me_eufs"]}
     elif args.policy in configs:
         names = {args.policy: configs[args.policy]}
     else:
         raise SystemExit(
-            f"unknown policy {args.policy!r}; use none|me|me_eufs|compare"
+            f"unknown policy {args.policy!r}; use "
+            "none|me|me_eufs|me_eufs_regions|compare"
         )
     from .experiments.journal import CampaignJournal, campaign_id
     from .experiments.parallel import default_pool
@@ -468,6 +503,8 @@ def _cmd_cluster(args) -> int:
         args.unc_th,
         not args.no_backfill,
         args.node_mix or "",
+        args.power_market,
+        args.budget_w,
     )
     journal = CampaignJournal.for_campaign(
         cid,
@@ -1052,7 +1089,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one workload under policies")
     p_run.add_argument("-w", "--workload", required=True)
-    p_run.add_argument("-p", "--policy", default="all", help="none|me|me_eufs|all")
+    p_run.add_argument(
+        "-p", "--policy", default="all", help="none|me|me_eufs|me_eufs_regions|all"
+    )
     p_run.add_argument("--cpu-th", type=float, default=0.05, dest="cpu_th")
     p_run.add_argument("--unc-th", type=float, default=0.02, dest="unc_th")
     p_run.add_argument("--scale", type=float, default=1.0)
@@ -1200,7 +1239,16 @@ def build_parser() -> argparse.ArgumentParser:
         "-p",
         "--policy",
         default="compare",
-        help="none|me|me_eufs|compare (default: compare all three)",
+        help="none|me|me_eufs|me_eufs_regions|compare (default: compare "
+        "the paper's three)",
+    )
+    p_clu.add_argument(
+        "--policies",
+        default=None,
+        help="explicit comma-separated comparison list, e.g. "
+        "me_eufs,me_eufs_regions ('monitoring' aliases the no-policy "
+        "baseline); overrides -p, first entry is the comparison reference "
+        "when 'none' is absent",
     )
     p_clu.add_argument(
         "--interarrival-s",
@@ -1224,6 +1272,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="EARGM energy budget (default: no budget control)",
     )
     p_clu.add_argument("--horizon-s", type=float, default=4500.0, dest="horizon_s")
+    p_clu.add_argument(
+        "--power-market",
+        action="store_true",
+        dest="power_market",
+        help="run the EARGM power-cap market: jobs bid watts needed vs. "
+        "saveable, caps are redistributed each flush interval, capped jobs "
+        "descend the uncore ladder before CPU P-states (docs/POLICIES.md)",
+    )
+    p_clu.add_argument(
+        "--budget-w",
+        type=float,
+        default=None,
+        dest="budget_w",
+        help="cluster power budget for --power-market in watts "
+        "(default: derived as --budget-mj * 1e6 / --horizon-s)",
+    )
     p_clu.add_argument(
         "--flush-interval-s",
         type=float,

@@ -27,6 +27,12 @@ at a time; this package adds the missing middle tier around it:
     event clock so P-state caps propagate to jobs scheduled after each
     level change.
 
+:mod:`repro.cluster.market`
+    The EARGM power-cap market: jobs bid watts needed vs. watts
+    saveable, the budget is redistributed each interval, and capped
+    jobs comply by descending the uncore ladder before CPU P-states
+    (see docs/POLICIES.md).
+
 :mod:`repro.cluster.report`
     :class:`ClusterReport` rendering and the per-policy campaign
     comparison behind ``repro-ear cluster``.
@@ -34,16 +40,30 @@ at a time; this package adds the missing middle tier around it:
 
 from .eardbd import Eardbd, EardbdConfig, EardbdStats, NodeReport
 from .events import Event, EventKind, EventQueue, SimClock
+from .market import (
+    Bid,
+    Grant,
+    MarketConfig,
+    MarketInterval,
+    MarketStats,
+    PowerMarket,
+)
 from .pool import GENERATIONS, NodePool, parse_node_mix
 from .report import compare_cluster_policies, render_cluster_report, render_comparison
 from .scheduler import ClusterConfig, ClusterReport, ClusterSimulation, JobOutcome
 from .traces import TraceConfig, TraceJob, generate_trace, trace_workload_mix
 
 __all__ = [
+    "Bid",
     "ClusterConfig",
     "ClusterReport",
     "ClusterSimulation",
     "Eardbd",
+    "Grant",
+    "MarketConfig",
+    "MarketInterval",
+    "MarketStats",
+    "PowerMarket",
     "EardbdConfig",
     "EardbdStats",
     "Event",

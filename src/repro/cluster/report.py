@@ -104,6 +104,16 @@ def render_cluster_report(report: ClusterReport, *, jobs: bool = True) -> str:
                 f"{report.cap_changes} cap changes)",
             ]
         )
+    if report.market is not None:
+        m = report.market
+        summary_rows.append(
+            [
+                "power market",
+                f"{m.budget_w:.0f} W budget, peak grant {m.peak_granted_w:.0f} W, "
+                f"{m.n_capped_jobs}/{m.n_jobs} jobs capped, "
+                f"{len(m.intervals)} intervals",
+            ]
+        )
     out = format_table("cluster campaign", ["metric", "value"], summary_rows)
     if jobs:
         job_rows = [
@@ -145,9 +155,18 @@ def render_cluster_report(report: ClusterReport, *, jobs: bool = True) -> str:
 def render_comparison(
     campaigns: Mapping[str, PolicyCampaign], *, reference: str = "none"
 ) -> str:
-    """Per-policy savings table against the monitoring-only campaign."""
+    """Per-policy savings table against a reference campaign.
+
+    The default reference is the monitoring-only campaign; when the
+    caller compared a policy subset that omits it (``repro-ear cluster
+    --policies me_eufs,me_eufs_regions``), the first campaign stands in
+    as the baseline.
+    """
     if reference not in campaigns:
-        raise ValueError(f"reference campaign {reference!r} missing")
+        if reference == "none" and campaigns:
+            reference = next(iter(campaigns))
+        else:
+            raise ValueError(f"reference campaign {reference!r} missing")
     ref = campaigns[reference]
     rows = []
     for name, campaign in campaigns.items():

@@ -44,8 +44,10 @@ from ..experiments.resilient import FailedRun
 from ..sim.faults import FaultPlan
 from ..sim.result import RunResult
 from ..telemetry.recorder import NULL_RECORDER, EventRecorder, NodeTelemetry, Recorder
+from ..hw.units import ratio_to_ghz
 from .eardbd import Eardbd, EardbdConfig, EardbdStats, NodeReport
 from .events import EventKind, EventQueue, SimClock
+from .market import Grant, MarketConfig, MarketStats, PowerMarket
 from .pool import NodePool
 from .traces import TraceJob
 
@@ -89,6 +91,11 @@ class ClusterConfig:
     #: arm per-node telemetry inside every job's simulation engine (the
     #: mixed-cluster runs use it to surface per-die limit_write events).
     job_telemetry: bool = False
+    #: EARGM power-cap market (see :mod:`repro.cluster.market`); None
+    #: runs without one.  Monitoring-only campaigns (``ear_config is
+    #: None``) never actuate caps — there is no EARL on the nodes to
+    #: comply — so the market leaves them untouched.
+    market: MarketConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -121,6 +128,12 @@ class JobOutcome:
     dc_energy_j: float
     avg_cpu_freq_ghz: float
     avg_imc_freq_ghz: float
+    #: power-market grant at claim time (None without a market).
+    granted_w: float | None = None
+    #: uncore ladder steps the market asked this job to descend.
+    market_imc_steps: int = 0
+    #: CPU P-state offset the market added on top of EARGM's.
+    market_pstate_offset: int = 0
 
     @property
     def wait_s(self) -> float:
@@ -186,6 +199,8 @@ class ClusterReport:
     n_requeues: int = 0
     #: node-crash events injected by the infra fault channel.
     n_node_failures: int = 0
+    #: power-market summary (None without a market).
+    market: MarketStats | None = None
 
     @property
     def n_jobs(self) -> int:
@@ -232,6 +247,7 @@ class ClusterReport:
             "consumed_j": self.consumed_j,
             "final_level": self.final_level.name if self.final_level else None,
             "cap_changes": self.cap_changes,
+            "market": self.market.to_dict() if self.market else None,
             "jobs": [
                 {
                     "index": j.index,
@@ -249,6 +265,9 @@ class ClusterReport:
                     "dc_energy_j": j.dc_energy_j,
                     "avg_cpu_freq_ghz": j.avg_cpu_freq_ghz,
                     "avg_imc_freq_ghz": j.avg_imc_freq_ghz,
+                    "granted_w": j.granted_w,
+                    "market_imc_steps": j.market_imc_steps,
+                    "market_pstate_offset": j.market_pstate_offset,
                 }
                 for j in self.jobs
             ],
@@ -272,6 +291,8 @@ class _Starting:
     offset: int
     config: EarConfig | None
     backfilled: bool
+    #: the power-market grant this job was claimed under, if any.
+    grant: Grant | None = None
 
 
 @dataclass
@@ -405,6 +426,11 @@ class ClusterSimulation:
             else None
         )
         self.eardbd = Eardbd(self.accounting, config.eardbd, telemetry=self.telemetry)
+        self.market = (
+            PowerMarket(config.market, telemetry=self.telemetry)
+            if config.market is not None
+            else None
+        )
         self._events = EventQueue()
         self._queue: deque[_Queued] = deque()
         self._free: set[int] = set(range(config.n_nodes))
@@ -663,6 +689,17 @@ class ClusterSimulation:
             )
         self._report_accounting(running, now)
         self._report_eargm(result, now)
+        if self.market is not None:
+            # feed the measured node power back into the market's table
+            # (the next bid for this workload uses it), then free the
+            # job's watts for subsequent admissions.
+            if result.time_s > 0:
+                self.market.observe(
+                    start.job.workload.name,
+                    result.dc_energy_j / result.time_s / len(start.placement),
+                )
+            self.market.release(start.job_id)
+        grant = start.grant
         self._outcomes.append(
             JobOutcome(
                 index=start.job.index,
@@ -679,6 +716,11 @@ class ClusterSimulation:
                 dc_energy_j=result.dc_energy_j,
                 avg_cpu_freq_ghz=result.avg_cpu_freq_ghz,
                 avg_imc_freq_ghz=result.avg_imc_freq_ghz,
+                granted_w=grant.granted_w if grant is not None else None,
+                market_imc_steps=grant.imc_steps if grant is not None else 0,
+                market_pstate_offset=(
+                    grant.pstate_offset if grant is not None else 0
+                ),
             )
         )
         self._schedule_pass()
@@ -699,6 +741,10 @@ class ClusterSimulation:
         start = running.start
         running.killed = True
         del self._running[start.job_id]
+        if self.market is not None:
+            # the attempt's counters died with the node: release the
+            # bid without feeding the power table.
+            self.market.release(start.job_id)
         self._n_node_failures += 1
         self._makespan_s = max(self._makespan_s, now)
         self._free.update(n for n in start.placement if n != node_id)
@@ -775,6 +821,10 @@ class ClusterSimulation:
             self.eardbd.restart(time_s=self.clock.now)
         else:
             self.eardbd.flush(time_s=self.clock.now)
+        if self.market is not None:
+            # the flush tick is the EARGM interval: snapshot the market
+            # (the conservation record the report and tests check).
+            self.market.tick(self.clock.now)
         if self._unarrived or self._queue or self._running:
             self._push_flush(self.clock.now + self.config.eardbd.flush_interval_s)
 
@@ -972,18 +1022,48 @@ class ClusterSimulation:
             offset = self.eargm.recommended_max_pstate_offset()
         else:
             level, offset = WarningLevel.OK, 0
+        job_id = self.accounting.new_job_id()
         cfg = self.config.ear_config
+        grant: Grant | None = None
         if cfg is not None:
+            if self.market is not None:
+                # the market's compliance ladder rides the same knobs
+                # EARGM uses: an uncore cap folds into the config's
+                # default IMC max, a residual P-state deficit folds
+                # into the offset (the stricter of the two wins).
+                grant = self.market.admit(
+                    job_id, job.workload.name, job.workload.n_nodes
+                )
+                offset = max(offset, grant.pstate_offset)
+                cfg = self._fold_grant(cfg, grant, job)
             cfg = replace(cfg, default_pstate_offset=offset)
         return _Starting(
             job=job,
-            job_id=self.accounting.new_job_id(),
+            job_id=job_id,
             placement=placement,
             level=level,
             offset=offset,
             config=cfg,
             backfilled=backfilled,
+            grant=grant,
         )
+
+    def _fold_grant(
+        self, cfg: EarConfig, grant: Grant, job: TraceJob
+    ) -> EarConfig:
+        """Translate a grant's uncore steps into this job's IMC cap.
+
+        Steps descend from the node generation's silicon maximum in
+        ``imc_step_ghz`` increments, floored at the silicon minimum —
+        the same ladder the policy's own UFS selection walks.
+        """
+        if grant.imc_steps <= 0:
+            return cfg
+        node_cfg = job.workload.node_config
+        silicon_max = ratio_to_ghz(node_cfg.uncore_max_ratio)
+        silicon_min = ratio_to_ghz(node_cfg.uncore_min_ratio)
+        cap = round(silicon_max - grant.imc_steps * cfg.imc_step_ghz, 10)
+        return replace(cfg, default_imc_max_ghz=max(silicon_min, cap))
 
     def _launch(self, starters: list[_Starting], now: float) -> None:
         from ..experiments.parallel import RunRequest
@@ -1008,6 +1088,8 @@ class ClusterSimulation:
                 quarantined = True
                 self._makespan_s = max(self._makespan_s, now)
                 self._free.update(start.placement)
+                if self.market is not None:
+                    self.market.release(start.job_id)
                 self._failures.append(
                     JobFailure(
                         index=start.job.index,
@@ -1114,4 +1196,5 @@ class ClusterSimulation:
             ),
             n_requeues=self._n_requeues,
             n_node_failures=self._n_node_failures,
+            market=self.market.stats() if self.market is not None else None,
         )

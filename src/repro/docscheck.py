@@ -10,11 +10,14 @@ inline backtick spans — and smoke-parses each one against
 
 It also verifies that ``docs/CLI.md`` is byte-identical to the current
 :func:`repro.cli.dump_docs` output, so the generated reference cannot
-go stale.
+go stale, and (``--policies-doc``) that the policy reference documents
+every registered policy: a new ``@register_policy`` name without a
+``docs/POLICIES.md`` heading fails the build.
 
 Run it the way CI does::
 
-    python -m repro.docscheck --cli-doc docs/CLI.md README.md docs/*.md
+    python -m repro.docscheck --cli-doc docs/CLI.md \
+        --policies-doc docs/POLICIES.md README.md docs/*.md
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ __all__ = [
     "check_invocation",
     "check_files",
     "check_cli_doc",
+    "check_policy_docs",
     "main",
 ]
 
@@ -189,6 +193,33 @@ def check_cli_doc(path: str | pathlib.Path) -> str | None:
     return None
 
 
+def check_policy_docs(path: str | pathlib.Path) -> list[str]:
+    """Which registered policies the policy reference fails to document.
+
+    Every name in :func:`repro.ear.policies.available_policies` must
+    appear backticked in a markdown heading of the given file (the
+    ``## `min_energy` -- ...`` shape), so registering a policy without
+    writing its section is a CI failure, not silent drift.  Returns
+    one message per problem; empty means the doc is complete.
+    """
+    from .ear.policies import available_policies
+
+    p = pathlib.Path(path)
+    if not p.exists():
+        return [f"{p}: missing; every registered policy needs a section here"]
+    documented = {
+        name
+        for line in p.read_text().splitlines()
+        if line.startswith("#")
+        for name in re.findall(r"`([^`]+)`", line)
+    }
+    return [
+        f"{p}: no heading documents policy `{name}`"
+        for name in available_policies()
+        if name not in documented
+    ]
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro.docscheck``."""
     parser = argparse.ArgumentParser(
@@ -201,6 +232,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         dest="cli_doc",
         help="also verify this generated CLI reference is up to date",
+    )
+    parser.add_argument(
+        "--policies-doc",
+        default=None,
+        dest="policies_doc",
+        help="also verify this policy reference has a heading for every "
+        "registered policy name",
     )
     args = parser.parse_args(argv)
 
@@ -219,10 +257,22 @@ def main(argv: list[str] | None = None) -> int:
         if stale is not None:
             print(stale, file=sys.stderr)
             status = 1
+    missing: list[str] = []
+    if args.policies_doc is not None:
+        missing = check_policy_docs(args.policies_doc)
+        for message in missing:
+            print(message, file=sys.stderr)
+        if missing:
+            status = 1
     print(
         f"docscheck: {len(invocations)} invocation(s) in {len(args.files)} file(s), "
         f"{len(failures)} failure(s)"
         + ("" if args.cli_doc is None else f", cli-doc {'ok' if not stale else 'STALE'}")
+        + (
+            ""
+            if args.policies_doc is None
+            else f", policies-doc {'ok' if not missing else 'INCOMPLETE'}"
+        )
     )
     return status
 

@@ -2,13 +2,15 @@
 
 Importing this package registers the built-in policies:
 ``min_energy`` (the paper's extended min_energy_to_solution with
-explicit UFS), ``min_time`` (with the future-work eUFS extension) and
-``monitoring`` (no-op reference).
+explicit UFS), ``min_energy_regions`` (the region-based variant with a
+per-phase frequency table; see docs/POLICIES.md), ``min_time`` (with
+the future-work eUFS extension) and ``monitoring`` (no-op reference).
 """
 
 from .api import NodeFreqs, PolicyPlugin, PolicyState
 from .min_energy import MinEnergyPolicy, Stage
 from .min_time import MinTimePolicy, MonitoringPolicy
+from .regions import MinEnergyRegionsPolicy, RegionEntry, region_key
 from .registry import (
     PolicyContext,
     available_policies,
@@ -21,8 +23,11 @@ __all__ = [
     "PolicyPlugin",
     "PolicyState",
     "MinEnergyPolicy",
+    "MinEnergyRegionsPolicy",
     "MinTimePolicy",
     "MonitoringPolicy",
+    "RegionEntry",
+    "region_key",
     "Stage",
     "PolicyContext",
     "available_policies",

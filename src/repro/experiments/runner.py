@@ -142,6 +142,7 @@ def standard_configs(
     cpu_policy_th: float = 0.05,
     unc_policy_th: float = 0.02,
     coefficients_path: str | None = None,
+    regions: bool = False,
 ) -> dict[str, EarConfig | None]:
     """The paper's three standard configurations.
 
@@ -149,8 +150,11 @@ def standard_configs(
     project through a fitted coefficient table (see
     :func:`repro.ear.models.resolve_coefficients` for the resolution
     order); the default ``None`` keeps the analytic coefficients.
+    ``regions=True`` adds the region-based variant ``me_eufs_regions``
+    (policy ``min_energy_regions``; see docs/POLICIES.md) — opt-in so
+    the paper's three-way tables keep their exact shape.
     """
-    return {
+    configs: dict[str, EarConfig | None] = {
         "none": None,
         "me": EarConfig(
             use_explicit_ufs=False,
@@ -163,6 +167,14 @@ def standard_configs(
             coefficients_path=coefficients_path,
         ),
     }
+    if regions:
+        configs["me_eufs_regions"] = EarConfig(
+            policy="min_energy_regions",
+            cpu_policy_th=cpu_policy_th,
+            unc_policy_th=unc_policy_th,
+            coefficients_path=coefficients_path,
+        )
+    return configs
 
 
 def clear_run_cache(*, disk: bool = False) -> None:

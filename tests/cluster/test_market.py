@@ -1,0 +1,256 @@
+"""The power-cap market: allocation regimes, conservation, integration.
+
+The headline invariant (docs/POLICIES.md): the sum of live grants never
+exceeds the budget — in any of the three allocation regimes, and at
+every EARDBD flush tick of a full cluster campaign.
+"""
+
+import pytest
+
+from repro.cluster.market import Grant, MarketConfig, PowerMarket
+from repro.cluster.scheduler import ClusterConfig, ClusterSimulation
+from repro.cluster.traces import TraceConfig, generate_trace
+from repro.ear.config import EarConfig
+from repro.errors import ConfigError
+from repro.experiments.parallel import ExperimentPool, RunCache
+
+MKT = MarketConfig(budget_w=1500.0)
+# per-node ladder value with the defaults: 8*4 + 3*12 = 68 W
+SAVEABLE = MKT.saveable_w_per_node
+
+
+def market(budget_w=1500.0, **overrides):
+    return PowerMarket(MarketConfig(budget_w=budget_w, **overrides))
+
+
+class TestConfig:
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ConfigError):
+            MarketConfig(budget_w=0.0)
+
+    def test_rejects_negative_ladder(self):
+        with pytest.raises(ConfigError):
+            MarketConfig(budget_w=100.0, max_imc_steps=-1)
+
+    def test_saveable_is_full_ladder(self):
+        assert SAVEABLE == 8 * 4.0 + 3 * 12.0
+
+
+class TestPowerTable:
+    def test_prior_until_observed(self):
+        m = market()
+        assert m.estimate_w_per_node("x") == 400.0
+        m.observe("x", 311.0)
+        assert m.estimate_w_per_node("x") == 311.0
+
+    def test_last_write_wins(self):
+        m = market()
+        m.observe("x", 311.0)
+        m.observe("x", 288.0)
+        assert m.estimate_w_per_node("x") == 288.0
+
+    def test_nonpositive_measurement_ignored(self):
+        m = market()
+        m.observe("x", 0.0)
+        assert m.estimate_w_per_node("x") == 400.0
+
+
+class TestAllocationRegimes:
+    def test_slack_grants_needed(self):
+        m = market(budget_w=1000.0)
+        g = m.admit(1, "a", 2)  # needs 800 <= 1000
+        assert g.granted_w == 800.0
+        assert not g.capped
+
+    def test_binding_floor_plus_prorata(self):
+        # two 1-node jobs, needed 400 each, floor 332 each; budget 700:
+        # headroom 700-664=36 over flexibility 136 -> share 36/136.
+        m = market(budget_w=700.0)
+        m.admit(1, "a", 1)
+        g = m.admit(2, "b", 1)
+        floor = 400.0 - SAVEABLE
+        share = (700.0 - 2 * floor) / (800.0 - 2 * floor)
+        expected = floor + SAVEABLE * share
+        # job 1's grant froze at 400 (slack at its admission); job 2 is
+        # clamped to the remaining headroom.
+        assert g.granted_w == pytest.approx(min(expected, 700.0 - 400.0))
+
+    def test_infeasible_squeezes_floors(self):
+        m = market(budget_w=500.0)
+        m.admit(1, "a", 1)  # granted 400 (slack)
+        g = m.admit(2, "b", 1)
+        # regime is infeasible only vs both floors: 2*332=664 > 500.
+        # newcomer's unclamped share: 332 * 500/664; headroom is 100.
+        assert g.granted_w == pytest.approx(100.0)
+        assert g.imc_steps == MKT.max_imc_steps
+        assert g.pstate_offset == MKT.max_pstate_offset
+
+    def test_never_exceeds_budget(self):
+        m = market(budget_w=900.0)
+        for jid in range(6):
+            m.admit(jid, f"w{jid}", 1)
+            live = sum(
+                m.grant_for(j).granted_w for j in range(jid + 1) if m.grant_for(j)
+            )
+            assert live <= 900.0 + 1e-9
+
+    def test_release_frees_watts(self):
+        m = market(budget_w=500.0)
+        m.admit(1, "a", 1)
+        m.release(1)
+        g = m.admit(2, "b", 1)
+        assert g.granted_w == 400.0
+        assert not g.capped
+
+
+class TestComplianceLadder:
+    def test_uncapped_when_fully_granted(self):
+        g = market(budget_w=4000.0).admit(1, "a", 4)
+        assert g == Grant(job_id=1, granted_w=1600.0, imc_steps=0, pstate_offset=0)
+
+    def test_uncore_pays_first(self):
+        # 10 W/node deficit: 3 uncore steps, no P-state touched.
+        m = market(budget_w=390.0)
+        g = m.admit(1, "a", 1)
+        assert g.imc_steps == 3
+        assert g.pstate_offset == 0
+
+    def test_pstates_only_after_ladder_exhausted(self):
+        # 40 W/node deficit: 8 uncore steps cover 32 W, 1 P-state the rest.
+        m = market(budget_w=360.0)
+        g = m.admit(1, "a", 1)
+        assert g.imc_steps == 8
+        assert g.pstate_offset == 1
+
+    def test_exact_step_boundary(self):
+        # exactly 2 steps' worth of deficit must not round up to 3.
+        m = market(budget_w=392.0)
+        g = m.admit(1, "a", 1)
+        assert g.imc_steps == 2
+        assert g.pstate_offset == 0
+
+
+class TestTick:
+    def test_interval_records_live_state(self):
+        m = market(budget_w=1000.0)
+        m.admit(1, "a", 1)
+        m.admit(2, "b", 1)
+        i = m.tick(30.0)
+        assert i.time_s == 30.0
+        assert i.n_jobs == 2
+        assert i.demand_w == 800.0
+        assert i.granted_w == 800.0
+
+    def test_stats_aggregate(self):
+        m = market(budget_w=500.0)
+        m.admit(1, "a", 1)
+        m.admit(2, "b", 1)
+        m.tick(30.0)
+        m.release(1)
+        m.tick(60.0)
+        s = m.stats()
+        assert s.n_jobs == 2
+        assert s.n_capped_jobs == 1
+        assert len(s.intervals) == 2
+        assert s.peak_granted_w <= 500.0 + 1e-9
+        assert s.to_dict()["intervals"][0]["granted_w"] == s.intervals[0].granted_w
+
+
+# -- cluster integration ------------------------------------------------------
+
+
+def small_trace(n_jobs=6, seed=0):
+    return generate_trace(
+        TraceConfig(n_jobs=n_jobs, seed=seed, scale=0.2, mean_interarrival_s=10.0)
+    )
+
+
+def run(trace, config):
+    pool = ExperimentPool(jobs=1, cache=RunCache())
+    return ClusterSimulation(trace, config, pool=pool).run()
+
+
+class TestClusterIntegration:
+    def test_conservation_every_interval(self):
+        report = run(
+            small_trace(),
+            ClusterConfig(
+                n_nodes=4,
+                ear_config=EarConfig(),
+                market=MarketConfig(budget_w=800.0),
+            ),
+        )
+        assert report.market is not None
+        assert report.market.intervals  # the flush loop ticked
+        for interval in report.market.intervals:
+            if interval.n_jobs > 0:
+                assert interval.granted_w <= interval.budget_w + 1e-9
+
+    def test_binding_budget_caps_jobs(self):
+        report = run(
+            small_trace(),
+            ClusterConfig(
+                n_nodes=4,
+                ear_config=EarConfig(),
+                market=MarketConfig(budget_w=700.0),
+            ),
+        )
+        capped = [j for j in report.jobs if j.market_imc_steps > 0]
+        assert report.market.n_capped_jobs > 0
+        assert capped
+        # every market-capped job carries its grant in the outcome row.
+        assert all(j.granted_w is not None for j in report.jobs)
+
+    def test_slack_budget_caps_nothing(self):
+        report = run(
+            small_trace(),
+            ClusterConfig(
+                n_nodes=4,
+                ear_config=EarConfig(),
+                market=MarketConfig(budget_w=100000.0),
+            ),
+        )
+        assert report.market.n_capped_jobs == 0
+        assert all(j.market_imc_steps == 0 for j in report.jobs)
+
+    def test_monitoring_campaign_untouched(self):
+        # no EARL on the nodes -> nothing to comply -> no market at all.
+        report = run(
+            small_trace(),
+            ClusterConfig(
+                n_nodes=4,
+                ear_config=None,
+                market=MarketConfig(budget_w=700.0),
+            ),
+        )
+        assert all(j.granted_w is None for j in report.jobs)
+        assert all(j.market_imc_steps == 0 for j in report.jobs)
+
+    def test_power_table_learned_from_finishes(self):
+        report = run(
+            small_trace(),
+            ClusterConfig(
+                n_nodes=4,
+                ear_config=EarConfig(),
+                market=MarketConfig(budget_w=5000.0),
+            ),
+        )
+        table = dict(report.market.power_table)
+        assert table  # finishes fed measurements back
+        assert all(w > 0 for w in table.values())
+
+    def test_deterministic(self):
+        cfg = ClusterConfig(
+            n_nodes=4,
+            ear_config=EarConfig(),
+            market=MarketConfig(budget_w=800.0),
+        )
+        a = run(small_trace(), cfg)
+        b = run(small_trace(), cfg)
+        assert a.market.to_dict() == b.market.to_dict()
+        assert a.total_energy_j == b.total_energy_j
+
+    def test_no_market_reports_none(self):
+        report = run(small_trace(), ClusterConfig(n_nodes=4, ear_config=EarConfig()))
+        assert report.market is None
+        assert report.to_dict()["market"] is None

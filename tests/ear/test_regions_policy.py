@@ -1,0 +1,192 @@
+"""min_energy_regions: keys, bit-identical fallback, re-entry re-apply.
+
+The contract (docs/POLICIES.md): on single-phase workloads the region
+variant is byte-for-byte ``min_energy`` — the table only changes
+behaviour when a run actually re-enters an already-learned region.
+"""
+
+import pytest
+
+from repro.ear.config import EarConfig
+from repro.ear.policies import (
+    MinEnergyRegionsPolicy,
+    available_policies,
+    create_policy,
+    region_key,
+)
+from repro.ear.signature import Signature
+from repro.hw.node import SD530
+from repro.sim import run_workload
+from repro.workloads.app import Workload
+from repro.workloads.generator import synthetic_profile
+from repro.workloads.kernels import bt_mz_c_openmp, stream_triad
+
+SCALE = 0.25
+
+
+def sig(cpi, gbs):
+    return Signature(
+        iteration_time_s=0.5,
+        dc_power_w=330.0,
+        cpi=cpi,
+        tpi=0.01,
+        gbs=gbs,
+        vpi=0.0,
+        avg_cpu_freq_ghz=2.4,
+        avg_imc_freq_ghz=2.4,
+    )
+
+
+class TestRegionKey:
+    def test_within_tolerance_same_bucket(self):
+        # 5 % CPI drift at a 15 % bucket width: same region.
+        assert region_key(sig(0.39, 28.0), 0.15)[0] == region_key(sig(0.41, 28.0), 0.15)[0]
+
+    def test_distinct_phases_distinct_keys(self):
+        assert region_key(sig(0.39, 28.0), 0.15) != region_key(sig(3.13, 177.0), 0.15)
+
+    def test_no_traffic_shares_one_bucket(self):
+        # Busy-wait noise below the floor must not spread over log buckets.
+        a = region_key(sig(0.5, 0.01), 0.15)
+        b = region_key(sig(0.5, 0.4), 0.15)
+        assert a[1] == b[1]
+
+    def test_narrower_tolerance_narrower_buckets(self):
+        wide = region_key(sig(1.0, 50.0), 0.30)
+        narrow = region_key(sig(1.0, 50.0), 0.02)
+        assert abs(narrow[1]) > abs(wide[1])
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert "min_energy_regions" in available_policies()
+
+    def test_config_selects_it(self):
+        from repro.ear.models import make_model
+        from repro.ear.policies import PolicyContext
+
+        cfg = EarConfig(policy="min_energy_regions")
+        ctx = PolicyContext(
+            config=cfg,
+            pstates=SD530.pstates,
+            model=make_model(SD530, cfg),
+            imc_max_ghz=2.4,
+            imc_min_ghz=1.2,
+        )
+        assert isinstance(
+            create_policy("min_energy_regions", ctx), MinEnergyRegionsPolicy
+        )
+
+
+def run_pair(workload, seed=1):
+    """The same run under min_energy and min_energy_regions."""
+    base = run_workload(
+        workload, ear_config=EarConfig(policy="min_energy"), seed=seed
+    )
+    regions = run_workload(
+        workload, ear_config=EarConfig(policy="min_energy_regions"), seed=seed
+    )
+    return base, regions
+
+
+class TestSinglePhaseBitIdentity:
+    """One phase -> one region -> the re-apply branch never fires."""
+
+    @pytest.mark.parametrize("factory", [bt_mz_c_openmp, stream_triad])
+    def test_exact_equality(self, factory):
+        wl = factory().scaled_iterations(SCALE)
+        base, regions = run_pair(wl)
+        assert regions.time_s == base.time_s
+        assert regions.dc_energy_j == base.dc_energy_j
+        assert regions.avg_cpu_freq_ghz == base.avg_cpu_freq_ghz
+        assert regions.avg_imc_freq_ghz == base.avg_imc_freq_ghz
+
+    def test_identical_decision_stream(self):
+        wl = bt_mz_c_openmp().scaled_iterations(SCALE)
+        base, regions = run_pair(wl)
+        assert regions.decisions == base.decisions
+
+
+def abab_workload(n=400):
+    """Two alternating phases, long enough for each descent to settle."""
+    a = synthetic_profile(
+        name="compute",
+        node_config=SD530,
+        core_share=0.85,
+        unc_share=0.05,
+        mem_share=0.05,
+    )
+    b = synthetic_profile(
+        name="memory",
+        node_config=SD530,
+        core_share=0.25,
+        unc_share=0.15,
+        mem_share=0.55,
+    )
+    return Workload(
+        name="abab",
+        node_config=SD530,
+        n_nodes=1,
+        n_processes=1,
+        phases=((a, n), (b, n), (a, n), (b, n)),
+    )
+
+
+class TestReEntry:
+    def test_reapplies_learned_regions(self):
+        r = run_workload(
+            abab_workload(),
+            ear_config=EarConfig(policy="min_energy_regions"),
+            seed=3,
+            telemetry=True,
+        )
+        kinds = [
+            e.kind for e in r.nodes[0].telemetry.events if e.subsystem == "policy"
+        ]
+        learned = kinds.count("region_learned")
+        reapplied = kinds.count("region_reapply")
+        # A and B are learned on their first visit; the second visits
+        # re-apply instead of re-descending.
+        assert learned == 2
+        assert reapplied == 2
+
+    def test_reapply_restores_learned_pair(self):
+        r = run_workload(
+            abab_workload(),
+            ear_config=EarConfig(policy="min_energy_regions"),
+            seed=3,
+            telemetry=True,
+        )
+        events = {
+            (e.kind, e.payload_dict["region"]): e.payload_dict
+            for e in r.nodes[0].telemetry.events
+            if e.subsystem == "policy"
+            and e.kind in ("region_learned", "region_reapply")
+        }
+        for (kind, region), payload in events.items():
+            if kind == "region_reapply":
+                learned = events[("region_learned", region)]
+                assert payload["cpu_ghz"] == learned["cpu_ghz"]
+                assert payload["imc_max_ghz"] == learned["imc_max_ghz"]
+
+    def test_deterministic(self):
+        cfg = EarConfig(policy="min_energy_regions")
+        r1 = run_workload(abab_workload(), ear_config=cfg, seed=3)
+        r2 = run_workload(abab_workload(), ear_config=cfg, seed=3)
+        assert r1.time_s == r2.time_s
+        assert r1.dc_energy_j == r2.dc_energy_j
+        assert r1.decisions == r2.decisions
+
+    def test_no_worse_than_global_policy(self):
+        wl = abab_workload()
+        base = run_workload(
+            wl, ear_config=EarConfig(policy="min_energy"), seed=3, noise_sigma=0.0
+        )
+        regions = run_workload(
+            wl,
+            ear_config=EarConfig(policy="min_energy_regions"),
+            seed=3,
+            noise_sigma=0.0,
+        )
+        # Skipping repeat descents must not cost energy on re-entrant codes.
+        assert regions.dc_energy_j <= base.dc_energy_j * 1.005

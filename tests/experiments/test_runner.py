@@ -118,3 +118,13 @@ class TestComparison:
         assert cfgs["me"].use_explicit_ufs is False
         assert cfgs["me"].cpu_policy_th == 0.03
         assert cfgs["me_eufs"].use_explicit_ufs is True
+
+    def test_regions_config_is_opt_in(self):
+        # default off: the paper tables keep their exact config set.
+        assert "me_eufs_regions" not in standard_configs()
+        cfgs = standard_configs(regions=True, unc_policy_th=0.04)
+        regions = cfgs["me_eufs_regions"]
+        assert regions.policy == "min_energy_regions"
+        assert regions.unc_policy_th == 0.04
+        # rides the same thresholds as the global eUFS config.
+        assert regions.cpu_policy_th == cfgs["me_eufs"].cpu_policy_th

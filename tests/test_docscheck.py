@@ -10,6 +10,7 @@ from repro.docscheck import (
     check_cli_doc,
     check_files,
     check_invocation,
+    check_policy_docs,
     extract_invocations,
     main,
 )
@@ -106,6 +107,29 @@ class TestRepoDocs:
         assert "missing" in check_cli_doc(tmp_path / "absent.md")
 
 
+class TestPolicyDocs:
+    def test_repo_policies_doc_complete(self):
+        assert check_policy_docs(REPO / "docs" / "POLICIES.md") == []
+
+    def test_missing_file_is_one_problem(self, tmp_path):
+        (problem,) = check_policy_docs(tmp_path / "absent.md")
+        assert "missing" in problem
+
+    def test_undocumented_policy_reported(self, tmp_path):
+        doc = tmp_path / "POLICIES.md"
+        doc.write_text("## `min_energy` — the one section\n")
+        problems = check_policy_docs(doc)
+        # min_time / monitoring / min_energy_regions all lack headings.
+        assert any("min_energy_regions" in p for p in problems)
+        assert any("monitoring" in p for p in problems)
+        assert not any("`min_energy`" in p for p in problems)
+
+    def test_heading_required_not_prose(self, tmp_path):
+        doc = tmp_path / "POLICIES.md"
+        doc.write_text("The `monitoring` policy observes.\n")
+        assert any("monitoring" in p for p in check_policy_docs(doc))
+
+
 class TestMain:
     def test_exit_zero_on_clean_docs(self, tmp_path, capsys):
         doc = tmp_path / "ok.md"
@@ -125,3 +149,17 @@ class TestMain:
         stale = tmp_path / "CLI.md"
         stale.write_text("# old\n")
         assert main([str(doc), "--cli-doc", str(stale)]) == 1
+
+    def test_exit_one_on_incomplete_policies_doc(self, tmp_path, capsys):
+        doc = tmp_path / "ok.md"
+        doc.write_text("nothing here\n")
+        partial = tmp_path / "POLICIES.md"
+        partial.write_text("## `min_energy`\n")
+        assert main([str(doc), "--policies-doc", str(partial)]) == 1
+        out = capsys.readouterr()
+        assert "INCOMPLETE" in out.out
+
+    def test_exit_zero_with_complete_policies_doc(self, tmp_path):
+        doc = tmp_path / "ok.md"
+        doc.write_text("nothing here\n")
+        assert main([str(doc), "--policies-doc", str(REPO / "docs" / "POLICIES.md")]) == 0
